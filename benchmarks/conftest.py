@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark/experiment harness.
+
+Each ``test_bench_*`` file regenerates one figure or experiment from
+DESIGN.md's index: it drives the system on the experiment's workload,
+prints the table the paper-style report needs (run with ``-s`` to see
+them), asserts the qualitative *shape* (who wins, how things scale), and
+registers a pytest-benchmark measurement for the core operation.
+
+Run everything with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import ExperimentReport
+
+
+@pytest.fixture
+def report_printer():
+    """Print an experiment report at test end (visible with -s)."""
+    reports: list[ExperimentReport] = []
+
+    def add(report: ExperimentReport) -> ExperimentReport:
+        reports.append(report)
+        return report
+
+    yield add
+    for report in reports:
+        print()
+        print(report.to_text())

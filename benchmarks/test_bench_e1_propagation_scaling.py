@@ -1,0 +1,119 @@
+"""E1 — selective change propagation at scale.
+
+Claim (sections 1, 3.2): the engine "propagates throughout the meta-data
+the event by selectively traversing the data relationships" and the state
+updates "instantly".  The experiment sweeps hierarchy depth and fanout,
+measures wave cost, and shows selectivity: waves only touch links whose
+PROPAGATE list carries the event.
+"""
+
+import pytest
+
+from repro.analysis.reporting import ExperimentReport
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.flows.generators import build_tree, hierarchy_blueprint_source
+from repro.metadb.database import MetaDatabase
+from repro.metadb.links import LinkClass
+from repro.metadb.oid import OID
+
+
+def build_project(depth: int, fanout: int):
+    db = MetaDatabase()
+    engine = BlueprintEngine(
+        db,
+        Blueprint.from_source(hierarchy_blueprint_source()),
+        trace_limit=0,
+    )
+    oids = build_tree(db, depth=depth, fanout=fanout)
+    return db, engine, oids
+
+
+@pytest.mark.parametrize("depth,fanout", [(3, 2), (5, 2), (4, 4), (7, 2)])
+def test_e1_invalidation_wave_scaling(benchmark, depth, fanout, report_printer):
+    db, engine, oids = build_project(depth, fanout)
+    root = oids[0]
+
+    def change_and_propagate():
+        engine.post("ckin", root, "up")
+        engine.run()
+
+    benchmark(change_and_propagate)
+    stale = sum(1 for obj in db.objects() if obj.get("uptodate") is False)
+    assert stale == len(oids) - 1  # everything below the root
+    report = ExperimentReport("E1", "propagation scaling")
+    report.add_table(
+        ["depth", "fanout", "tree size", "stale after root change"],
+        [(depth, fanout, len(oids), stale)],
+    )
+    report_printer(report)
+
+
+def test_e1_selectivity_only_matching_links(report_printer):
+    """Waves cross only links whose PROPAGATE carries the event."""
+    db = MetaDatabase()
+    engine = BlueprintEngine(
+        db, Blueprint.from_source(hierarchy_blueprint_source()), trace_limit=0
+    )
+    root = db.create_object(OID("top", "schematic", 1)).oid
+    listed = db.create_object(OID("listed", "schematic", 1)).oid
+    unlisted = db.create_object(OID("unlisted", "schematic", 1)).oid
+    db.add_link(root, listed, LinkClass.USE)  # template: propagates outofdate
+    quiet = db.add_link(root, unlisted, LinkClass.DERIVE)  # no template match
+    assert not quiet.propagates
+    engine.post("ckin", root, "up")
+    engine.run()
+    assert db.get(listed).get("uptodate") is False
+    assert db.get(unlisted).get("uptodate") is True
+    report = ExperimentReport("E1b", "selective traversal")
+    report.add_table(
+        ["link", "PROPAGATE", "received outofdate"],
+        [
+            ("use (templated)", "outofdate", "yes"),
+            ("derive (untemplated)", "-", "no"),
+        ],
+    )
+    report_printer(report)
+
+
+def test_e1_leaf_change_touches_nothing(report_printer):
+    """Changing a leaf stales nothing above it (down-only hierarchy)."""
+    db, engine, oids = build_project(depth=4, fanout=2)
+    leaf = oids[-1]
+    engine.post("ckin", leaf, "up")
+    engine.run()
+    stale = sum(1 for obj in db.objects() if obj.get("uptodate") is False)
+    assert stale == 0
+    report = ExperimentReport("E1c", "impact is change-local")
+    report.add_text("leaf check-in: 0 objects staled (fanout only goes down)")
+    report_printer(report)
+
+
+@pytest.mark.parametrize("size", [50, 500])
+def test_e1_state_updates_instantly(benchmark, size, report_printer):
+    """'the state of the design is updated instantly': one wave, then a
+    state query needs no recomputation (property read)."""
+    db, engine, oids = build_project(depth=1, fanout=1)
+    import repro.flows.generators as gen
+
+    db2 = MetaDatabase()
+    engine2 = BlueprintEngine(
+        db2, Blueprint.from_source(gen.hierarchy_blueprint_source()), trace_limit=0
+    )
+    root = db2.create_object(OID("root", "schematic", 1)).oid
+    previous = [root]
+    created = 1
+    while created < size:
+        parent = previous[created % len(previous)]
+        child = db2.create_object(OID(f"c{created}", "schematic", 1)).oid
+        db2.add_link(parent, child, LinkClass.USE)
+        previous.append(child)
+        created += 1
+    engine2.post("ckin", root, "up")
+    engine2.run()
+
+    def query_stale():
+        return sum(1 for obj in db2.objects() if obj.get("uptodate") is False)
+
+    stale = benchmark(query_stale)
+    assert stale == size - 1

@@ -1,0 +1,108 @@
+"""E2 — blueprint loosening ablation.
+
+Claim (section 3.2): "early in the design cycle ... the BluePrint can be
+'loosened' thereby limiting change propagation."  The experiment replays
+the same change burst under the strict and the loosened blueprint and
+compares invalidation traffic; partial loosening (by link type) sits in
+between.
+"""
+
+import pytest
+
+from repro.analysis.reporting import ExperimentReport
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.core.policy import apply_blueprint_to_links, loosen_blueprint
+from repro.flows.generators import (
+    apply_change,
+    chain_blueprint_source,
+    make_change_trace,
+)
+from repro.metadb.database import MetaDatabase
+from repro.metadb.oid import OID
+
+CHAIN = 8
+CHANGES = 12
+
+
+def project_under(blueprint: Blueprint):
+    db = MetaDatabase()
+    engine = BlueprintEngine(db, blueprint, trace_limit=0)
+    for index in range(CHAIN):
+        db.create_object(OID("core", f"v{index}", 1))
+    apply_blueprint_to_links(blueprint, db)
+    return db, engine
+
+
+def run_burst(db, engine) -> dict:
+    trace = make_change_trace([("core", "v0")], CHANGES, seed=9)
+    for change in trace:
+        apply_change(db, engine, change)
+    return {
+        "hops": engine.metrics.propagation_hops,
+        "deliveries": engine.metrics.deliveries,
+        "stale": sum(1 for o in db.objects() if o.get("uptodate") is False),
+    }
+
+
+def test_e2_loosening_limits_propagation(benchmark, report_printer):
+    strict = Blueprint.from_source(chain_blueprint_source(CHAIN))
+    loosened = loosen_blueprint(strict, block_events={"outofdate"})
+
+    results = {}
+    for label, blueprint in (("strict", strict), ("loosened", loosened)):
+        db, engine = project_under(blueprint)
+        results[label] = run_burst(db, engine)
+
+    def strict_run():
+        db, engine = project_under(strict)
+        run_burst(db, engine)
+
+    benchmark(strict_run)
+
+    assert results["strict"]["hops"] > 0
+    assert results["loosened"]["hops"] == 0
+    assert results["loosened"]["stale"] == 0
+    assert results["strict"]["stale"] == CHAIN - 1
+
+    report = ExperimentReport("E2", "loosening ablation")
+    report.add_table(
+        ["blueprint", "propagation hops", "deliveries", "stale objects"],
+        [
+            (label, r["hops"], r["deliveries"], r["stale"])
+            for label, r in results.items()
+        ],
+        caption=f"{CHANGES} early-phase edits on an {CHAIN}-view chain",
+    )
+    report_printer(report)
+
+
+def test_e2_partial_loosening_by_view(report_printer):
+    """Loosening only the tail of the flow keeps nearby invalidation."""
+    strict = Blueprint.from_source(chain_blueprint_source(CHAIN))
+    tail_views = {f"v{i}" for i in range(CHAIN // 2, CHAIN)}
+    partial = loosen_blueprint(
+        strict, block_events={"outofdate"}, views=tail_views
+    )
+    db, engine = project_under(partial)
+    result = run_burst(db, engine)
+    # the front half still invalidates (v1..v3), the tail does not
+    assert 0 < result["stale"] < CHAIN - 1
+    report = ExperimentReport("E2b", "partial loosening (tail views only)")
+    report.add_table(
+        ["loosened views", "stale objects"],
+        [(len(tail_views), result["stale"])],
+    )
+    report_printer(report)
+
+
+@pytest.mark.parametrize("chain", [4, 16])
+def test_e2_strict_cost_grows_with_depth(chain):
+    strict = Blueprint.from_source(chain_blueprint_source(chain))
+    db = MetaDatabase()
+    engine = BlueprintEngine(db, strict, trace_limit=0)
+    for index in range(chain):
+        db.create_object(OID("core", f"v{index}", 1))
+    engine.post("ckin", OID("core", "v0", 1), "up")
+    engine.run()
+    assert engine.metrics.propagation_hops == chain - 1

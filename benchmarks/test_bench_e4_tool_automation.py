@@ -1,0 +1,156 @@
+"""E4 — tool scheduling: automatic vs manual vs goal-driven.
+
+Claim (section 3.3): the event-driven scheme "leads naturally to
+implementing automatic tool invocation" and "supports partially or fully
+automated design flows which reduce both the risk of errors and the
+design cycle time"; section 4 adds that goal-driven frameworks (ULYSSES)
+take control away from designers and re-run eagerly.
+
+Workload: a burst of schematic check-ins.  Compared: BluePrint exec rules
+(automatic), BluePrint manual mode (designer batches the run), and a
+ULYSSES-style eager goal scheduler.
+"""
+
+from repro.analysis.reporting import ExperimentReport
+from repro.baselines.ulysses import GoalDrivenScheduler
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.core.scheduler import ToolScheduler
+from repro.metadb.database import MetaDatabase
+from repro.metadb.oid import OID
+
+SOURCE = """\
+blueprint e4
+view default
+  property uptodate default true
+  when ckin do uptodate = true; post outofdate down done
+  when outofdate do uptodate = false done
+endview
+view schematic
+  when ckin do exec netlister "$oid" done
+endview
+view netlist
+  link_from schematic move propagates outofdate type derived
+endview
+endblueprint
+"""
+
+BURST = 6
+
+
+def blueprint_project(automatic: bool):
+    db = MetaDatabase()
+    engine = BlueprintEngine(db, Blueprint.from_source(SOURCE), trace_limit=0)
+    scheduler = ToolScheduler(db=db, automatic=automatic)
+
+    def netlister(request):
+        block = request.oid.block
+        latest = db.latest_version(block, "netlist")
+        version = 1 if latest is None else latest.version + 1
+        db.create_object(OID(block, "netlist", version))
+
+    scheduler.register("netlister", netlister)
+    engine.executor = scheduler
+    return db, engine, scheduler
+
+
+def run_burst(db, engine):
+    for _ in range(BURST):
+        latest = db.latest_version("cpu", "schematic")
+        version = 1 if latest is None else latest.version + 1
+        oid = OID("cpu", "schematic", version)
+        db.create_object(oid)
+        engine.post("ckin", oid, "up")
+        engine.run()
+
+
+def test_e4_automation_comparison(benchmark, report_printer):
+    # fully automatic: the netlister re-runs per check-in, hands-free
+    auto_db, auto_engine, auto_scheduler = blueprint_project(automatic=True)
+    benchmark.pedantic(
+        run_burst, args=(auto_db, auto_engine), rounds=1, iterations=1
+    )
+    auto_runs = auto_scheduler.counts()["executed"]
+    auto_netlist_fresh = auto_db.latest_version("cpu", "netlist") is not None
+
+    # manual: invocations park; the designer triggers one batch at the end
+    man_db, man_engine, man_scheduler = blueprint_project(automatic=False)
+    run_burst(man_db, man_engine)
+    parked = man_scheduler.counts()["parked"]
+    man_scheduler.run_pending()
+    man_runs = man_scheduler.counts()["executed"]
+
+    # ULYSSES-style eager goal scheduler over the same burst
+    goal = GoalDrivenScheduler().register_chain(
+        ["schematic", "netlist", "layout", "gdsii"]
+    )
+    goal_runs = 0
+    for _ in range(BURST):
+        goal.source_change("cpu", "schematic")
+        goal_runs += goal.achieve("cpu", "gdsii")
+
+    # shape: automation runs per change (n); manual batches to fewer
+    # designer-visible steps; eager goal-driven runs the whole chain (3n)
+    assert auto_runs == BURST
+    assert auto_netlist_fresh
+    assert parked == BURST
+    assert man_runs == BURST  # same work, but designer-controlled timing
+    assert goal_runs == BURST * 3
+
+    report = ExperimentReport("E4", "tool scheduling comparison")
+    report.add_table(
+        ["control model", "tool runs", "designer steps", "notes"],
+        [
+            ("BluePrint exec (automatic)", auto_runs, 0, "netlist always fresh"),
+            (
+                "BluePrint manual mode",
+                man_runs,
+                1,
+                f"{parked} invocations batched by the designer",
+            ),
+            (
+                "ULYSSES-style eager goals",
+                goal_runs,
+                0,
+                "full chain re-run per change",
+            ),
+        ],
+        caption=f"burst of {BURST} schematic check-ins",
+    )
+    report_printer(report)
+
+
+def test_e4_depth_guard_prevents_storms(report_printer):
+    """Automation chains cannot run away: the depth guard trips."""
+    source = """\
+blueprint loopy
+view a
+  when ckin do exec pingpong "$oid" done
+endview
+endblueprint
+"""
+    db = MetaDatabase()
+    engine = BlueprintEngine(db, Blueprint.from_source(source), trace_limit=0)
+    scheduler = ToolScheduler(db=db, max_depth=4)
+
+    def pingpong(request):
+        # a badly written wrapper that re-triggers itself via exec
+        scheduler(request)
+
+    scheduler.register("pingpong", pingpong)
+    engine.executor = scheduler
+    db.create_object(OID("cpu", "a", 1))
+    engine.post("ckin", OID("cpu", "a", 1), "up")
+    engine.run()  # must terminate
+    limited = [
+        run
+        for run in scheduler.runs
+        if any("depth limit" in reason for reason in run.refusal_reasons)
+    ]
+    assert limited
+    report = ExperimentReport("E4b", "automation depth guard")
+    report.add_table(
+        ["max depth", "runs executed", "stopped"],
+        [(4, scheduler.counts()["executed"], len(limited))],
+    )
+    report_printer(report)

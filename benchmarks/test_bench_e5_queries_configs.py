@@ -1,0 +1,107 @@
+"""E5 — state queries and configurations at scale.
+
+Claims (sections 1–2): "Designers can retrieve the state of the project
+by performing queries" knowing "exactly what data still needs to be
+modified"; configurations are "light weight" objects that "store results
+of volume queries" and snapshot "the state of the design hierarchy".
+
+The experiment measures query latency and configuration construction
+over databases of 10²–10⁴ objects.
+"""
+
+import pytest
+
+from repro.analysis.reporting import ExperimentReport
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.core.state import pending_work
+from repro.flows.generators import chain_blueprint_source
+from repro.metadb.configurations import Configuration
+from repro.metadb.database import MetaDatabase
+from repro.metadb.oid import OID
+from repro.metadb.query import Query, stale_objects
+
+
+def build(n_blocks: int, chain: int = 5):
+    db = MetaDatabase()
+    engine = BlueprintEngine(
+        db, Blueprint.from_source(chain_blueprint_source(chain)), trace_limit=0
+    )
+    for block_index in range(n_blocks):
+        for view_index in range(chain):
+            db.create_object(OID(f"b{block_index}", f"v{view_index}", 1))
+    # stale half the blocks through real change events
+    for block_index in range(0, n_blocks, 2):
+        oid = OID(f"b{block_index}", "v0", 2)
+        db.create_object(oid)
+        engine.post("ckin", oid, "up")
+    engine.run()
+    return db, engine
+
+
+@pytest.mark.parametrize("n_blocks", [20, 200, 2_000])
+def test_e5_stale_query_scaling(benchmark, n_blocks, report_printer):
+    db, engine = build(n_blocks)
+    stale = benchmark(lambda: stale_objects(db))
+    expected_stale = (n_blocks + 1) // 2 * 4  # 4 downstream views per stale block
+    assert len(stale) == expected_stale
+    report = ExperimentReport("E5", "volume queries")
+    report.add_table(
+        ["objects", "stale found", "query"],
+        [(db.object_count, len(stale), "uptodate == false, latest only")],
+    )
+    report_printer(report)
+
+
+@pytest.mark.parametrize("n_blocks", [20, 200])
+def test_e5_pending_work_query(benchmark, n_blocks):
+    db, engine = build(n_blocks)
+    work = benchmark(lambda: pending_work(db, engine.blueprint))
+    assert len(work) == (n_blocks + 1) // 2 * 4
+
+
+@pytest.mark.parametrize("n_blocks", [20, 200, 2_000])
+def test_e5_configuration_snapshot_lightweight(benchmark, n_blocks, report_printer):
+    db, _engine = build(n_blocks)
+    config = benchmark(lambda: Configuration.snapshot(db, "snap"))
+    # lightweight = addresses only; must not copy property bags
+    assert len(config) == db.object_count
+    materialized = config.materialize(db)
+    assert materialized[0].properties is db.get(materialized[0].oid).properties
+    report = ExperimentReport("E5b", "configuration snapshots")
+    report.add_table(
+        ["objects", "links", "snapshot size (addresses)"],
+        [(db.object_count, db.link_count, len(config) + len(config.link_ids))],
+    )
+    report_printer(report)
+
+
+def test_e5_query_result_stored_as_configuration(report_printer):
+    """The section-2 pattern: volume query -> configuration."""
+    db, _engine = build(50)
+    stale = Query(db).where_property("uptodate", False).latest_only().oids()
+    config = Configuration.from_oids(db, "stale_now", stale)
+    assert len(config) == len(stale)
+    # the snapshot survives further changes as an address set
+    db.create_object(OID("b0", "v0", 3))
+    assert len(config) == len(stale)
+    report = ExperimentReport("E5c", "query results as configurations")
+    report.add_table(
+        ["query hits", "configuration members"], [(len(stale), len(config))]
+    )
+    report_printer(report)
+
+
+def test_e5_hierarchy_snapshot(benchmark):
+    """Snapshot of a design hierarchy via use-link traversal."""
+    from repro.flows.generators import build_tree, hierarchy_blueprint_source
+
+    db = MetaDatabase()
+    BlueprintEngine(
+        db, Blueprint.from_source(hierarchy_blueprint_source()), trace_limit=0
+    )
+    oids = build_tree(db, depth=6, fanout=2)
+    config = benchmark(
+        lambda: Configuration.from_hierarchy(db, "hier", oids[0])
+    )
+    assert len(config) == len(oids)

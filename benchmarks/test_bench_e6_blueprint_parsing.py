@@ -1,0 +1,77 @@
+"""E6 — blueprint files: parsing, printing, re-initialisation.
+
+Claim (section 3.2): "Different BluePrints can be defined for each
+project, or for each phase of a project, by writing a new set of rules in
+an ASCII file and re-initializing the BluePrint mechanism."  Cheap
+re-initialisation is what makes per-phase blueprints practical; the
+experiment measures parse/compile/print cost from 5 to 200 views.
+"""
+
+import pytest
+
+from repro.analysis.reporting import ExperimentReport
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.core.lang.parser import parse_blueprint
+from repro.core.lang.printer import print_blueprint
+from repro.flows.edtc import EDTC_BLUEPRINT_VERBATIM
+from repro.flows.generators import chain_blueprint_source
+from repro.metadb.database import MetaDatabase
+
+
+@pytest.mark.parametrize("views", [5, 50, 200])
+def test_e6_parse_scaling(benchmark, views, report_printer):
+    source = chain_blueprint_source(views)
+    ast = benchmark(parse_blueprint, source)
+    assert len(ast.views) == views + 1  # + default
+    report = ExperimentReport("E6", "blueprint parsing")
+    report.add_table(
+        ["views", "source bytes", "rules parsed"],
+        [
+            (
+                views,
+                len(source),
+                sum(len(view.rules) for view in ast.views),
+            )
+        ],
+    )
+    report_printer(report)
+
+
+@pytest.mark.parametrize("views", [5, 50, 200])
+def test_e6_compile_scaling(benchmark, views):
+    source = chain_blueprint_source(views)
+    blueprint = benchmark(Blueprint.from_source, source)
+    assert len(blueprint.tracked_views()) == views
+
+
+def test_e6_print_round_trip_speed(benchmark):
+    ast = parse_blueprint(chain_blueprint_source(100))
+    printed = benchmark(print_blueprint, ast)
+    assert parse_blueprint(printed).view_names() == ast.view_names()
+
+
+def test_e6_paper_listing_parse(benchmark):
+    ast = benchmark(parse_blueprint, EDTC_BLUEPRINT_VERBATIM)
+    assert ast.name == "EDTC_example"
+
+
+def test_e6_live_reinitialisation(benchmark, report_printer):
+    """Swap a live engine to a freshly parsed blueprint (phase change)."""
+    db = MetaDatabase()
+    engine = BlueprintEngine(
+        db, Blueprint.from_source(chain_blueprint_source(20)), trace_limit=0
+    )
+
+    def reinitialise():
+        replacement = Blueprint.from_source(chain_blueprint_source(20))
+        engine.swap_blueprint(replacement)
+        return replacement
+
+    replacement = benchmark(reinitialise)
+    assert engine.blueprint is replacement
+    report = ExperimentReport("E6b", "re-initialising the BluePrint mechanism")
+    report.add_text(
+        "parse + compile + swap of a 20-view blueprint on a live engine"
+    )
+    report_printer(report)

@@ -1,0 +1,64 @@
+"""E8 — meta-database persistence at scale (extension).
+
+The 1995 DAMOCLES server persisted its meta-database; ours must survive
+process restarts too.  The experiment measures save/load round-trips as
+the database grows and asserts losslessness (double round-trip is a
+fixed point) and index integrity after load.
+"""
+
+import pytest
+
+from repro.analysis.reporting import ExperimentReport
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.flows.generators import chain_blueprint_source
+from repro.metadb.database import MetaDatabase
+from repro.metadb.oid import OID
+from repro.metadb.persistence import (
+    database_from_dict,
+    database_to_dict,
+    load_database,
+    save_database,
+)
+
+
+def build(n_blocks: int, chain: int = 5) -> MetaDatabase:
+    db = MetaDatabase(name="persist")
+    BlueprintEngine(
+        db, Blueprint.from_source(chain_blueprint_source(chain)), trace_limit=0
+    )
+    for block in range(n_blocks):
+        for view in range(chain):
+            db.create_object(OID(f"b{block}", f"v{view}", 1))
+    return db
+
+
+@pytest.mark.parametrize("n_blocks", [20, 200])
+def test_e8_save_scaling(benchmark, n_blocks, tmp_path, report_printer):
+    db = build(n_blocks)
+    path = tmp_path / "db.json"
+    benchmark(save_database, db, path)
+    size = path.stat().st_size
+    report = ExperimentReport("E8", "persistence")
+    report.add_table(
+        ["objects", "links", "file bytes"],
+        [(db.object_count, db.link_count, size)],
+    )
+    report_printer(report)
+
+
+@pytest.mark.parametrize("n_blocks", [20, 200])
+def test_e8_load_scaling(benchmark, n_blocks, tmp_path):
+    db = build(n_blocks)
+    path = save_database(db, tmp_path / "db.json")
+    loaded, _registry = benchmark(load_database, path)
+    assert loaded.object_count == db.object_count
+    assert loaded.check_integrity() == []
+
+
+def test_e8_round_trip_fixed_point():
+    db = build(50)
+    first = database_to_dict(db)
+    loaded, registry = database_from_dict(first)
+    assert database_to_dict(loaded, registry)["objects"] == first["objects"]
+    assert database_to_dict(loaded, registry)["links"] == first["links"]

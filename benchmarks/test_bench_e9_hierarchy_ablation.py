@@ -1,0 +1,90 @@
+"""E9 — hierarchy-invalidation ablation (design-choice experiment).
+
+The paper's model propagates ``outofdate`` down only: after a sub-block
+ECO, the parent's gate netlist — which physically contains the sub-block
+— stays marked up to date.  DESIGN.md calls this out as a limitation; the
+flexibility claim of section 3.2 says the administrator can fix it *in
+the rule file* (no engine change).  This experiment verifies that: the
+``ASIC_BLUEPRINT_BIDIRECTIONAL`` variant adds two rtl rules (post up on
+check-in, re-post down on arrival) and the sub-block ECO's impact now
+covers every ancestor pipeline.
+"""
+
+import pytest
+
+from repro.analysis.reporting import ExperimentReport
+from repro.flows.asic import (
+    ASIC_BLUEPRINT,
+    ASIC_BLUEPRINT_BIDIRECTIONAL,
+    build_asic_project,
+    drive_to_signoff,
+    eco_change,
+)
+
+N_BLOCKS = 3
+
+
+def run_eco(blueprint_source: str, block: str) -> dict:
+    project = build_asic_project(N_BLOCKS, blueprint_source=blueprint_source)
+    drive_to_signoff(project)
+    result = eco_change(project, block)
+    result["hops"] = project.engine.metrics.propagation_hops
+    result["top_netlist_stale"] = (
+        project.latest("soc", "gate_netlist").get("uptodate") is False
+    )
+    return result
+
+
+def test_e9_sub_block_eco_comparison(benchmark, report_printer):
+    down_only = benchmark.pedantic(
+        run_eco, args=(ASIC_BLUEPRINT, "blk1"), rounds=1, iterations=1
+    )
+    bidirectional = run_eco(ASIC_BLUEPRINT_BIDIRECTIONAL, "blk1")
+
+    # the paper's semantics: parent untouched by a child ECO
+    assert down_only["stale_after"] == 5
+    assert down_only["top_netlist_stale"] is False
+    # the rule-file fix: ancestors and their pipelines invalidate too
+    assert bidirectional["top_netlist_stale"] is True
+    assert bidirectional["stale_after"] > down_only["stale_after"]
+
+    report = ExperimentReport("E9", "hierarchy invalidation ablation")
+    report.add_table(
+        ["blueprint", "stale after blk1 ECO", "top netlist stale", "hops"],
+        [
+            ("down-only (paper)", down_only["stale_after"],
+             down_only["top_netlist_stale"], down_only["hops"]),
+            ("bidirectional (rule-file fix)", bidirectional["stale_after"],
+             bidirectional["top_netlist_stale"], bidirectional["hops"]),
+        ],
+        caption=f"ECO on one of {N_BLOCKS} sub-blocks, full SoC signed off",
+    )
+    report_printer(report)
+
+
+def test_e9_top_eco_equivalent_under_both():
+    """A top-level ECO already invalidates everything downward; the
+    bidirectional rules must not change that outcome."""
+    down_only = run_eco(ASIC_BLUEPRINT, "soc")
+    bidirectional = run_eco(ASIC_BLUEPRINT_BIDIRECTIONAL, "soc")
+    assert down_only["stale_after"] == bidirectional["stale_after"]
+
+
+def test_e9_bidirectional_terminates():
+    """The up/down bounce must terminate (visited set per wave)."""
+    project = build_asic_project(2, blueprint_source=ASIC_BLUEPRINT_BIDIRECTIONAL)
+    drive_to_signoff(project)
+    eco_change(project, "blk0")  # returning at all proves termination
+    assert project.engine.metrics.waves > 0
+
+
+@pytest.mark.parametrize("n_blocks", [2, 6])
+def test_e9_impact_scales_with_siblings(n_blocks):
+    """Bidirectional invalidation touches siblings via the shared parent:
+    impact grows with block count, unlike down-only (constant 5)."""
+    project = build_asic_project(
+        n_blocks, blueprint_source=ASIC_BLUEPRINT_BIDIRECTIONAL
+    )
+    drive_to_signoff(project)
+    result = eco_change(project, "blk0")
+    assert result["stale_after"] > 5

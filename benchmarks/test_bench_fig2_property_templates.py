@@ -1,0 +1,75 @@
+"""F2 — Figure 2: property templates across versions.
+
+``property DRC default bad copy``: a new OID version copies the DRC
+verdict from its predecessor.  The experiment measures version-creation
+cost under copy / move / re-default inheritance and asserts the Figure 2
+semantics at every chain length.
+"""
+
+import pytest
+
+from repro.analysis.reporting import ExperimentReport
+from repro.core.blueprint import Blueprint
+from repro.metadb.database import MetaDatabase
+from repro.metadb.oid import OID
+
+SOURCES = {
+    "copy": "blueprint f2 view GDSII property DRC default bad copy endview endblueprint",
+    "move": "blueprint f2 view GDSII property DRC default bad move endview endblueprint",
+    "default": "blueprint f2 view GDSII property DRC default bad endview endblueprint",
+}
+
+
+def build(mode: str):
+    db = MetaDatabase()
+    Blueprint.from_source(SOURCES[mode]).attach(db)
+    return db
+
+
+def grow_chain(db, length: int) -> None:
+    first = db.create_object(OID("alu", "GDSII", 1))
+    first.set("DRC", "ok")
+    for _ in range(length - 1):
+        latest = db.latest_version("alu", "GDSII")
+        db.create_object(latest.oid.successor())
+
+
+@pytest.mark.parametrize("mode", ["copy", "move", "default"])
+@pytest.mark.parametrize("length", [10, 100])
+def test_fig2_version_chain_inheritance(benchmark, mode, length, report_printer):
+    def run():
+        db = build(mode)
+        grow_chain(db, length)
+        return db
+
+    db = benchmark(run)
+    newest = db.latest_version("alu", "GDSII")
+    oldest = db.get(OID("alu", "GDSII", 1))
+    if mode == "copy":
+        assert newest.get("DRC") == "ok"     # carried all the way
+        assert oldest.get("DRC") == "ok"     # originals keep their value
+    elif mode == "move":
+        assert newest.get("DRC") == "ok"     # transferred all the way
+        assert oldest.get("DRC") == "bad"    # reverted to default
+    else:
+        assert newest.get("DRC") == "bad"    # re-defaulted each version
+    report = ExperimentReport("F2", "property templates (Figure 2)")
+    report.add_table(
+        ["mode", "chain length", "newest DRC", "v1 DRC"],
+        [(mode, length, newest.get("DRC"), oldest.get("DRC"))],
+    )
+    report_printer(report)
+
+
+def test_fig2_figure_example_exact(report_printer):
+    """The figure's exact example: v5 has DRC=ok, creating v6 copies it."""
+    db = build("copy")
+    for version in range(1, 6):
+        db.create_object(OID("alu", "GDSII", version))
+    db.get(OID("alu", "GDSII", 5)).set("DRC", "ok")
+    v6 = db.create_object(OID("alu", "GDSII", 6))
+    assert v6.get("DRC") == "ok"
+    assert db.get(OID("alu", "GDSII", 5)).get("DRC") == "ok"
+    report = ExperimentReport("F2b", "Figure 2 worked example")
+    report.add_text("create v6 of <alu,GDSII>: DRC=ok copied from v5 — as drawn")
+    report_printer(report)

@@ -1,0 +1,72 @@
+"""F3 — Figure 3: move-link re-attachment on new versions.
+
+``link_from NetList propagates OutOfDate type derive_from MOVE``: when a
+new GDSII version appears, the NetList→GDSII link shifts from the old
+version to the new one.  The experiment measures the shift cost as the
+number of incident links grows and compares against static links.
+"""
+
+import pytest
+
+from repro.analysis.reporting import ExperimentReport
+from repro.metadb.database import MetaDatabase
+from repro.metadb.links import LinkClass
+from repro.metadb.oid import OID
+from repro.metadb.versions import shift_move_links
+
+
+def build(n_links: int, move: bool):
+    db = MetaDatabase()
+    center = db.create_object(OID("alu", "GDSII", 1)).oid
+    for index in range(n_links):
+        other = db.create_object(OID(f"src{index}", "NetList", 1)).oid
+        db.add_link(
+            other, center, LinkClass.DERIVE,
+            propagates=["OutOfDate"], link_type="derive_from", move=move,
+        )
+    return db, center
+
+
+@pytest.mark.parametrize("n_links", [1, 10, 100])
+def test_fig3_shift_cost_scaling(benchmark, n_links, report_printer):
+    db, center = build(n_links, move=True)
+    new = db.create_object(OID("alu", "GDSII", 2), fire_hooks=False).oid
+    shifted = benchmark.pedantic(
+        shift_move_links, args=(db, center, new), rounds=1, iterations=1
+    )
+    assert len(shifted) == n_links
+    for link in db.links():
+        assert link.dest == new
+    assert db.check_integrity() == []
+    report = ExperimentReport("F3", "move links (Figure 3)")
+    report.add_table(
+        ["incident links", "shifted", "db links after"],
+        [(n_links, len(shifted), db.link_count)],
+    )
+    report_printer(report)
+
+
+def test_fig3_static_links_do_not_shift(report_printer):
+    db, center = build(20, move=False)
+    new = db.create_object(OID("alu", "GDSII", 2), fire_hooks=False).oid
+    shifted = shift_move_links(db, center, new)
+    assert shifted == []
+    assert all(link.dest == center for link in db.links())
+    report = ExperimentReport("F3b", "static links stay on the old version")
+    report.add_text("20 static links: 0 shifted — history preserved")
+    report_printer(report)
+
+
+def test_fig3_figure_example_exact():
+    """The figure's exact picture: NetList v8 -> GDSII v5, create v6."""
+    db = MetaDatabase()
+    netlist = db.create_object(OID("alu", "NetList", 8)).oid
+    gdsii5 = db.create_object(OID("alu", "GDSII", 5)).oid
+    link = db.add_link(
+        netlist, gdsii5, LinkClass.DERIVE,
+        propagates=["OutOfDate"], link_type="derive_from", move=True,
+    )
+    gdsii6 = db.create_object(OID("alu", "GDSII", 6), fire_hooks=False).oid
+    shift_move_links(db, gdsii5, gdsii6)
+    assert link.source == netlist
+    assert link.dest == gdsii6

@@ -1,0 +1,90 @@
+"""F5 — Figure 5 + section 3.4: the complete EDTC scenario.
+
+The paper's worked example end to end, with real (simulated) tools:
+buggy HDL → failing sim → fix → synthesis with hierarchy → automatic
+netlisting → verification → the disruptive change.  The benchmark
+measures the full scenario; assertions pin every narrated outcome.
+"""
+
+import pytest
+
+from repro.analysis.reporting import ExperimentReport
+from repro.flows.edtc import build_edtc_project, run_paper_scenario
+
+
+@pytest.fixture
+def scenario_runner(tmp_path):
+    counter = [0]
+
+    def run():
+        counter[0] += 1
+        project = build_edtc_project(tmp_path / f"run{counter[0]}")
+        report = run_paper_scenario(project)
+        return project, report
+
+    return run
+
+
+def test_fig5_full_scenario(benchmark, scenario_runner, report_printer):
+    project, scenario = benchmark.pedantic(scenario_runner, rounds=1, iterations=1)
+
+    v1 = scenario.find("v1 simulated").observations
+    v2 = scenario.find("v2 simulated").observations
+    synth = scenario.find("synthesized").observations
+    verified = scenario.find("verified").observations
+    change = scenario.find("v3 checked in").observations
+
+    assert v1["failed"] is True
+    assert v2["sim_result"] == "good"
+    assert synth["netlist_auto_created"] is True
+    assert verified["schematic_state"] is True
+    assert change["schematic_uptodate"] is False
+    assert change["pending"] == 5
+
+    rows = []
+    for step in scenario.steps:
+        for key in sorted(step.observations):
+            rows.append((step.label, key, str(step.observations[key])))
+    report = ExperimentReport("F5", "the EDTC_example scenario (section 3.4)")
+    report.add_table(["step", "observation", "value"], rows)
+    metrics = project.engine.metrics
+    report.add_table(
+        ["events", "deliveries", "hops", "execs", "posts"],
+        [
+            (
+                metrics.events_posted,
+                metrics.deliveries,
+                metrics.propagation_hops,
+                metrics.execs,
+                metrics.posts,
+            )
+        ],
+        caption="engine counters over the scenario",
+    )
+    report_printer(report)
+
+
+def test_fig5_scenario_is_deterministic(tmp_path):
+    """Two fresh runs produce identical observations (seeded tools)."""
+    first = run_paper_scenario(build_edtc_project(tmp_path / "a"))
+    second = run_paper_scenario(build_edtc_project(tmp_path / "b"))
+    for step_a, step_b in zip(first.steps, second.steps):
+        assert step_a.label == step_b.label
+        assert step_a.observations == step_b.observations
+
+
+def test_fig5_verbatim_blueprint_parses_and_runs(tmp_path):
+    """The paper's exact listing drives the project too (with the listing's
+    own semantics: no move on the HDL link, no lvs rule on schematic)."""
+    from repro.flows.edtc import EDTC_BLUEPRINT_VERBATIM
+
+    project = build_edtc_project(
+        tmp_path / "verbatim", blueprint_source=EDTC_BLUEPRINT_VERBATIM
+    )
+    from repro.flows.edtc import CPU_SPEC
+
+    project.workspace.check_in("CPU", "HDL_model", CPU_SPEC)
+    project.bus.drain()
+    project.toolset.run("synthesis", "CPU")
+    assert project.db.latest_version("CPU", "schematic") is not None
+    assert project.db.latest_version("CPU", "netlist") is not None

@@ -1,0 +1,65 @@
+"""A multi-block ASIC project: sign-off, an ECO, and a task board.
+
+Shows the reproduction at a realistic scale: an SoC with sub-blocks, the
+full RTL-to-GDSII view pipeline per block, sign-off events driving every
+``state`` expression true, then an engineering change order (ECO) on one
+block and the resulting invalidation — plus the design-task extension
+tracking milestones straight from design state.
+
+Run:  python examples/asic_project.py
+"""
+
+from repro.flows import build_asic_project, drive_to_signoff, eco_change
+from repro.tasks import DesignTask, TaskBoard
+from repro.viz import render_pending, render_status
+
+
+def main() -> None:
+    project = build_asic_project(n_blocks=4)
+    print(
+        f"Project: {len(project.blocks)} blocks, "
+        f"{project.db.object_count} tracked objects, "
+        f"{project.db.link_count} links"
+    )
+
+    posted = drive_to_signoff(project)
+    print(f"Posted {posted} verification events; status:")
+    print(render_status(project.status()))
+    print()
+
+    board = TaskBoard(project.db)
+    board.add(
+        DesignTask.parse(
+            "rtl_clean", "rtl", "$state == true", assignee="yves",
+            description="all RTL linted and simulating",
+        )
+    )
+    board.add(
+        DesignTask.parse(
+            "netlists_closed", "gate_netlist", "$state == true",
+            assignee="marc", depends_on=("rtl_clean",),
+        )
+    )
+    board.add(
+        DesignTask.parse(
+            "tapeout", "gdsii", "$state == true",
+            assignee="salma", depends_on=("netlists_closed",),
+        )
+    )
+    print("Task board at sign-off:")
+    print(board.report())
+    print()
+
+    result = eco_change(project, "blk2")
+    print(
+        f"ECO on blk2: stale objects {result['stale_before']} -> "
+        f"{result['stale_after']}"
+    )
+    print(render_pending(project.db, project.blueprint))
+    print()
+    print("Task board after the ECO:")
+    print(board.report())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""The networked project server: wrappers posting events over TCP.
+
+Figure 1's architecture with a real socket in the middle: a project
+server owns the meta-database and engine; "wrapper scripts" (here,
+in-process clients speaking the exact ``postEvent`` wire format) report
+design activity; designers query state over the same connection.
+
+Run:  python examples/network_project.py
+"""
+
+from repro.core import Blueprint, BlueprintEngine
+from repro.flows import EDTC_BLUEPRINT
+from repro.metadb import MetaDatabase
+from repro.network import BlueprintClient, ProjectServer
+
+
+def main() -> None:
+    db = MetaDatabase(name="networked")
+    blueprint = Blueprint.from_source(EDTC_BLUEPRINT)
+    engine = BlueprintEngine(db, blueprint)
+
+    # design activities created these objects earlier
+    db.create_object("CPU,HDL_model,1")
+    db.create_object("CPU,schematic,1")
+    db.create_object("CPU,netlist,1")
+
+    with ProjectServer(engine) as server:
+        print(f"project server listening on {server.host}:{server.port}")
+        client = BlueprintClient(host=server.host, port=server.port)
+
+        print("ping:", client.ping())
+
+        # the paper's exact wrapper command shape
+        seq = client.post_event(
+            "hdl_sim", "CPU,HDL_model,1", "up", arg="good", user="sim-wrapper"
+        )
+        print(f"posted hdl_sim as event #{seq}")
+
+        seq = client.post_event("ckin", "CPU,HDL_model,1", "up", user="yves")
+        print(f"posted ckin as event #{seq}")
+
+        for oid in ("CPU,HDL_model,1", "CPU,schematic,1", "CPU,netlist,1"):
+            print(f"state of {oid}: {client.query(oid)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Project policies: blueprint loosening and tool permissions.
+
+Section 3.2: "early in the design cycle, when the data has not yet been
+validated and changes occur very often, the BluePrint can be 'loosened'
+thereby limiting change propagation."  This example runs the same change
+burst under the strict and the loosened blueprint and counts the
+invalidation traffic, then demonstrates the section 3.3 permission check
+refusing a simulation on stale data.
+
+Run:  python examples/policy_loosening.py
+"""
+
+from repro.core import Blueprint, BlueprintEngine, PermissionPolicy
+from repro.core.policy import PhasePolicy, ProjectPhase, loosen_blueprint
+from repro.flows.generators import chain_blueprint_source
+from repro.metadb import MetaDatabase, OID
+
+
+def run_burst(engine: BlueprintEngine, db: MetaDatabase, changes: int) -> dict:
+    for change in range(changes):
+        latest = db.latest_version("core", "v0")
+        oid = OID("core", "v0", latest.version + 1)
+        db.create_object(oid)
+        engine.post("ckin", oid, "up", user="dana")
+        engine.run()  # events process as they arrive, as on a live server
+    return {
+        "propagation_hops": engine.metrics.propagation_hops,
+        "deliveries": engine.metrics.deliveries,
+        "stale": sum(
+            1
+            for obj in db.objects()
+            if obj.get("uptodate") is False
+        ),
+    }
+
+
+def make_project(blueprint: Blueprint) -> tuple[MetaDatabase, BlueprintEngine]:
+    db = MetaDatabase()
+    engine = BlueprintEngine(db, blueprint)
+    for index in range(8):
+        db.create_object(OID("core", f"v{index}", 1))
+    return db, engine
+
+
+def main() -> None:
+    strict = Blueprint.from_source(chain_blueprint_source(8))
+    loosened = loosen_blueprint(strict, block_events={"outofdate"})
+
+    db_strict, engine_strict = make_project(strict)
+    db_loose, engine_loose = make_project(loosened)
+
+    strict_result = run_burst(engine_strict, db_strict, changes=10)
+    loose_result = run_burst(engine_loose, db_loose, changes=10)
+    print("Change burst of 10 early-phase edits on an 8-view chain:")
+    print(f"  strict blueprint:   {strict_result}")
+    print(f"  loosened blueprint: {loose_result}")
+    print()
+
+    # Phase switching on a live engine
+    phases = PhasePolicy()
+    phases.add_phase(ProjectPhase("bringup", loosened, "changes are cheap"))
+    phases.add_phase(ProjectPhase("signoff", strict, "every change matters"))
+    phases.switch_to("signoff", engine_loose, db_loose)
+    print(f"Switched live project to phase: {phases.current.name}")
+    print()
+
+    # Section 3.3: permission based on the state of the input data
+    policy = PermissionPolicy()
+    policy.require("simulator", "$uptodate == true", view="v3")
+    stale_input = db_strict.latest_version("core", "v3")
+    decision = policy.check(db_strict, "simulator", [stale_input.oid])
+    print(f"Permission to simulate {stale_input.oid.dotted()}: {decision.granted}")
+    for reason in decision.reasons:
+        print(f"  refused because: {reason}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""repro — reproduction of Mathys et al., "Controlling Change Propagation
+and Project Policies in IC Design" (EDTC/DATE 1995).
+
+The package rebuilds the paper's full system:
+
+* :mod:`repro.metadb` — the DAMOCLES meta-database (OIDs, links,
+  configurations, workspaces);
+* :mod:`repro.core` — the project BluePrint: rule language, template
+  rules, the event-driven run-time engine, policies and tool scheduling;
+* :mod:`repro.network` — the ``postEvent`` transport (in-process bus and
+  a TCP project server);
+* :mod:`repro.tools` — a simulated EDA tool set and the wrapper-program
+  framework;
+* :mod:`repro.flows` — the paper's EDTC example flow, a larger ASIC flow
+  and synthetic generators;
+* :mod:`repro.baselines` — NELSIS-style, ULYSSES-style and no-tracking
+  control models for the related-work comparison;
+* :mod:`repro.analysis` — metrics and report tables;
+* :mod:`repro.viz` — DOT and ASCII renderings of flows and design state;
+* :mod:`repro.tasks` — the design-task extension sketched as future work.
+
+Quickstart::
+
+    from repro.core import Blueprint, BlueprintEngine
+    from repro.metadb import MetaDatabase
+
+    db = MetaDatabase()
+    blueprint = Blueprint.from_source(open("flow.bp").read())
+    engine = BlueprintEngine(db, blueprint)
+    db.create_object("cpu,HDL_model,1")
+    engine.post("hdl_sim", "cpu,HDL_model,1", "up", arg="good")
+    engine.run()
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,31 @@
+"""Measurement and reporting for the reproduction experiments."""
+
+from repro.analysis.metrics import (
+    ComparisonRow,
+    OverheadReport,
+    PropagationStats,
+    Timing,
+    measure,
+    overhead_report,
+    staleness_truth,
+)
+from repro.analysis.reporting import (
+    ExperimentReport,
+    ReportWriter,
+    ascii_table,
+    markdown_table,
+)
+
+__all__ = [
+    "Timing",
+    "measure",
+    "OverheadReport",
+    "overhead_report",
+    "PropagationStats",
+    "staleness_truth",
+    "ComparisonRow",
+    "ascii_table",
+    "markdown_table",
+    "ExperimentReport",
+    "ReportWriter",
+]

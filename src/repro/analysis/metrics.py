@@ -1,0 +1,158 @@
+"""Experiment instrumentation and derived metrics.
+
+The paper makes qualitative claims (non-obstructive, instant state
+updates, selective propagation); the experiment harness turns each into a
+number.  This module provides the measurement plumbing: wall-clock
+timers, engine-overhead summaries, propagation statistics and the
+accuracy comparisons for the baseline experiments.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.engine import BlueprintEngine
+from repro.metadb.database import MetaDatabase
+
+
+@dataclass
+class Timing:
+    """Wall-clock samples of one measured operation."""
+
+    label: str
+    samples: list[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.samples) if self.samples else 0.0
+
+    @property
+    def median(self) -> float:
+        return statistics.median(self.samples) if self.samples else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return statistics.stdev(self.samples) if len(self.samples) > 1 else 0.0
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    def per_second(self, items: int = 1) -> float:
+        """Throughput: items per second at the mean sample time."""
+        if self.mean == 0:
+            return float("inf")
+        return items / self.mean
+
+
+def measure(
+    fn: Callable[[], object], *, repeat: int = 5, label: str = "op"
+) -> Timing:
+    """Run *fn* ``repeat`` times, recording wall-clock seconds per run."""
+    timing = Timing(label=label)
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        timing.samples.append(time.perf_counter() - start)
+    return timing
+
+
+@dataclass
+class OverheadReport:
+    """The engine's cost per designer-visible action.
+
+    "Minimal system tracking overhead [is a] critical issue for a
+    tracking system" (section 1) — these ratios are the measurement.
+    """
+
+    events: int
+    deliveries: int
+    propagation_hops: int
+    assigns: int
+    lets_evaluated: int
+    execs: int
+
+    @property
+    def deliveries_per_event(self) -> float:
+        return self.deliveries / self.events if self.events else 0.0
+
+    @property
+    def hops_per_event(self) -> float:
+        return self.propagation_hops / self.events if self.events else 0.0
+
+    @property
+    def writes_per_event(self) -> float:
+        return (
+            (self.assigns + self.lets_evaluated) / self.events
+            if self.events
+            else 0.0
+        )
+
+
+def overhead_report(engine: BlueprintEngine) -> OverheadReport:
+    metrics = engine.metrics
+    return OverheadReport(
+        events=metrics.waves,
+        deliveries=metrics.deliveries,
+        propagation_hops=metrics.propagation_hops,
+        assigns=metrics.assigns,
+        lets_evaluated=metrics.lets_evaluated,
+        execs=metrics.execs,
+    )
+
+
+@dataclass
+class PropagationStats:
+    """Distribution of wave sizes over a workload."""
+
+    wave_sizes: list[int] = field(default_factory=list)
+
+    def record(self, size: int) -> None:
+        self.wave_sizes.append(size)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.wave_sizes) if self.wave_sizes else 0.0
+
+    @property
+    def max(self) -> int:
+        return max(self.wave_sizes) if self.wave_sizes else 0
+
+    @property
+    def total(self) -> int:
+        return sum(self.wave_sizes)
+
+
+def staleness_truth(db: MetaDatabase) -> set:
+    """The exact stale set per the uptodate convention (ground truth)."""
+    stale = set()
+    for block, view in db.lineages():
+        obj = db.latest_version(block, view)
+        if obj is not None and obj.get("uptodate") is False:
+            stale.add(obj.oid)
+    return stale
+
+
+@dataclass
+class ComparisonRow:
+    """One row of a baseline-comparison table."""
+
+    system: str
+    blocking_interactions: int
+    tool_runs: int
+    redundant_runs: int
+    staleness_recall: float
+    staleness_precision: float
+
+    def as_tuple(self) -> tuple:
+        return (
+            self.system,
+            self.blocking_interactions,
+            self.tool_runs,
+            self.redundant_runs,
+            f"{self.staleness_recall:.2f}",
+            f"{self.staleness_precision:.2f}",
+        )

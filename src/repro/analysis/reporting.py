@@ -1,0 +1,94 @@
+"""Report formatting: the tables the benchmark harness prints.
+
+Every experiment renders through these helpers so EXPERIMENTS.md and the
+benchmark output share one look: plain ASCII tables (the paper predates
+Unicode box drawing by taste if not by date) plus Markdown for the docs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+def _stringify(row: tuple | list) -> list[str]:
+    return ["" if cell is None else str(cell) for cell in row]
+
+
+def ascii_table(headers: list[str], rows: list[tuple | list]) -> str:
+    """Render an aligned ASCII table with a header rule."""
+    str_rows = [_stringify(row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def render(cells: list[str]) -> str:
+        padded = [
+            cell.ljust(widths[index]) for index, cell in enumerate(cells)
+        ]
+        return "  ".join(padded).rstrip()
+
+    lines = [render(headers)]
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def markdown_table(headers: list[str], rows: list[tuple | list]) -> str:
+    """Render a GitHub-flavoured Markdown table."""
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_stringify(row)) + " |")
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentReport:
+    """One experiment's output: a title, commentary, and tables."""
+
+    experiment_id: str
+    title: str
+    sections: list[str] = field(default_factory=list)
+
+    def add_text(self, text: str) -> "ExperimentReport":
+        self.sections.append(text.rstrip())
+        return self
+
+    def add_table(
+        self, headers: list[str], rows: list[tuple | list], caption: str = ""
+    ) -> "ExperimentReport":
+        block = ""
+        if caption:
+            block += caption.rstrip() + "\n"
+        block += ascii_table(headers, rows)
+        self.sections.append(block)
+        return self
+
+    def to_text(self) -> str:
+        header = f"== {self.experiment_id}: {self.title} =="
+        return "\n\n".join([header] + self.sections) + "\n"
+
+    def print(self) -> None:  # noqa: A003 - deliberate, mirrors logging
+        print(self.to_text())
+
+
+@dataclass
+class ReportWriter:
+    """Accumulates experiment reports and writes them to one file."""
+
+    path: Path
+    reports: list[ExperimentReport] = field(default_factory=list)
+
+    def add(self, report: ExperimentReport) -> None:
+        self.reports.append(report)
+
+    def write(self) -> Path:
+        body = "\n\n".join(report.to_text() for report in self.reports)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(body)
+        return self.path

@@ -1,0 +1,35 @@
+"""Related-work control models (paper, section 4): a NELSIS-style
+activity-driven flow manager, a ULYSSES/HILDA-style goal-driven
+scheduler, and a no-tracking manual baseline."""
+
+from repro.baselines.manual import (
+    ManualTracker,
+    TrackingAccuracy,
+    run_manual_comparison,
+)
+from repro.baselines.nelsis import (
+    Activity,
+    ActivityFlowManager,
+    DataItem,
+    FlowViolation,
+    InteractionLog,
+)
+from repro.baselines.ulysses import (
+    GoalDrivenScheduler,
+    PlanningError,
+    ToolSignature,
+)
+
+__all__ = [
+    "Activity",
+    "ActivityFlowManager",
+    "DataItem",
+    "FlowViolation",
+    "InteractionLog",
+    "GoalDrivenScheduler",
+    "PlanningError",
+    "ToolSignature",
+    "ManualTracker",
+    "TrackingAccuracy",
+    "run_manual_comparison",
+]

@@ -1,0 +1,121 @@
+"""The no-tracking baseline: designers remember project state themselves.
+
+The paper's motivation (section 1): "The increasing number of EDA tools
+and of design representations ... complicates the tracking of the
+project state for designers."  This baseline quantifies the complication:
+without a tracking system, each designer maintains a mental model of what
+is stale, and that model decays.
+
+The decay model is deliberately simple and seeded-deterministic: when a
+change happens, the designer notices each impacted datum independently
+with probability ``attention``; noticed items enter the believed-stale
+set.  Comparing believed against true staleness (computed by graph
+reachability, exactly what DAMOCLES automates) yields missed-stale counts
+and false alarms — experiment E3's accuracy columns.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.propagation import reachable_set
+from repro.metadb.database import MetaDatabase
+from repro.metadb.links import Direction
+from repro.metadb.oid import OID
+
+
+@dataclass
+class TrackingAccuracy:
+    """Believed vs true staleness after a change history."""
+
+    true_stale: int
+    believed_stale: int
+    missed: int
+    false_alarms: int
+
+    @property
+    def recall(self) -> float:
+        if self.true_stale == 0:
+            return 1.0
+        return (self.true_stale - self.missed) / self.true_stale
+
+    @property
+    def precision(self) -> float:
+        if self.believed_stale == 0:
+            return 1.0
+        return (self.believed_stale - self.false_alarms) / self.believed_stale
+
+
+@dataclass
+class ManualTracker:
+    """A designer's mental model of staleness over a real link graph.
+
+    ``attention`` is the probability of noticing each impacted datum when
+    a change lands; ``forget_rate`` is the per-change probability of
+    dropping a previously known stale item (interruptions, hand-offs).
+    """
+
+    db: MetaDatabase
+    attention: float = 0.7
+    forget_rate: float = 0.05
+    seed: int = 0
+    believed_stale: set[OID] = field(default_factory=set)
+    true_stale: set[OID] = field(default_factory=set)
+    changes_seen: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def on_change(self, origin: OID, event_name: str = "outofdate") -> None:
+        """A change at *origin*: truth updates exactly, belief noisily."""
+        self.changes_seen += 1
+        impacted = reachable_set(
+            self.db, origin, event_name, Direction.DOWN
+        ).reached
+        self.true_stale |= impacted
+        # the changed datum itself is fresh again
+        self.true_stale.discard(origin)
+        self.believed_stale.discard(origin)
+        for oid in sorted(impacted):
+            if self._rng.random() < self.attention:
+                self.believed_stale.add(oid)
+        for oid in sorted(self.believed_stale):
+            if self._rng.random() < self.forget_rate:
+                self.believed_stale.discard(oid)
+
+    def on_refresh(self, oid: OID) -> None:
+        """The datum was rebuilt: both truth and belief clear it."""
+        self.true_stale.discard(oid)
+        self.believed_stale.discard(oid)
+
+    def accuracy(self) -> TrackingAccuracy:
+        missed = len(self.true_stale - self.believed_stale)
+        false_alarms = len(self.believed_stale - self.true_stale)
+        return TrackingAccuracy(
+            true_stale=len(self.true_stale),
+            believed_stale=len(self.believed_stale),
+            missed=missed,
+            false_alarms=false_alarms,
+        )
+
+
+def run_manual_comparison(
+    db: MetaDatabase,
+    change_origins: list[OID],
+    *,
+    attention: float = 0.7,
+    forget_rate: float = 0.05,
+    seed: int = 0,
+) -> TrackingAccuracy:
+    """Feed a change sequence to a manual tracker; return final accuracy.
+
+    The same *db* link graph drives both truth and belief, so the only
+    difference from DAMOCLES is the absence of automatic propagation.
+    """
+    tracker = ManualTracker(
+        db=db, attention=attention, forget_rate=forget_rate, seed=seed
+    )
+    for origin in change_origins:
+        tracker.on_change(origin)
+    return tracker.accuracy()

@@ -1,0 +1,209 @@
+"""A NELSIS-style activity-driven flow manager (related work, section 4).
+
+"In the NELSIS framework the data flow management is driven by design
+activities, whereas DAMOCLES has an observer approach to design flow
+control.  This approach makes DAMOCLES a light weight system which is
+perceived as non obstructive to the designers since it does not impose a
+methodology."
+
+The defining property reproduced here is *obstructiveness*: every piece
+of design work must be routed through the framework as a declared
+activity, synchronously, and the framework refuses requests whose inputs
+are not transactionally consistent.  The experiment E3 counts those
+designer-blocking interactions and refusals against DAMOCLES' zero.
+
+(This is a reimplementation of NELSIS' *control model*, not of the NELSIS
+code base — see DESIGN.md's substitution table.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class FlowViolation(RuntimeError):
+    """The framework refused a designer request."""
+
+
+@dataclass(frozen=True)
+class Activity:
+    """A declared design activity: consumes input views, produces one."""
+
+    name: str
+    input_views: tuple[str, ...]
+    output_view: str
+
+
+@dataclass
+class DataItem:
+    """The manager's transactional record of one (block, view)."""
+
+    block: str
+    view: str
+    version: int = 0
+    consistent: bool = False  # produced after its current inputs
+    locked_by: str | None = None
+
+    @property
+    def exists(self) -> bool:
+        return self.version > 0
+
+
+@dataclass
+class InteractionLog:
+    """Counts of designer-facing framework interactions."""
+
+    requests: int = 0
+    refusals: int = 0
+    activity_runs: int = 0
+    direct_edit_rejections: int = 0
+
+    @property
+    def blocking_interactions(self) -> int:
+        """Every synchronous designer↔framework exchange."""
+        return self.requests + self.direct_edit_rejections
+
+
+@dataclass
+class ActivityFlowManager:
+    """The activity-driven (obstructive) flow controller.
+
+    Designers cannot touch data directly; they must ``request`` an
+    activity run.  The manager checks input existence and consistency,
+    locks, "runs" the activity (a state transition — tools are out of
+    scope for the control-model comparison), commits the output and
+    unlocks.  Edits enter the flow through *source activities* (activities
+    with no inputs), mirroring NELSIS' edit transactions.
+    """
+
+    activities: dict[str, Activity] = field(default_factory=dict)
+    items: dict[tuple[str, str], DataItem] = field(default_factory=dict)
+    log: InteractionLog = field(default_factory=InteractionLog)
+    history: list[str] = field(default_factory=list)
+
+    # -- flow definition --------------------------------------------------------
+
+    def declare(self, activity: Activity) -> "ActivityFlowManager":
+        self.activities[activity.name] = activity
+        return self
+
+    def declare_chain(self, views: list[str]) -> "ActivityFlowManager":
+        """Declare an edit activity for ``views[0]`` and one activity per
+        downstream step — the linear-flow shape used by experiment E3."""
+        self.declare(Activity(name=f"edit_{views[0]}", input_views=(), output_view=views[0]))
+        for upstream, downstream in zip(views, views[1:]):
+            self.declare(
+                Activity(
+                    name=f"make_{downstream}",
+                    input_views=(upstream,),
+                    output_view=downstream,
+                )
+            )
+        return self
+
+    def _item(self, block: str, view: str) -> DataItem:
+        key = (block, view)
+        if key not in self.items:
+            self.items[key] = DataItem(block=block, view=view)
+        return self.items[key]
+
+    # -- designer interface -----------------------------------------------------
+
+    def request(self, activity_name: str, block: str, user: str = "designer") -> DataItem:
+        """Synchronously request one activity run (a blocking interaction).
+
+        Raises :class:`FlowViolation` — after logging the refusal — when
+        the activity is unknown, an input is missing, inconsistent or
+        locked by someone else.
+        """
+        self.log.requests += 1
+        activity = self.activities.get(activity_name)
+        if activity is None:
+            self.log.refusals += 1
+            raise FlowViolation(f"unknown activity {activity_name!r}")
+        inputs = [self._item(block, view) for view in activity.input_views]
+        for item in inputs:
+            if not item.exists:
+                self.log.refusals += 1
+                raise FlowViolation(
+                    f"{activity_name}: input {item.view} of {block} does not exist"
+                )
+            if not item.consistent:
+                self.log.refusals += 1
+                raise FlowViolation(
+                    f"{activity_name}: input {item.view} of {block} is not "
+                    f"consistent (re-run its producing activity first)"
+                )
+            if item.locked_by is not None and item.locked_by != user:
+                self.log.refusals += 1
+                raise FlowViolation(
+                    f"{activity_name}: input {item.view} of {block} locked "
+                    f"by {item.locked_by}"
+                )
+        output = self._item(block, activity.output_view)
+        if output.locked_by is not None and output.locked_by != user:
+            self.log.refusals += 1
+            raise FlowViolation(
+                f"{activity_name}: output {output.view} of {block} locked "
+                f"by {output.locked_by}"
+            )
+        # transaction: lock, run, commit, unlock
+        for item in inputs:
+            item.locked_by = user
+        output.locked_by = user
+        output.version += 1
+        output.consistent = True
+        # a new output version makes everything derived from it inconsistent
+        self._invalidate_downstream(block, activity.output_view)
+        for item in inputs:
+            item.locked_by = None
+        output.locked_by = None
+        self.log.activity_runs += 1
+        self.history.append(f"{activity_name}({block}) by {user}")
+        return output
+
+    def direct_edit(self, block: str, view: str, user: str = "designer") -> None:
+        """A designer tries to modify data outside the framework.
+
+        Always rejected: the framework *imposes* its methodology — this
+        is precisely what DAMOCLES' observer approach avoids.
+        """
+        self.log.direct_edit_rejections += 1
+        raise FlowViolation(
+            f"direct modification of {view} of {block} outside an activity "
+            f"is not permitted"
+        )
+
+    # -- consistency ------------------------------------------------------------
+
+    def _invalidate_downstream(self, block: str, view: str) -> None:
+        affected = {view}
+        changed = True
+        while changed:
+            changed = False
+            for activity in self.activities.values():
+                if any(v in affected for v in activity.input_views):
+                    if activity.output_view not in affected:
+                        affected.add(activity.output_view)
+                        changed = True
+        for downstream in affected - {view}:
+            item = self._item(block, downstream)
+            if item.exists:
+                item.consistent = False
+
+    def inconsistent_items(self) -> list[DataItem]:
+        return sorted(
+            (item for item in self.items.values() if item.exists and not item.consistent),
+            key=lambda item: (item.block, item.view),
+        )
+
+    def run_chain_for_change(
+        self, block: str, views: list[str], user: str = "designer"
+    ) -> int:
+        """The designer workflow after an edit: re-run every downstream
+        activity in flow order.  Returns blocking interactions spent."""
+        before = self.log.blocking_interactions
+        self.request(f"edit_{views[0]}", block, user)
+        for view in views[1:]:
+            self.request(f"make_{view}", block, user)
+        return self.log.blocking_interactions - before

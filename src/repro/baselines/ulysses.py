@@ -1,0 +1,142 @@
+"""A ULYSSES/HILDA-style goal-driven tool scheduler (section 4).
+
+"HILDA and ULYSSES have provided mechanisms for selecting the appropriate
+CAD tools to achieve current design goals.  In practice, we found that
+designers prefer to have full control over design activities."
+
+The control model reproduced: the designer states a *goal* ("a signed-off
+GDSII for block X"); the scheduler backward-chains over tool signatures
+to build a plan and executes it automatically.  Its weakness — the reason
+the paper's designers preferred explicit control — is eagerness: every
+source change triggers a full re-plan and re-run of the downstream chain,
+even for intermediate data an event-driven BluePrint would have left
+alone.  Experiment E4 counts those redundant runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class PlanningError(RuntimeError):
+    """No tool chain reaches the goal view."""
+
+
+@dataclass(frozen=True)
+class ToolSignature:
+    """What the planner knows about a tool: inputs → one output view."""
+
+    name: str
+    input_views: tuple[str, ...]
+    output_view: str
+
+
+@dataclass
+class GoalDrivenScheduler:
+    """Backward-chaining planner with eager automatic execution."""
+
+    tools: dict[str, ToolSignature] = field(default_factory=dict)
+    #: (block, view) -> version counter of the freshest data
+    data_versions: dict[tuple[str, str], int] = field(default_factory=dict)
+    #: (block, view) -> data version the view was last built against
+    built_against: dict[tuple[str, str], dict[str, int]] = field(default_factory=dict)
+    runs: list[str] = field(default_factory=list)
+    redundant_runs: int = 0
+
+    def register(self, signature: ToolSignature) -> "GoalDrivenScheduler":
+        self.tools[signature.name] = signature
+        return self
+
+    def register_chain(self, views: list[str]) -> "GoalDrivenScheduler":
+        for upstream, downstream in zip(views, views[1:]):
+            self.register(
+                ToolSignature(
+                    name=f"make_{downstream}",
+                    input_views=(upstream,),
+                    output_view=downstream,
+                )
+            )
+        return self
+
+    def producer_of(self, view: str) -> ToolSignature | None:
+        for signature in self.tools.values():
+            if signature.output_view == view:
+                return signature
+        return None
+
+    # -- designer-visible operations -------------------------------------------
+
+    def source_change(self, block: str, view: str) -> None:
+        """A source edit: bump the data version of (block, view)."""
+        key = (block, view)
+        self.data_versions[key] = self.data_versions.get(key, 0) + 1
+
+    def plan(self, block: str, goal_view: str) -> list[ToolSignature]:
+        """Backward-chain from the goal to source views; topological order."""
+        ordered: list[ToolSignature] = []
+        visiting: set[str] = set()
+
+        def visit(view: str) -> None:
+            producer = self.producer_of(view)
+            if producer is None:
+                if (block, view) not in self.data_versions:
+                    raise PlanningError(
+                        f"no tool produces {view!r} and no source data exists"
+                    )
+                return
+            if view in visiting:
+                raise PlanningError(f"cyclic tool chain through {view!r}")
+            visiting.add(view)
+            for input_view in producer.input_views:
+                visit(input_view)
+            visiting.discard(view)
+            if producer not in ordered:
+                ordered.append(producer)
+
+        visit(goal_view)
+        return ordered
+
+    def achieve(self, block: str, goal_view: str, eager: bool = True) -> int:
+        """Run the plan for a goal; returns the number of tool runs.
+
+        ``eager=True`` is the ULYSSES behaviour: every planned tool runs.
+        ``eager=False`` runs a tool only when the rebuild is genuinely
+        needed — the selective behaviour an event-driven BluePrint gets
+        for free, included so E4 can show the gap is the *control model*,
+        not the planner.
+
+        Need is computed at plan level before anything runs: a stage is
+        needed when an input source is fresher than what its output was
+        built against, when the output never existed, or when an upstream
+        stage in the plan is itself needed.  Eager runs of un-needed
+        stages count as redundant.
+        """
+        plan = self.plan(block, goal_view)
+        needed: set[str] = set()
+        for signature in plan:
+            output_key = (block, signature.output_view)
+            stale = output_key not in self.data_versions
+            built = self.built_against.get(output_key, {})
+            for view in signature.input_views:
+                if view in needed:
+                    stale = True
+                elif built.get(view) != self.data_versions.get((block, view), 0):
+                    stale = True
+            if stale:
+                needed.add(signature.output_view)
+        executed = 0
+        for signature in plan:
+            if not eager and signature.output_view not in needed:
+                continue
+            if signature.output_view not in needed:
+                self.redundant_runs += 1
+            inputs_now = {
+                view: self.data_versions.get((block, view), 0)
+                for view in signature.input_views
+            }
+            output_key = (block, signature.output_view)
+            self.runs.append(f"{signature.name}({block})")
+            self.data_versions[output_key] = self.data_versions.get(output_key, 0) + 1
+            self.built_against[output_key] = inputs_now
+            executed += 1
+        return executed

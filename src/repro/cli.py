@@ -1,0 +1,239 @@
+"""``damocles`` — the command-line front end.
+
+Subcommands mirror what a 1995 project administrator did at the shell,
+plus the modern conveniences (lint, dashboards, journals)::
+
+    damocles check FLOW.bp                 # parse + compile + lint
+    damocles format FLOW.bp                # canonical pretty-print
+    damocles views FLOW.bp                 # list tracked views & events
+    damocles dot FLOW.bp                   # Graphviz flow graph
+    damocles status DB.json FLOW.bp        # per-view health table
+    damocles pending DB.json FLOW.bp       # what blocks the planned state
+    damocles query DB.json BLOCK,VIEW,VER  # one OID's properties
+    damocles dashboard DB.json FLOW.bp OUT.html
+    damocles replay JOURNAL.jsonl FLOW.bp OUT-DB.json
+
+Every subcommand is a plain function taking parsed args and returning an
+exit code, so tests drive them directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.blueprint import Blueprint
+from repro.core.lang.parser import parse_blueprint
+from repro.core.lang.printer import print_blueprint
+from repro.core.lang.tokens import BlueprintSyntaxError
+from repro.core.lint import Severity, lint_blueprint
+from repro.core.state import project_status
+from repro.metadb.oid import OID
+from repro.metadb.persistence import load_database, save_database
+
+
+def _load_blueprint(path: str) -> Blueprint:
+    return Blueprint.from_file(path)
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Parse, compile and lint a blueprint; exit 1 on errors."""
+    try:
+        blueprint = _load_blueprint(args.blueprint)
+    except BlueprintSyntaxError as exc:
+        print(f"syntax error: {exc}")
+        return 1
+    findings = lint_blueprint(blueprint)
+    for finding in findings:
+        print(finding)
+    errors = sum(1 for f in findings if f.severity is Severity.ERROR)
+    print(
+        f"{blueprint.name}: {len(blueprint.tracked_views())} views, "
+        f"{len(findings)} finding(s), {errors} error(s)"
+    )
+    return 1 if errors else 0
+
+
+def cmd_format(args: argparse.Namespace) -> int:
+    """Pretty-print a blueprint in canonical form (stdout or in place)."""
+    try:
+        ast = parse_blueprint(Path(args.blueprint).read_text())
+    except BlueprintSyntaxError as exc:
+        print(f"syntax error: {exc}")
+        return 1
+    formatted = print_blueprint(ast)
+    if args.in_place:
+        Path(args.blueprint).write_text(formatted)
+        print(f"formatted {args.blueprint}")
+    else:
+        print(formatted, end="")
+    return 0
+
+
+def cmd_views(args: argparse.Namespace) -> int:
+    """List tracked views with their handled events and links."""
+    blueprint = _load_blueprint(args.blueprint)
+    from repro.viz.ascii_flow import render_flow
+
+    print(render_flow(blueprint))
+    return 0
+
+
+def cmd_dot(args: argparse.Namespace) -> int:
+    """Emit the Graphviz flow graph of a blueprint."""
+    from repro.viz.dot import blueprint_to_dot
+
+    print(blueprint_to_dot(_load_blueprint(args.blueprint)), end="")
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """Print the per-view health table of a saved database."""
+    from repro.viz.ascii_flow import render_status
+
+    db, _registry = load_database(args.database)
+    blueprint = _load_blueprint(args.blueprint)
+    print(render_status(project_status(db, blueprint)))
+    return 0
+
+
+def cmd_pending(args: argparse.Namespace) -> int:
+    """Print what still blocks the planned state; exit 1 if anything."""
+    from repro.core.state import pending_work
+    from repro.viz.ascii_flow import render_pending
+
+    db, _registry = load_database(args.database)
+    blueprint = _load_blueprint(args.blueprint)
+    print(render_pending(db, blueprint))
+    return 1 if pending_work(db, blueprint) else 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Print one OID's design state."""
+    from repro.metadb.properties import value_to_text
+
+    db, _registry = load_database(args.database)
+    obj = db.find(OID.parse(args.oid))
+    if obj is None:
+        print(f"unknown OID {args.oid}")
+        return 1
+    for name in sorted(obj.properties):
+        print(f"{name} = {value_to_text(obj.properties[name])}")
+    return 0
+
+
+def cmd_find(args: argparse.Namespace) -> int:
+    """Select OIDs by a blueprint-language expression."""
+    from repro.core.expressions import ExpressionError
+    from repro.core.state import find_objects
+
+    db, _registry = load_database(args.database)
+    try:
+        matches = find_objects(
+            db, args.expression, latest_only=not args.all_versions
+        )
+    except ExpressionError as exc:
+        print(f"bad expression: {exc}")
+        return 2
+    for obj in matches:
+        print(obj.oid.dotted())
+    print(f"{len(matches)} match(es)")
+    return 0 if matches else 1
+
+
+def cmd_dashboard(args: argparse.Namespace) -> int:
+    """Write the HTML dashboard for a saved database."""
+    from repro.viz.html import write_dashboard
+
+    db, _registry = load_database(args.database)
+    blueprint = _load_blueprint(args.blueprint)
+    path = write_dashboard(db, blueprint, args.output)
+    print(f"wrote {path}")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Rebuild a database from an event journal."""
+    from repro.core.journal import Journal, replay
+
+    journal = Journal.load(args.journal)
+    blueprint = _load_blueprint(args.blueprint)
+    db, _engine = replay(journal, blueprint)
+    save_database(db, args.output)
+    print(
+        f"replayed {len(journal)} entries -> {db.object_count} objects, "
+        f"{db.link_count} links -> {args.output}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="damocles",
+        description="DAMOCLES project BluePrint tools",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    check = subparsers.add_parser("check", help="parse + compile + lint")
+    check.add_argument("blueprint")
+    check.set_defaults(func=cmd_check)
+
+    fmt = subparsers.add_parser("format", help="canonical pretty-print")
+    fmt.add_argument("blueprint")
+    fmt.add_argument("--in-place", action="store_true")
+    fmt.set_defaults(func=cmd_format)
+
+    views = subparsers.add_parser("views", help="list views and rules")
+    views.add_argument("blueprint")
+    views.set_defaults(func=cmd_views)
+
+    dot = subparsers.add_parser("dot", help="Graphviz flow graph")
+    dot.add_argument("blueprint")
+    dot.set_defaults(func=cmd_dot)
+
+    status = subparsers.add_parser("status", help="per-view health")
+    status.add_argument("database")
+    status.add_argument("blueprint")
+    status.set_defaults(func=cmd_status)
+
+    pending = subparsers.add_parser("pending", help="pending work list")
+    pending.add_argument("database")
+    pending.add_argument("blueprint")
+    pending.set_defaults(func=cmd_pending)
+
+    query = subparsers.add_parser("query", help="one OID's properties")
+    query.add_argument("database")
+    query.add_argument("oid", help="BLOCK,VIEW,VERSION")
+    query.set_defaults(func=cmd_query)
+
+    find = subparsers.add_parser(
+        "find", help="select OIDs by expression, e.g. '$uptodate == false'"
+    )
+    find.add_argument("database")
+    find.add_argument("expression")
+    find.add_argument("--all-versions", action="store_true")
+    find.set_defaults(func=cmd_find)
+
+    dashboard = subparsers.add_parser("dashboard", help="HTML dashboard")
+    dashboard.add_argument("database")
+    dashboard.add_argument("blueprint")
+    dashboard.add_argument("output")
+    dashboard.set_defaults(func=cmd_dashboard)
+
+    replay_cmd = subparsers.add_parser("replay", help="rebuild from journal")
+    replay_cmd.add_argument("journal")
+    replay_cmd.add_argument("blueprint")
+    replay_cmd.add_argument("output")
+    replay_cmd.set_defaults(func=cmd_replay)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,146 @@
+"""The project BluePrint: the paper's primary contribution.
+
+Layers:
+
+* :mod:`repro.core.lang` — the ASCII rule language (lexer/parser/printer);
+* :mod:`repro.core.expressions` — continuous-assignment expressions;
+* :mod:`repro.core.blueprint` / :mod:`repro.core.rules` — the compiled
+  blueprint with template mechanics;
+* :mod:`repro.core.engine` — the event-driven run-time engine;
+* :mod:`repro.core.events` — event messages and the FIFO queue;
+* :mod:`repro.core.propagation` — link-directed reachability;
+* :mod:`repro.core.state` — designer-level state queries;
+* :mod:`repro.core.policy` / :mod:`repro.core.scheduler` — project
+  policies: permissions, loosening, phases, tool scheduling.
+"""
+
+from repro.core.blueprint import Blueprint, TemplateApplication
+from repro.core.engine import (
+    BlueprintEngine,
+    EngineError,
+    EngineMetrics,
+    EvalEnvironment,
+    ExecRequest,
+    TraceRecord,
+)
+from repro.core.events import (
+    CKIN,
+    CKOUT,
+    DRC,
+    EventMessage,
+    EventQueue,
+    HDL_SIM,
+    LVS,
+    NL_SIM,
+    OUTOFDATE,
+    QueueClosedError,
+)
+from repro.core.expressions import (
+    Expression,
+    ExpressionError,
+    MappingEnvironment,
+    interpolate,
+    truthy,
+    values_equal,
+)
+from repro.core.journal import (
+    Journal,
+    JournalEntry,
+    JournalError,
+    attach_journal,
+    replay,
+    state_fingerprint,
+)
+from repro.core.lint import Finding, Severity, lint_blueprint
+from repro.core.policy import (
+    Decision,
+    PermissionPolicy,
+    PermissionRule,
+    PhasePolicy,
+    ProjectPhase,
+    apply_blueprint_to_links,
+    loosen_blueprint,
+)
+from repro.core.propagation import (
+    PropagationReport,
+    impacted_by_change,
+    propagation_targets,
+    reachable_set,
+)
+from repro.core.rules import EffectiveView, LinkTemplate, UseLinkTemplate
+from repro.core.scheduler import SchedulerError, ToolRun, ToolScheduler
+from repro.core.state import (
+    PendingWork,
+    ProjectStatus,
+    ViewStatus,
+    design_state,
+    evaluate_on,
+    find_objects,
+    is_up_to_date,
+    pending_work,
+    project_status,
+    stale_latest,
+)
+
+__all__ = [
+    "Blueprint",
+    "TemplateApplication",
+    "BlueprintEngine",
+    "EngineError",
+    "EngineMetrics",
+    "EvalEnvironment",
+    "ExecRequest",
+    "TraceRecord",
+    "EventMessage",
+    "EventQueue",
+    "QueueClosedError",
+    "CKIN",
+    "CKOUT",
+    "OUTOFDATE",
+    "HDL_SIM",
+    "NL_SIM",
+    "DRC",
+    "LVS",
+    "Expression",
+    "ExpressionError",
+    "MappingEnvironment",
+    "interpolate",
+    "truthy",
+    "values_equal",
+    "Journal",
+    "JournalEntry",
+    "JournalError",
+    "attach_journal",
+    "replay",
+    "state_fingerprint",
+    "Finding",
+    "Severity",
+    "lint_blueprint",
+    "Decision",
+    "PermissionPolicy",
+    "PermissionRule",
+    "PhasePolicy",
+    "ProjectPhase",
+    "apply_blueprint_to_links",
+    "loosen_blueprint",
+    "PropagationReport",
+    "impacted_by_change",
+    "propagation_targets",
+    "reachable_set",
+    "EffectiveView",
+    "LinkTemplate",
+    "UseLinkTemplate",
+    "SchedulerError",
+    "ToolRun",
+    "ToolScheduler",
+    "PendingWork",
+    "ProjectStatus",
+    "ViewStatus",
+    "design_state",
+    "evaluate_on",
+    "find_objects",
+    "is_up_to_date",
+    "pending_work",
+    "project_status",
+    "stale_latest",
+]

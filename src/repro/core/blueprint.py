@@ -1,0 +1,273 @@
+"""The project BluePrint: compiled rule file plus template mechanics.
+
+A :class:`Blueprint` is the runtime form of one ASCII rule file.  It
+answers two questions for the engine:
+
+* **template rules** — what happens when a new OID or Link appears
+  (sections 3.2 "Configuration information", Figures 2 and 3);
+* **run-time rules** — which ``when`` rules fire for an event at a view.
+
+"Different BluePrints can be defined for each project, or for each phase
+of a project, by writing a new set of rules in an ASCII file and
+re-initializing the BluePrint mechanism" — hence blueprints are cheap
+immutable-ish values the engine can swap (see
+:func:`repro.core.policy.loosen_blueprint`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.lang.ast import BlueprintDecl, DEFAULT_VIEW, ViewDecl
+from repro.core.lang.parser import parse_blueprint
+from repro.core.lang.printer import print_blueprint
+from repro.core.rules import (
+    EffectiveView,
+    LinkTemplate,
+    UseLinkTemplate,
+    merge_views,
+    validate_view,
+)
+from repro.metadb.database import MetaDatabase
+from repro.metadb.links import Link, LinkClass
+from repro.metadb.objects import MetaObject
+from repro.metadb.oid import OID
+from repro.metadb.versions import inherit_property, shift_move_links
+
+
+@dataclass
+class TemplateApplication:
+    """What applying object templates did (for logs and tests)."""
+
+    oid: OID
+    properties_set: list[str] = field(default_factory=list)
+    lets_attached: list[str] = field(default_factory=list)
+    links_moved: list[int] = field(default_factory=list)
+    links_created: list[int] = field(default_factory=list)
+
+
+@dataclass
+class Blueprint:
+    """A compiled blueprint: tracked views with default-view merging done."""
+
+    name: str
+    views: dict[str, EffectiveView]
+    declaration: BlueprintDecl
+    warnings: list[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_ast(cls, decl: BlueprintDecl) -> "Blueprint":
+        default = decl.view(DEFAULT_VIEW)
+        warnings: list[str] = []
+        declared = set(decl.view_names())
+        views: dict[str, EffectiveView] = {}
+        for view_decl in decl.views:
+            warnings.extend(validate_view(view_decl))
+            if view_decl.is_default:
+                continue
+            views[view_decl.name] = merge_views(default, view_decl)
+        for view in views.values():
+            for template in view.link_templates:
+                if template.from_view not in declared:
+                    warnings.append(
+                        f"view {view.name}: link_from references untracked "
+                        f"view {template.from_view!r}"
+                    )
+        return cls(
+            name=decl.name, views=views, declaration=decl, warnings=warnings
+        )
+
+    @classmethod
+    def from_source(cls, source: str) -> "Blueprint":
+        return cls.from_ast(parse_blueprint(source))
+
+    @classmethod
+    def from_file(cls, path: Path | str) -> "Blueprint":
+        return cls.from_source(Path(path).read_text())
+
+    def to_source(self) -> str:
+        """Render back to canonical rule-file text."""
+        return print_blueprint(self.declaration)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+
+    def tracked_views(self) -> list[str]:
+        return sorted(self.views)
+
+    def tracks(self, view_name: str) -> bool:
+        return view_name in self.views
+
+    def effective(self, view_name: str) -> EffectiveView | None:
+        """The merged view, or None when the view is not tracked."""
+        return self.views.get(view_name)
+
+    def rules_for(self, view_name: str, event_name: str):
+        view = self.views.get(view_name)
+        if view is None:
+            return []
+        return view.rules_for(event_name)
+
+    def events_mentioned(self) -> set[str]:
+        """Every event name appearing in when-rules or PROPAGATE lists."""
+        events: set[str] = set()
+        for view in self.views.values():
+            events |= view.events_handled()
+            for template in view.link_templates:
+                events |= set(template.propagates)
+            if view.use_link is not None:
+                events |= set(view.use_link.propagates)
+            for rules in view.rules.values():
+                for rule in rules:
+                    for action in rule.actions:
+                        event = getattr(action, "event", None)
+                        if event is not None:
+                            events.add(event)
+        return events
+
+    # ------------------------------------------------------------------
+    # template rules: objects
+    # ------------------------------------------------------------------
+
+    def apply_object_template(
+        self,
+        db: MetaDatabase,
+        obj: MetaObject,
+        auto_link: bool = True,
+    ) -> TemplateApplication | None:
+        """Set up a freshly created OID per the template rules.
+
+        "Each time the BluePrint is informed of a new OID being created,
+        it finds the corresponding view in the BluePrint and attaches
+        properties and Links to the new OID" (section 3.2).
+
+        Steps: (1) inherit/default every declared property; (2) attach
+        continuous assignments; (3) shift ``move`` links off the previous
+        version; (4) optionally auto-create links from source views that
+        can be resolved unambiguously (same block, or a single-block
+        source view such as a synthesis library).
+
+        Returns None when the view is untracked.
+        """
+        view = self.views.get(obj.view)
+        if view is None:
+            return None
+        application = TemplateApplication(oid=obj.oid)
+        previous = db.previous_version(obj.oid)
+        for spec in view.properties:
+            inherit_property(spec, obj, previous)
+            application.properties_set.append(spec.name)
+        for let_name, expr in view.lets.items():
+            obj.continuous[let_name] = expr
+            application.lets_attached.append(let_name)
+        if previous is not None:
+            application.links_moved = shift_move_links(db, previous.oid, obj.oid)
+        if auto_link:
+            application.links_created = self._auto_create_links(db, obj, view)
+        return application
+
+    def _auto_create_links(
+        self, db: MetaDatabase, obj: MetaObject, view: EffectiveView
+    ) -> list[int]:
+        """Create derive links whose source resolves unambiguously.
+
+        For each ``link_from SRC`` template: prefer the latest version of
+        ``(obj.block, SRC)``.  Otherwise a cross-block source is accepted
+        only for ``depend_on`` templates — the paper's "dependance on a
+        tool version or a process file" — when exactly one block exists in
+        view SRC and that block lives only in view SRC (a true library).
+        Anything else is left to the design activity to link explicitly.
+        """
+        created: list[int] = []
+        for template in view.link_templates:
+            source_obj = db.latest_version(obj.block, template.from_view)
+            if source_obj is None:
+                if template.link_type != "depend_on":
+                    continue
+                blocks = db.blocks_of_view(template.from_view)
+                if len(blocks) != 1:
+                    continue
+                if db.views_of_block(blocks[0]) != [template.from_view]:
+                    continue  # a design block, not a library
+                source_obj = db.latest_version(blocks[0], template.from_view)
+                if source_obj is None:
+                    continue
+            if self._link_exists(db, source_obj.oid, obj.oid):
+                continue
+            link = db.add_link(
+                source_obj.oid,
+                obj.oid,
+                LinkClass.DERIVE,
+                propagates=template.propagates,
+                link_type=template.link_type,
+                move=template.move,
+            )
+            created.append(link.link_id)
+        return created
+
+    @staticmethod
+    def _link_exists(db: MetaDatabase, source: OID, dest: OID) -> bool:
+        return any(
+            link.dest == dest and link.link_class is LinkClass.DERIVE
+            for link in db.outgoing(source)
+        )
+
+    # ------------------------------------------------------------------
+    # template rules: links
+    # ------------------------------------------------------------------
+
+    def apply_link_template(self, link: Link) -> bool:
+        """Annotate a newly created link from its template, if any.
+
+        "Each time the BluePrint is informed of a new Link being created,
+        it finds the corresponding link in the BluePrint and attaches the
+        template properties to the new Link" (section 3.2).  Returns True
+        when a template matched.
+        """
+        view = self.views.get(link.dest.view)
+        if view is None:
+            return False
+        template: LinkTemplate | UseLinkTemplate | None
+        if link.link_class is LinkClass.USE:
+            template = view.use_link
+        else:
+            template = view.link_template_from(link.source.view)
+        if template is None:
+            return False
+        for event in template.propagates:
+            link.allow(event)
+        if isinstance(template, LinkTemplate) and link.link_type is None:
+            link.link_type = template.link_type
+            if template.link_type is not None:
+                link.properties.set("TYPE", template.link_type)
+        if template.move:
+            link.move = True
+        return True
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+
+    def attach(self, db: MetaDatabase, auto_link: bool = True) -> "Blueprint":
+        """Register this blueprint's template hooks on *db*.
+
+        After attachment every object/link creation is templated
+        automatically, which is exactly the "BluePrint is informed"
+        mechanism: the database is the observer channel.
+        """
+
+        def object_hook(obj: MetaObject) -> None:
+            self.apply_object_template(db, obj, auto_link=auto_link)
+
+        def link_hook(link: Link) -> None:
+            self.apply_link_template(link)
+
+        db.on_object_created(object_hook)
+        db.on_link_created(link_hook)
+        return self

@@ -1,0 +1,441 @@
+"""The continuous-assignment expression language.
+
+Section 3.2 of the paper attaches *continuous assignments* to views::
+
+    let state = ($nl_sim_res == good) and ($lvs_res == is_equiv)
+                and ($uptodate == true)
+
+"Such an assignment is continuously being reevaluated."  The right-hand
+side is a small boolean expression language over property references
+(``$name``), bare-word string literals (``good``, ``is_equiv``), quoted
+strings, numbers and the operators ``==``, ``!=``, ``<``, ``<=``, ``>``,
+``>=``, ``and``, ``or``, ``not`` with parentheses.
+
+The same expressions serve as run-time-rule right-hand sides
+(``sim_result = $arg``), wrapper permission predicates (section 3.3) and
+ad-hoc state queries.  String literals containing ``$`` are interpolated
+against the evaluation environment, which is how the paper's
+``"$oid changed by $user"`` values work.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Iterator, Protocol
+
+from repro.metadb.properties import Value, value_to_text
+
+
+class ExpressionError(Exception):
+    """Raised for malformed expression source text."""
+
+
+class Environment(Protocol):
+    """Anything that can resolve ``$name`` references."""
+
+    def lookup(self, name: str) -> Value | None:  # pragma: no cover - protocol
+        ...
+
+
+class MappingEnvironment:
+    """A plain dict-backed environment, handy for tests and policies."""
+
+    def __init__(self, values: dict[str, Value] | None = None) -> None:
+        self.values = dict(values or {})
+
+    def lookup(self, name: str) -> Value | None:
+        return self.values.get(name)
+
+
+_VAR_RE = re.compile(r"\$(\w+)")
+
+
+def interpolate(template: str, env: Environment) -> str:
+    """Replace every ``$name`` in *template* with its environment value.
+
+    Unknown names render as the empty string — the paper's shell-script
+    heritage — so message templates never crash an event wave.
+    """
+
+    def replace(match: re.Match[str]) -> str:
+        value = env.lookup(match.group(1))
+        if value is None:
+            return ""
+        return value_to_text(value)
+
+    return _VAR_RE.sub(replace, template)
+
+
+def truthy(value: Value | None) -> bool:
+    """Blueprint-language truthiness.
+
+    Booleans are themselves; ``None`` (unset property) is false; the
+    strings ``"true"``/``"false"`` follow their spelling; any other
+    non-empty string is true; numbers follow Python truthiness.
+    """
+    if value is None:
+        return False
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered in ("", "false"):
+            return False
+        return True
+    return bool(value)
+
+
+def _comparable(value: Value | None) -> tuple[int, object]:
+    """Normalise a value for ordered comparison.
+
+    Numbers (and numeric strings) compare numerically; everything else
+    compares as text.  The leading tag keeps mixed comparisons total.
+    """
+    if isinstance(value, bool):
+        return (1, value_to_text(value))
+    if isinstance(value, (int, float)):
+        return (0, float(value))
+    if isinstance(value, str):
+        try:
+            return (0, float(value))
+        except ValueError:
+            return (1, value)
+    return (1, "" if value is None else str(value))
+
+
+def values_equal(left: Value | None, right: Value | None) -> bool:
+    """Equality with the language's text/number coercions.
+
+    ``true == "true"`` and ``4 == "4"`` hold, matching how the untyped
+    ASCII rule files spell values.
+    """
+    if left is None or right is None:
+        return left is None and right is None
+    return _comparable(left) == _comparable(right)
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+class Expression:
+    """Base class of expression AST nodes."""
+
+    def evaluate(self, env: Environment) -> Value:
+        raise NotImplementedError
+
+    def variables(self) -> set[str]:
+        """Names of all ``$`` references (for dependency tracking)."""
+        raise NotImplementedError
+
+    def to_source(self) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.to_source()
+
+    @staticmethod
+    def parse(text: str) -> "Expression":
+        """Parse standalone expression source text."""
+        return _Parser(list(_tokenize(text)), text).parse_complete()
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A literal value; quoted strings interpolate ``$name`` at eval time."""
+
+    value: Value
+    quoted: bool = False
+
+    def evaluate(self, env: Environment) -> Value:
+        if self.quoted and isinstance(self.value, str) and "$" in self.value:
+            return interpolate(self.value, env)
+        return self.value
+
+    def variables(self) -> set[str]:
+        if self.quoted and isinstance(self.value, str):
+            return set(_VAR_RE.findall(self.value))
+        return set()
+
+    def to_source(self) -> str:
+        if self.quoted:
+            escaped = str(self.value).replace("\\", "\\\\").replace('"', '\\"')
+            return f'"{escaped}"'
+        text = value_to_text(self.value)
+        if isinstance(self.value, str) and not _is_bare_word(self.value):
+            escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+            return f'"{escaped}"'
+        return text
+
+
+@dataclass(frozen=True)
+class VarRef(Expression):
+    """A ``$name`` property/builtin reference."""
+
+    name: str
+
+    def evaluate(self, env: Environment) -> Value:
+        value = env.lookup(self.name)
+        return "" if value is None else value
+
+    def variables(self) -> set[str]:
+        return {self.name}
+
+    def to_source(self) -> str:
+        return f"${self.name}"
+
+
+_COMPARATORS: dict[str, Callable[[tuple, tuple], bool]] = {
+    "==": lambda l, r: l == r,
+    "!=": lambda l, r: l != r,
+    "<": lambda l, r: l < r,
+    "<=": lambda l, r: l <= r,
+    ">": lambda l, r: l > r,
+    ">=": lambda l, r: l >= r,
+}
+
+
+@dataclass(frozen=True)
+class Compare(Expression):
+    op: str
+    left: Expression
+    right: Expression
+
+    def evaluate(self, env: Environment) -> Value:
+        left = _comparable(self.left.evaluate(env))
+        right = _comparable(self.right.evaluate(env))
+        if self.op in ("==", "!="):
+            return _COMPARATORS[self.op](left, right)
+        if left[0] != right[0]:
+            # ordered comparison across number/text is always false rather
+            # than an exception: rule files must not crash event waves
+            return False
+        return _COMPARATORS[self.op](left, right)
+
+    def variables(self) -> set[str]:
+        return self.left.variables() | self.right.variables()
+
+    def to_source(self) -> str:
+        return f"{_operand(self.left)} {self.op} {_operand(self.right)}"
+
+
+@dataclass(frozen=True)
+class And(Expression):
+    items: tuple[Expression, ...]
+
+    def evaluate(self, env: Environment) -> Value:
+        return all(truthy(item.evaluate(env)) for item in self.items)
+
+    def variables(self) -> set[str]:
+        names: set[str] = set()
+        for item in self.items:
+            names |= item.variables()
+        return names
+
+    def to_source(self) -> str:
+        return " and ".join(_maybe_paren(item) for item in self.items)
+
+
+@dataclass(frozen=True)
+class Or(Expression):
+    items: tuple[Expression, ...]
+
+    def evaluate(self, env: Environment) -> Value:
+        return any(truthy(item.evaluate(env)) for item in self.items)
+
+    def variables(self) -> set[str]:
+        names: set[str] = set()
+        for item in self.items:
+            names |= item.variables()
+        return names
+
+    def to_source(self) -> str:
+        return " or ".join(_maybe_paren(item) for item in self.items)
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    item: Expression
+
+    def evaluate(self, env: Environment) -> Value:
+        return not truthy(self.item.evaluate(env))
+
+    def variables(self) -> set[str]:
+        return self.item.variables()
+
+    def to_source(self) -> str:
+        return f"not {_maybe_paren(self.item)}"
+
+
+_BARE_WORD_RE = re.compile(r"^[A-Za-z_][\w\-.]*$")
+#: Words that would lex as operators/keywords rather than literal atoms.
+_RESERVED_ATOMS = frozenset({"and", "or", "not"})
+
+
+def _is_bare_word(text: str) -> bool:
+    """True when *text* prints safely as an unquoted atom."""
+    return bool(_BARE_WORD_RE.match(text)) and text not in _RESERVED_ATOMS
+
+
+def _maybe_paren(item: Expression) -> str:
+    if isinstance(item, (And, Or, Compare)):
+        return f"({item.to_source()})"
+    return item.to_source()
+
+
+def _operand(item: Expression) -> str:
+    """Comparison operands: only bare atoms print unparenthesised."""
+    if isinstance(item, (Literal, VarRef)):
+        return item.to_source()
+    return f"({item.to_source()})"
+
+
+# ---------------------------------------------------------------------------
+# standalone tokenizer + parser
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # IDENT VARREF STRING NUMBER OP LPAREN RPAREN
+    text: str
+    pos: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<op>==|!=|<=|>=|<|>)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<varref>\$\w+)
+  | (?P<number>-?\d+(\.\d+)?)
+  | (?P<string>"(\\.|[^"\\])*")
+  | (?P<ident>[A-Za-z_][\w\-.]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ExpressionError(
+                f"bad character {text[pos]!r} at offset {pos} in {text!r}"
+            )
+        pos = match.end()
+        kind = match.lastgroup
+        if kind == "ws":
+            continue
+        value = match.group()
+        if kind == "op":
+            yield _Token("OP", value, match.start())
+        elif kind == "lparen":
+            yield _Token("LPAREN", value, match.start())
+        elif kind == "rparen":
+            yield _Token("RPAREN", value, match.start())
+        elif kind == "varref":
+            yield _Token("VARREF", value[1:], match.start())
+        elif kind == "number":
+            yield _Token("NUMBER", value, match.start())
+        elif kind == "string":
+            yield _Token("STRING", value, match.start())
+        elif kind == "ident":
+            yield _Token("IDENT", value, match.start())
+
+
+def unescape_string(lexeme: str) -> str:
+    """Strip quotes and process ``\\"`` / ``\\\\`` escapes."""
+    body = lexeme[1:-1]
+    return body.replace('\\"', '"').replace("\\\\", "\\")
+
+
+class _Parser:
+    """Recursive-descent parser for standalone expression text."""
+
+    def __init__(self, tokens: list[_Token], source: str) -> None:
+        self.tokens = tokens
+        self.source = source
+        self.index = 0
+
+    def parse_complete(self) -> Expression:
+        expr = self.parse_or()
+        if self.index != len(self.tokens):
+            tok = self.tokens[self.index]
+            raise ExpressionError(
+                f"unexpected {tok.text!r} at offset {tok.pos} in {self.source!r}"
+            )
+        return expr
+
+    # precedence climbing: or < and < not < comparison < atom
+
+    def parse_or(self) -> Expression:
+        items = [self.parse_and()]
+        while self._peek_ident("or"):
+            self.index += 1
+            items.append(self.parse_and())
+        return items[0] if len(items) == 1 else Or(tuple(items))
+
+    def parse_and(self) -> Expression:
+        items = [self.parse_not()]
+        while self._peek_ident("and"):
+            self.index += 1
+            items.append(self.parse_not())
+        return items[0] if len(items) == 1 else And(tuple(items))
+
+    def parse_not(self) -> Expression:
+        if self._peek_ident("not"):
+            self.index += 1
+            return Not(self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expression:
+        left = self.parse_atom()
+        if self.index < len(self.tokens) and self.tokens[self.index].kind == "OP":
+            op = self.tokens[self.index].text
+            self.index += 1
+            right = self.parse_atom()
+            return Compare(op, left, right)
+        return left
+
+    def parse_atom(self) -> Expression:
+        if self.index >= len(self.tokens):
+            raise ExpressionError(f"unexpected end of expression in {self.source!r}")
+        tok = self.tokens[self.index]
+        self.index += 1
+        if tok.kind == "LPAREN":
+            inner = self.parse_or()
+            if (
+                self.index >= len(self.tokens)
+                or self.tokens[self.index].kind != "RPAREN"
+            ):
+                raise ExpressionError(f"missing ')' in {self.source!r}")
+            self.index += 1
+            return inner
+        if tok.kind == "VARREF":
+            return VarRef(tok.text)
+        if tok.kind == "NUMBER":
+            number = float(tok.text)
+            return Literal(int(number) if number.is_integer() else number)
+        if tok.kind == "STRING":
+            return Literal(unescape_string(tok.text), quoted=True)
+        if tok.kind == "IDENT":
+            if tok.text == "true":
+                return Literal(True)
+            if tok.text == "false":
+                return Literal(False)
+            return Literal(tok.text)
+        raise ExpressionError(
+            f"unexpected {tok.text!r} at offset {tok.pos} in {self.source!r}"
+        )
+
+    def _peek_ident(self, word: str) -> bool:
+        return (
+            self.index < len(self.tokens)
+            and self.tokens[self.index].kind == "IDENT"
+            and self.tokens[self.index].text == word
+        )

@@ -1,0 +1,239 @@
+"""Event journal and deterministic replay.
+
+DAMOCLES is a tracking system; the journal makes the tracking itself
+auditable.  Related work the paper cites ([Cas90], "Design Management
+Based on Design Traces") manages designs from recorded traces — this
+module brings that idea to the BluePrint: every *external* input to the
+engine (design events, object and link creations) is appended to a
+journal, and :func:`replay` reconstructs the exact database state by
+feeding the journal to a fresh engine under the same blueprint.
+
+Uses:
+
+* audit — "who invalidated the layout and when";
+* disaster recovery — rebuild the meta-database from the journal;
+* what-if — replay the same history under a different (e.g. loosened)
+  blueprint and compare outcomes (benchmark E7 does exactly this).
+
+Only *inputs* are journaled, never derived effects: rule-driven property
+writes, propagation and posts are recomputed at replay, which is the
+determinism property ``tests/core/test_journal.py`` pins down.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.core.events import EventMessage
+from repro.metadb.database import MetaDatabase
+from repro.metadb.links import Direction, Link, LinkClass
+from repro.metadb.oid import OID
+
+
+class JournalError(ValueError):
+    """Malformed journal content."""
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One recorded external input.
+
+    ``kind`` is one of ``object`` (an OID was created), ``link`` (a link
+    was created by an activity), or ``event`` (a design event arrived).
+    ``payload`` is the kind-specific data, already plain (JSON-ready).
+    """
+
+    seq: int
+    kind: str
+    payload: dict
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"seq": self.seq, "kind": self.kind, **self.payload},
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "JournalEntry":
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise JournalError(f"corrupt journal line: {exc}") from exc
+        if "kind" not in data or "seq" not in data:
+            raise JournalError(f"journal line missing kind/seq: {line!r}")
+        seq = data.pop("seq")
+        kind = data.pop("kind")
+        return cls(seq=seq, kind=kind, payload=data)
+
+
+@dataclass
+class Journal:
+    """An append-only record of external inputs to one project."""
+
+    entries: list[JournalEntry] = field(default_factory=list)
+    _next_seq: int = 1
+
+    def _append(self, kind: str, payload: dict) -> JournalEntry:
+        entry = JournalEntry(seq=self._next_seq, kind=kind, payload=payload)
+        self._next_seq += 1
+        self.entries.append(entry)
+        return entry
+
+    # -- recording ------------------------------------------------------------
+
+    def record_object(self, oid: OID, properties: dict | None = None) -> None:
+        self._append(
+            "object",
+            {"oid": oid.wire(), "properties": dict(properties or {})},
+        )
+
+    def record_link(self, link: Link) -> None:
+        self._append(
+            "link",
+            {
+                "source": link.source.wire(),
+                "dest": link.dest.wire(),
+                "class": link.link_class.value,
+            },
+        )
+
+    def record_event(self, event: EventMessage) -> None:
+        self._append(
+            "event",
+            {
+                "name": event.name,
+                "direction": event.direction.value,
+                "target": event.target.wire(),
+                "arg": event.arg,
+                "user": event.user,
+            },
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[JournalEntry]:
+        return iter(self.entries)
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, path: Path | str) -> Path:
+        """Write the journal as JSON lines."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            "".join(entry.to_json() + "\n" for entry in self.entries)
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Journal":
+        path = Path(path)
+        if not path.exists():
+            raise JournalError(f"no journal at {path}")
+        journal = cls()
+        for line in path.read_text().splitlines():
+            if not line.strip():
+                continue
+            entry = JournalEntry.from_json(line)
+            journal.entries.append(entry)
+            journal._next_seq = max(journal._next_seq, entry.seq + 1)
+        return journal
+
+
+def attach_journal(engine: BlueprintEngine, journal: Journal) -> Journal:
+    """Record every external input of *engine* into *journal*.
+
+    Object/link creations are captured through database hooks; events are
+    captured by wrapping ``post_message``.  Creations made by blueprint
+    templates (auto-links) are *not* excluded at the hook level — they
+    are re-derived at replay, so the recorder skips links whose creation
+    happened while a template application is plausible.  In practice the
+    unambiguous rule is: auto-created links are exactly those added with
+    identical endpoints by replay's own hooks, so recording them too is
+    harmless (replay skips duplicates).
+    """
+
+    def object_hook(obj) -> None:
+        journal.record_object(obj.oid, obj.properties.as_dict())
+
+    def link_hook(link: Link) -> None:
+        journal.record_link(link)
+
+    engine.db.on_object_created(object_hook)
+    engine.db.on_link_created(link_hook)
+
+    original_post = engine.post_message
+
+    def recording_post(event: EventMessage) -> EventMessage:
+        journal.record_event(event)
+        return original_post(event)
+
+    engine.post_message = recording_post  # type: ignore[method-assign]
+    return journal
+
+
+def replay(
+    journal: Journal,
+    blueprint: Blueprint,
+    *,
+    db_name: str = "replayed",
+) -> tuple[MetaDatabase, BlueprintEngine]:
+    """Reconstruct a project by feeding *journal* to a fresh engine.
+
+    Returns the rebuilt database and its engine.  Because the journal
+    holds every external input in order — and the engine is
+    deterministic — the rebuilt database matches the original's state
+    exactly (modulo a different blueprint, which is the what-if use).
+    """
+    db = MetaDatabase(name=db_name)
+    engine = BlueprintEngine(db, blueprint)
+    for entry in journal:
+        if entry.kind == "object":
+            oid = OID.parse(entry.payload["oid"])
+            if db.find(oid) is None:
+                db.create_object(oid, entry.payload.get("properties") or None)
+        elif entry.kind == "link":
+            source = OID.parse(entry.payload["source"])
+            dest = OID.parse(entry.payload["dest"])
+            link_class = LinkClass(entry.payload["class"])
+            exists = any(
+                link.dest == dest and link.link_class is link_class
+                for link in db.outgoing(source)
+            )
+            if not exists and source in db and dest in db:
+                db.add_link(source, dest, link_class)
+        elif entry.kind == "event":
+            engine.post(
+                entry.payload["name"],
+                OID.parse(entry.payload["target"]),
+                Direction(entry.payload["direction"]),
+                arg=entry.payload.get("arg", ""),
+                user=entry.payload.get("user", ""),
+            )
+            engine.run()
+        else:
+            raise JournalError(f"unknown journal entry kind {entry.kind!r}")
+    engine.run()
+    return db, engine
+
+
+def state_fingerprint(db: MetaDatabase) -> dict[str, dict]:
+    """A comparable snapshot: every OID's properties, plus link topology.
+
+    Replay tests compare fingerprints of original and rebuilt databases.
+    """
+    objects = {
+        obj.oid.wire(): obj.properties.as_dict()
+        for obj in db.objects()
+    }
+    links = sorted(
+        (link.source.wire(), link.dest.wire(), link.link_class.value)
+        for link in db.links()
+    )
+    return {"objects": objects, "links": {"topology": links}}

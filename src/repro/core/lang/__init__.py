@@ -1,0 +1,44 @@
+"""The BluePrint ASCII rule language: lexer, AST, parser, printer."""
+
+from repro.core.lang.ast import (
+    Action,
+    AssignAction,
+    BlueprintDecl,
+    DEFAULT_VIEW,
+    ExecAction,
+    LetDecl,
+    LinkDecl,
+    NotifyAction,
+    PostAction,
+    PropertyDecl,
+    UseLinkDecl,
+    ViewDecl,
+    WhenRule,
+)
+from repro.core.lang.lexer import tokenize
+from repro.core.lang.parser import parse_blueprint
+from repro.core.lang.printer import print_blueprint, print_view
+from repro.core.lang.tokens import BlueprintSyntaxError, Token, TokenKind
+
+__all__ = [
+    "Action",
+    "AssignAction",
+    "BlueprintDecl",
+    "DEFAULT_VIEW",
+    "ExecAction",
+    "LetDecl",
+    "LinkDecl",
+    "NotifyAction",
+    "PostAction",
+    "PropertyDecl",
+    "UseLinkDecl",
+    "ViewDecl",
+    "WhenRule",
+    "tokenize",
+    "parse_blueprint",
+    "print_blueprint",
+    "print_view",
+    "BlueprintSyntaxError",
+    "Token",
+    "TokenKind",
+]

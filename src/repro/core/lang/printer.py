@@ -1,0 +1,40 @@
+"""Pretty-printer for BluePrint ASTs.
+
+``print_blueprint(parse_blueprint(text))`` produces a canonical rendering
+that re-parses to an equal AST — the round-trip property the language
+tests pin down.  Project administrators use it to dump the effective
+blueprint after programmatic edits (e.g. loosening).
+"""
+
+from __future__ import annotations
+
+from repro.core.lang.ast import BlueprintDecl, ViewDecl
+
+INDENT = "  "
+
+
+def print_view(view: ViewDecl, indent: str = INDENT) -> str:
+    lines: list[str] = [f"view {view.name}"]
+    for prop in view.properties:
+        lines.append(indent + prop.to_source())
+    for let in view.lets:
+        lines.append(indent + let.to_source())
+    for use_link in view.use_links:
+        lines.append(indent + use_link.to_source())
+    for link in view.links:
+        lines.append(indent + link.to_source())
+    for rule in view.rules:
+        lines.append(indent + rule.to_source())
+    lines.append("endview")
+    return "\n".join(lines)
+
+
+def print_blueprint(blueprint: BlueprintDecl) -> str:
+    """Render *blueprint* as canonical rule-file text."""
+    lines: list[str] = [f"blueprint {blueprint.name}"]
+    for view in blueprint.views:
+        lines.append("")
+        lines.append(print_view(view))
+    lines.append("")
+    lines.append("endblueprint")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,243 @@
+"""Project policies: tool permissions and blueprint loosening.
+
+Two policy mechanisms from the paper:
+
+* **Tool permissions** (section 3.3): "The program queries the
+  meta-database, requesting the permission to access data and to run the
+  tool.  The permission is given based on the state of the input data."
+* **Loosening** (section 3.2): "early in the design cycle, when the data
+  has not yet been validated and changes occur very often, the BluePrint
+  can be 'loosened' thereby limiting change propagation" — a per-phase
+  blueprint with trimmed PROPAGATE lists.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.core.blueprint import Blueprint
+from repro.core.expressions import Expression, truthy
+from repro.core.lang.ast import LinkDecl, UseLinkDecl
+from repro.core.state import evaluate_on
+from repro.metadb.database import MetaDatabase
+from repro.metadb.oid import OID
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of a permission request."""
+
+    granted: bool
+    reasons: tuple[str, ...] = ()
+
+    def __bool__(self) -> bool:
+        return self.granted
+
+
+@dataclass(frozen=True)
+class PermissionRule:
+    """A precondition a tool's input data must satisfy.
+
+    ``view`` restricts which inputs the rule checks (None = every input);
+    ``condition`` is an expression over the input OID's properties.
+    """
+
+    tool: str
+    condition: Expression
+    view: str | None = None
+    description: str = ""
+
+    @classmethod
+    def parse(
+        cls, tool: str, condition: str, view: str | None = None, description: str = ""
+    ) -> "PermissionRule":
+        return cls(
+            tool=tool,
+            condition=Expression.parse(condition),
+            view=view,
+            description=description or condition,
+        )
+
+
+@dataclass
+class PermissionPolicy:
+    """The wrapper-side permission check of section 3.3."""
+
+    rules: list[PermissionRule] = field(default_factory=list)
+    audit: list[tuple[str, tuple[OID, ...], bool]] = field(default_factory=list)
+
+    def add(self, rule: PermissionRule) -> "PermissionPolicy":
+        self.rules.append(rule)
+        return self
+
+    def require(
+        self, tool: str, condition: str, view: str | None = None
+    ) -> "PermissionPolicy":
+        """Shorthand: ``policy.require("simulator", "$uptodate == true")``."""
+        return self.add(PermissionRule.parse(tool, condition, view))
+
+    def rules_for(self, tool: str) -> list[PermissionRule]:
+        return [rule for rule in self.rules if rule.tool in (tool, "*")]
+
+    def check(
+        self, db: MetaDatabase, tool: str, inputs: list[OID | str]
+    ) -> Decision:
+        """Grant or refuse *tool* access to *inputs*.
+
+        Every applicable rule must hold on every (view-matching) input.
+        Unknown input OIDs refuse with a reason — running a tool on data
+        the tracking system has never seen is exactly the mistake the
+        check exists to catch.
+        """
+        reasons: list[str] = []
+        oids = [OID.parse(o) if isinstance(o, str) else o for o in inputs]
+        for oid in oids:
+            obj = db.find(oid)
+            if obj is None:
+                reasons.append(f"{oid} is not in the meta-database")
+                continue
+            for rule in self.rules_for(tool):
+                if rule.view is not None and rule.view != oid.view:
+                    continue
+                if not truthy(evaluate_on(obj, rule.condition)):
+                    reasons.append(
+                        f"{oid} fails {rule.description or rule.condition.to_source()}"
+                    )
+        decision = Decision(granted=not reasons, reasons=tuple(reasons))
+        self.audit.append((tool, tuple(oids), decision.granted))
+        return decision
+
+
+# ---------------------------------------------------------------------------
+# loosening
+# ---------------------------------------------------------------------------
+
+
+def loosen_blueprint(
+    blueprint: Blueprint,
+    *,
+    block_events: set[str] | frozenset[str],
+    link_types: set[str] | None = None,
+    views: set[str] | None = None,
+    name_suffix: str = "_loosened",
+) -> Blueprint:
+    """A copy of *blueprint* whose link templates stop propagating
+    *block_events*.
+
+    ``link_types`` restricts the trim to templates with those TYPE
+    annotations; ``views`` restricts it to templates declared in those
+    views.  Run-time rules are untouched: designers still see their own
+    check-ins tracked, only cross-OID invalidation quiets down.
+    """
+    decl = copy.deepcopy(blueprint.declaration)
+    decl.name = decl.name + name_suffix
+    for view in decl.views:
+        if views is not None and view.name not in views:
+            continue
+        view.links = [
+            _trim_link(link, block_events, link_types) for link in view.links
+        ]
+        view.use_links = [
+            UseLinkDecl(
+                propagates=tuple(
+                    e for e in use.propagates if e not in block_events
+                ),
+                move=use.move,
+            )
+            if (link_types is None or "use" in link_types)
+            else use
+            for use in view.use_links
+        ]
+    return Blueprint.from_ast(decl)
+
+
+def _trim_link(
+    link: LinkDecl, block_events: set[str] | frozenset[str], link_types: set[str] | None
+) -> LinkDecl:
+    if link_types is not None and link.link_type not in link_types:
+        return link
+    return LinkDecl(
+        from_view=link.from_view,
+        propagates=tuple(e for e in link.propagates if e not in block_events),
+        link_type=link.link_type,
+        move=link.move,
+    )
+
+
+def apply_blueprint_to_links(blueprint: Blueprint, db: MetaDatabase) -> int:
+    """Re-annotate existing links after a blueprint swap.
+
+    Swapping blueprints changes templates for *future* links; this helper
+    re-derives PROPAGATE lists for links already in the database so a
+    phase switch takes effect immediately.  Returns the number of links
+    whose PROPAGATE list changed.
+    """
+    changed = 0
+    for link in db.links():
+        view = blueprint.effective(link.dest.view)
+        if view is None:
+            continue
+        if link.link_class.value == "use":
+            template = view.use_link
+        else:
+            template = view.link_template_from(link.source.view)
+        if template is None:
+            continue
+        new_events = set(template.propagates)
+        if new_events != link.propagates:
+            link.propagates.clear()
+            for event in new_events:
+                link.allow(event)
+            if not new_events:
+                link.properties.set("PROPAGATE", "")
+            changed += 1
+    return changed
+
+
+@dataclass
+class ProjectPhase:
+    """One phase of a project: a name and the blueprint that governs it."""
+
+    name: str
+    blueprint: Blueprint
+    description: str = ""
+
+
+@dataclass
+class PhasePolicy:
+    """Orders project phases and switches a live engine between them.
+
+    Encodes "Different BluePrints can be defined ... for each phase of a
+    project" as an explicit, auditable object.
+    """
+
+    phases: list[ProjectPhase] = field(default_factory=list)
+    current_index: int = 0
+    transitions: list[str] = field(default_factory=list)
+
+    def add_phase(self, phase: ProjectPhase) -> "PhasePolicy":
+        self.phases.append(phase)
+        return self
+
+    @property
+    def current(self) -> ProjectPhase:
+        if not self.phases:
+            raise ValueError("no phases defined")
+        return self.phases[self.current_index]
+
+    def switch_to(self, name: str, engine, db: MetaDatabase | None = None) -> ProjectPhase:
+        """Switch *engine* to the named phase's blueprint.
+
+        When *db* is given, existing links are re-annotated so the phase
+        change affects in-flight data immediately.
+        """
+        for index, phase in enumerate(self.phases):
+            if phase.name == name:
+                self.current_index = index
+                engine.swap_blueprint(phase.blueprint)
+                if db is not None:
+                    apply_blueprint_to_links(phase.blueprint, db)
+                self.transitions.append(name)
+                return phase
+        raise ValueError(f"unknown phase {name!r}")

@@ -1,0 +1,93 @@
+"""Link-directed event propagation (paper, section 3.2, last paragraph).
+
+"The propagation of an event from a target OID T to other OIDs in the
+meta-database first consists in finding all the links of OID T.  Then for
+each link, the event is passed on to the OID at the other end of the link
+if the link propagates the given type of event and if the direction of
+the link matches the up or down direction specified in the event message.
+This process is repeated for each OID receiving an event."
+
+The engine drives the transitive walk; this module holds the single-hop
+selection and the reachability analysis used by tests, benchmarks and the
+loosening experiments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.metadb.database import MetaDatabase
+from repro.metadb.links import Direction, Link
+from repro.metadb.oid import OID
+
+
+def propagation_targets(
+    db: MetaDatabase, oid: OID, event_name: str, direction: Direction
+) -> list[tuple[Link, OID]]:
+    """The single-hop (link, next-OID) pairs an event takes from *oid*.
+
+    A link qualifies when its ``PROPAGATE`` list contains *event_name*
+    and its orientation matches *direction* as seen from *oid*.
+    """
+    return [
+        (link, other)
+        for link, other in db.neighbours(oid, direction)
+        if link.allows(event_name)
+    ]
+
+
+@dataclass(frozen=True)
+class PropagationReport:
+    """Result of a reachability analysis from one origin."""
+
+    origin: OID
+    event_name: str
+    direction: Direction
+    reached: frozenset[OID]
+    hops: int
+
+    @property
+    def fanout(self) -> int:
+        return len(self.reached)
+
+
+def reachable_set(
+    db: MetaDatabase,
+    origin: OID,
+    event_name: str,
+    direction: Direction,
+    include_origin: bool = False,
+) -> PropagationReport:
+    """Every OID an event posted *from* *origin* would reach.
+
+    Mirrors the engine's wave semantics (each OID receives a given event
+    name once per wave) without executing any rules — a pure graph
+    reachability used by the analysis layer and the scaling benchmarks.
+    """
+    visited: set[OID] = {origin}
+    reached: set[OID] = set()
+    hops = 0
+    frontier: deque[OID] = deque([origin])
+    while frontier:
+        here = frontier.popleft()
+        for _link, other in propagation_targets(db, here, event_name, direction):
+            hops += 1
+            if other not in visited:
+                visited.add(other)
+                reached.add(other)
+                frontier.append(other)
+    if include_origin:
+        reached.add(origin)
+    return PropagationReport(
+        origin=origin,
+        event_name=event_name,
+        direction=direction,
+        reached=frozenset(reached),
+        hops=hops,
+    )
+
+
+def impacted_by_change(db: MetaDatabase, origin: OID, event_name: str = "outofdate") -> frozenset[OID]:
+    """The classic impact query: which data a change at *origin* stales."""
+    return reachable_set(db, origin, event_name, Direction.DOWN).reached

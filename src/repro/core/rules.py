@@ -1,0 +1,187 @@
+"""Compiled blueprint model: effective views, link templates, rule sets.
+
+The AST of :mod:`repro.core.lang` is a faithful image of the rule file;
+this module compiles it into the form the run-time engine consumes:
+
+* the special ``default`` view is merged into every tracked view ("these
+  two rules are added to all the views (or rather to the special default
+  view which applies to all the views)", section 3.4);
+* property declarations become :class:`~repro.metadb.versions.PropertySpec`
+  records ready for the inheritance mechanics;
+* link declarations become :class:`LinkTemplate` / :class:`UseLinkTemplate`
+  records the engine matches against newly created links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.expressions import Expression
+from repro.core.lang.ast import (
+    LinkDecl,
+    PropertyDecl,
+    UseLinkDecl,
+    ViewDecl,
+    WhenRule,
+)
+from repro.metadb.versions import PropertySpec
+
+
+@dataclass(frozen=True)
+class LinkTemplate:
+    """A compiled ``link_from`` declaration (source view → this view)."""
+
+    from_view: str
+    propagates: frozenset[str]
+    link_type: str | None
+    move: bool
+
+    @classmethod
+    def from_decl(cls, decl: LinkDecl) -> "LinkTemplate":
+        return cls(
+            from_view=decl.from_view,
+            propagates=frozenset(decl.propagates),
+            link_type=decl.link_type,
+            move=decl.move,
+        )
+
+    def to_decl(self) -> LinkDecl:
+        return LinkDecl(
+            from_view=self.from_view,
+            propagates=tuple(sorted(self.propagates)),
+            link_type=self.link_type,
+            move=self.move,
+        )
+
+
+@dataclass(frozen=True)
+class UseLinkTemplate:
+    """A compiled ``use_link`` declaration (hierarchy within the view)."""
+
+    propagates: frozenset[str]
+    move: bool
+
+    @classmethod
+    def from_decl(cls, decl: UseLinkDecl) -> "UseLinkTemplate":
+        return cls(propagates=frozenset(decl.propagates), move=decl.move)
+
+    def to_decl(self) -> UseLinkDecl:
+        return UseLinkDecl(propagates=tuple(sorted(self.propagates)), move=self.move)
+
+
+@dataclass
+class EffectiveView:
+    """One tracked view with the default view's declarations merged in.
+
+    Rule execution order within one event delivery is: default-view rules
+    first, then the view's own rules, each preserving file order — so the
+    paper's ``when ckin do uptodate = true; post outofdate down done``
+    (default) runs before a view's specific ``when ckin`` rules.
+    """
+
+    name: str
+    properties: list[PropertySpec] = field(default_factory=list)
+    lets: dict[str, Expression] = field(default_factory=dict)
+    link_templates: list[LinkTemplate] = field(default_factory=list)
+    use_link: UseLinkTemplate | None = None
+    rules: dict[str, list[WhenRule]] = field(default_factory=dict)
+
+    def rules_for(self, event_name: str) -> list[WhenRule]:
+        return self.rules.get(event_name, [])
+
+    def events_handled(self) -> set[str]:
+        return set(self.rules)
+
+    def property_spec(self, name: str) -> PropertySpec | None:
+        for spec in self.properties:
+            if spec.name == name:
+                return spec
+        return None
+
+    def link_template_from(self, from_view: str) -> LinkTemplate | None:
+        for template in self.link_templates:
+            if template.from_view == from_view:
+                return template
+        return None
+
+
+def compile_property(decl: PropertyDecl) -> PropertySpec:
+    return PropertySpec(name=decl.name, default=decl.default, inherit=decl.inherit)
+
+
+def merge_views(default: ViewDecl | None, specific: ViewDecl) -> EffectiveView:
+    """Merge the ``default`` view's declarations into *specific*.
+
+    Specific declarations win on name clashes (properties and lets);
+    rules are concatenated (default first) because both must fire;
+    link templates concatenate with specific-first matching priority;
+    a specific ``use_link`` shadows the default one.
+    """
+    effective = EffectiveView(name=specific.name)
+
+    specific_prop_names = {decl.name for decl in specific.properties}
+    if default is not None:
+        for decl in default.properties:
+            if decl.name not in specific_prop_names:
+                effective.properties.append(compile_property(decl))
+    for decl in specific.properties:
+        effective.properties.append(compile_property(decl))
+
+    if default is not None:
+        for let in default.lets:
+            effective.lets[let.name] = let.value
+    for let in specific.lets:
+        effective.lets[let.name] = let.value
+
+    for decl in specific.links:
+        effective.link_templates.append(LinkTemplate.from_decl(decl))
+    if default is not None:
+        specific_sources = {template.from_view for template in effective.link_templates}
+        for decl in default.links:
+            if decl.from_view not in specific_sources:
+                effective.link_templates.append(LinkTemplate.from_decl(decl))
+
+    if specific.use_links:
+        effective.use_link = UseLinkTemplate.from_decl(specific.use_links[-1])
+    elif default is not None and default.use_links:
+        effective.use_link = UseLinkTemplate.from_decl(default.use_links[-1])
+
+    if default is not None:
+        for rule in default.rules:
+            effective.rules.setdefault(rule.event, []).append(rule)
+    for rule in specific.rules:
+        effective.rules.setdefault(rule.event, []).append(rule)
+
+    return effective
+
+
+def validate_view(view: ViewDecl) -> list[str]:
+    """Structural warnings for one view declaration."""
+    warnings: list[str] = []
+    seen_props: set[str] = set()
+    for decl in view.properties:
+        if decl.name in seen_props:
+            warnings.append(
+                f"view {view.name}: property {decl.name!r} declared twice"
+            )
+        seen_props.add(decl.name)
+    for let in view.lets:
+        if let.name in seen_props:
+            warnings.append(
+                f"view {view.name}: continuous assignment {let.name!r} "
+                f"shadows a declared property"
+            )
+    if len(view.use_links) > 1:
+        warnings.append(f"view {view.name}: multiple use_link declarations")
+    seen_sources: set[str] = set()
+    for decl in view.links:
+        if decl.from_view in seen_sources:
+            warnings.append(
+                f"view {view.name}: duplicate link_from {decl.from_view!r}"
+            )
+        seen_sources.add(decl.from_view)
+        if decl.from_view == view.name:
+            warnings.append(
+                f"view {view.name}: link_from itself (use use_link for hierarchy)"
+            )
+    return warnings

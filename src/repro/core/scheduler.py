@@ -1,0 +1,213 @@
+"""Tool scheduling (paper, section 3.3).
+
+"Tool scheduling is implemented by the wrapper programs. ... The run-time
+information specifies the action to be performed upon the reception of a
+design event.  This simple, yet powerful, scheme leads naturally to
+implementing automatic tool invocation."
+
+The scheduler is the engine's :class:`~repro.core.engine.Executor`: when a
+run-time rule says ``exec netlister "$oid"``, the scheduler looks the
+script up in its registry, asks the permission policy, and either runs
+the wrapper immediately (automatic mode) or parks the invocation for a
+designer to trigger (manual mode — the comparison point for experiment
+E4).  A depth guard caps run-away automation chains (tool A's check-in
+triggering tool B triggering tool A ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.engine import ExecRequest
+from repro.core.policy import Decision, PermissionPolicy
+from repro.metadb.database import MetaDatabase
+from repro.metadb.oid import OID
+
+#: A wrapper callable: receives the exec request, returns a result object.
+Wrapper = Callable[[ExecRequest], object]
+
+
+class SchedulerError(RuntimeError):
+    """Raised for unknown scripts in strict mode."""
+
+
+@dataclass
+class ToolRun:
+    """The record of one scheduled invocation."""
+
+    script: str
+    args: tuple[str, ...]
+    oid: OID
+    event: str
+    granted: bool
+    executed: bool
+    depth: int
+    result: object = None
+    refusal_reasons: tuple[str, ...] = ()
+
+
+@dataclass
+class ToolScheduler:
+    """Registry + permission gate + automation switch for exec rules."""
+
+    db: MetaDatabase
+    policy: PermissionPolicy | None = None
+    automatic: bool = True
+    strict: bool = False
+    max_depth: int = 8
+    wrappers: dict[str, Wrapper] = field(default_factory=dict)
+    runs: list[ToolRun] = field(default_factory=list)
+    pending: list[ExecRequest] = field(default_factory=list)
+    _depth: int = 0
+
+    # -- registry -------------------------------------------------------------
+
+    def register(self, script: str, wrapper: Wrapper) -> "ToolScheduler":
+        """Bind a script name (as written in exec rules) to a wrapper.
+
+        Registration also covers the common shell spellings: registering
+        ``netlister`` answers ``netlister.sh`` and ``./netlister`` too.
+        """
+        self.wrappers[script] = wrapper
+        return self
+
+    def resolve(self, script: str) -> Wrapper | None:
+        if script in self.wrappers:
+            return self.wrappers[script]
+        stem = script.rsplit("/", 1)[-1]
+        stem = stem.removesuffix(".sh")
+        return self.wrappers.get(stem)
+
+    # -- the engine executor ---------------------------------------------------
+
+    def __call__(self, request: ExecRequest) -> object:
+        """Handle one exec rule: gate, then run or park."""
+        wrapper = self.resolve(request.script)
+        if wrapper is None:
+            if self.strict:
+                raise SchedulerError(f"no wrapper registered for {request.script!r}")
+            self.runs.append(
+                ToolRun(
+                    script=request.script,
+                    args=tuple(request.args),
+                    oid=request.oid,
+                    event=request.event.name,
+                    granted=False,
+                    executed=False,
+                    depth=self._depth,
+                    refusal_reasons=("no wrapper registered",),
+                )
+            )
+            return None
+        decision = self._permission(request)
+        if not decision.granted:
+            self.runs.append(
+                ToolRun(
+                    script=request.script,
+                    args=tuple(request.args),
+                    oid=request.oid,
+                    event=request.event.name,
+                    granted=False,
+                    executed=False,
+                    depth=self._depth,
+                    refusal_reasons=decision.reasons,
+                )
+            )
+            return None
+        if not self.automatic:
+            self.pending.append(request)
+            self.runs.append(
+                ToolRun(
+                    script=request.script,
+                    args=tuple(request.args),
+                    oid=request.oid,
+                    event=request.event.name,
+                    granted=True,
+                    executed=False,
+                    depth=self._depth,
+                )
+            )
+            return None
+        return self._run(wrapper, request)
+
+    def _permission(self, request: ExecRequest) -> Decision:
+        if self.policy is None:
+            return Decision(granted=True)
+        inputs: list[OID | str] = [request.oid]
+        for arg in request.args:
+            try:
+                inputs.append(OID.parse(arg))
+            except Exception:
+                continue
+        return self.policy.check(self.db, request.script, inputs)
+
+    def _run(self, wrapper: Wrapper, request: ExecRequest) -> object:
+        if self._depth >= self.max_depth:
+            self.runs.append(
+                ToolRun(
+                    script=request.script,
+                    args=tuple(request.args),
+                    oid=request.oid,
+                    event=request.event.name,
+                    granted=True,
+                    executed=False,
+                    depth=self._depth,
+                    refusal_reasons=(f"automation depth limit {self.max_depth}",),
+                )
+            )
+            return None
+        self._depth += 1
+        try:
+            result = wrapper(request)
+        finally:
+            self._depth -= 1
+        self.runs.append(
+            ToolRun(
+                script=request.script,
+                args=tuple(request.args),
+                oid=request.oid,
+                event=request.event.name,
+                granted=True,
+                executed=True,
+                depth=self._depth,
+                result=result,
+            )
+        )
+        return result
+
+    # -- manual mode ------------------------------------------------------------
+
+    def run_pending(self) -> int:
+        """Designer trigger: run every parked invocation (manual mode).
+
+        Returns the number of invocations executed.  New exec requests
+        arriving while these run are parked again, mirroring a designer
+        working through a to-do list.
+        """
+        batch = self.pending
+        self.pending = []
+        executed = 0
+        for request in batch:
+            wrapper = self.resolve(request.script)
+            if wrapper is None:
+                continue
+            self._run(wrapper, request)
+            executed += 1
+        return executed
+
+    # -- reporting ----------------------------------------------------------------
+
+    def executed_runs(self) -> list[ToolRun]:
+        return [run for run in self.runs if run.executed]
+
+    def refused_runs(self) -> list[ToolRun]:
+        return [run for run in self.runs if not run.granted]
+
+    def counts(self) -> dict[str, int]:
+        return {
+            "requested": len(self.runs),
+            "executed": sum(1 for run in self.runs if run.executed),
+            "refused": sum(1 for run in self.runs if not run.granted),
+            "parked": len(self.pending),
+        }

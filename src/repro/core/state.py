@@ -1,0 +1,203 @@
+"""Design-state queries over a blueprint-managed database.
+
+"When a change propagation occurs, the state of the design is updated
+instantly.  Designers can retrieve the state of the project by performing
+queries.  Therefore, designers know exactly what data still needs to be
+modified before reaching a planned state in the project." (section 1)
+
+These helpers combine the raw meta-database with the blueprint's view
+definitions to answer the designer-level questions: what is this OID's
+state, which OIDs block the planned state, how healthy is each view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.blueprint import Blueprint
+from repro.core.expressions import Expression, MappingEnvironment, truthy
+from repro.metadb.database import MetaDatabase
+from repro.metadb.objects import MetaObject
+from repro.metadb.oid import OID
+from repro.metadb.properties import Value
+
+
+def design_state(db: MetaDatabase, oid: OID | str) -> dict[str, Value]:
+    """The full property state of one OID (the paper's per-OID state)."""
+    oid = OID.parse(oid) if isinstance(oid, str) else oid
+    return db.get(oid).state_summary()
+
+
+def evaluate_on(obj: MetaObject, expression: Expression | str) -> Value:
+    """Evaluate an ad-hoc expression against one OID's properties.
+
+    Wrappers use this for permission predicates ("prior to running a
+    simulation, the wrapper makes sure that the input netlist is up to
+    date", section 3.3).
+    """
+    if isinstance(expression, str):
+        expression = Expression.parse(expression)
+    env = MappingEnvironment(obj.properties.as_dict())
+    env.values.setdefault("oid", obj.oid.dotted())
+    env.values.setdefault("block", obj.oid.block)
+    env.values.setdefault("view", obj.oid.view)
+    env.values.setdefault("version", obj.oid.version)
+    return expression.evaluate(env)
+
+
+def is_up_to_date(db: MetaDatabase, oid: OID | str) -> bool:
+    """Truthiness of the conventional ``uptodate`` property."""
+    oid = OID.parse(oid) if isinstance(oid, str) else oid
+    return truthy(db.get(oid).get("uptodate"))
+
+
+def find_objects(
+    db: MetaDatabase,
+    condition: Expression | str,
+    *,
+    latest_only: bool = True,
+) -> list[MetaObject]:
+    """Select objects by an ad-hoc blueprint-language expression.
+
+    The designer-facing spelling of a volume query::
+
+        find_objects(db, "$view == schematic and $uptodate == false")
+        find_objects(db, "$state != true and $owner == yves")
+
+    The expression sees the same environment as :func:`evaluate_on`
+    (properties plus the $oid/$block/$view/$version builtins).
+    """
+    if isinstance(condition, str):
+        condition = Expression.parse(condition)
+    if latest_only:
+        candidates = [
+            obj
+            for obj in (
+                db.latest_version(block, view) for block, view in db.lineages()
+            )
+            if obj is not None
+        ]
+    else:
+        candidates = list(db.objects())
+    selected = [
+        obj for obj in candidates if truthy(evaluate_on(obj, condition))
+    ]
+    selected.sort(key=lambda obj: obj.oid)
+    return selected
+
+
+def stale_latest(db: MetaDatabase) -> list[MetaObject]:
+    """Latest versions whose ``uptodate`` property is false."""
+    stale = []
+    for block, view in db.lineages():
+        obj = db.latest_version(block, view)
+        if obj is not None and obj.has("uptodate") and not truthy(obj.get("uptodate")):
+            stale.append(obj)
+    stale.sort(key=lambda o: o.oid)
+    return stale
+
+
+@dataclass
+class ViewStatus:
+    """Aggregate health of one tracked view."""
+
+    view: str
+    objects: int = 0
+    latest: int = 0
+    up_to_date: int = 0
+    state_ok: int = 0
+
+    @property
+    def complete(self) -> bool:
+        """True when every latest version reached its planned state."""
+        return self.latest > 0 and self.state_ok == self.latest
+
+
+@dataclass
+class ProjectStatus:
+    """Per-view aggregate over the latest versions."""
+
+    views: dict[str, ViewStatus] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return bool(self.views) and all(v.complete for v in self.views.values())
+
+    def to_rows(self) -> list[tuple[str, int, int, int, int]]:
+        return [
+            (s.view, s.objects, s.latest, s.up_to_date, s.state_ok)
+            for s in sorted(self.views.values(), key=lambda s: s.view)
+        ]
+
+
+def project_status(
+    db: MetaDatabase, blueprint: Blueprint, state_property: str = "state"
+) -> ProjectStatus:
+    """Summarise every tracked view: counts, up-to-date, state-ok.
+
+    Views with no ``let state`` declaration count an object as state-ok
+    when it is up to date — the best available notion of "done" there.
+    """
+    status = ProjectStatus()
+    for view_name in blueprint.tracked_views():
+        status.views[view_name] = ViewStatus(view=view_name)
+    for obj in db.objects():
+        view_status = status.views.get(obj.view)
+        if view_status is not None:
+            view_status.objects += 1
+    for block, view in db.lineages():
+        view_status = status.views.get(view)
+        if view_status is None:
+            continue
+        obj = db.latest_version(block, view)
+        if obj is None:
+            continue
+        view_status.latest += 1
+        up = truthy(obj.get("uptodate")) if obj.has("uptodate") else True
+        if up:
+            view_status.up_to_date += 1
+        effective = blueprint.effective(view)
+        has_state = effective is not None and state_property in effective.lets
+        if has_state:
+            if obj.get(state_property) is True:
+                view_status.state_ok += 1
+        elif up:
+            view_status.state_ok += 1
+    return status
+
+
+@dataclass(frozen=True)
+class PendingWork:
+    """One OID that blocks the planned state, with the failing checks."""
+
+    oid: OID
+    failing: tuple[str, ...]
+
+
+def pending_work(
+    db: MetaDatabase, blueprint: Blueprint, state_property: str = "state"
+) -> list[PendingWork]:
+    """What still needs to be modified before the planned state.
+
+    For each latest version of a tracked view, report which of its
+    continuous assignments (or the ``uptodate`` convention) currently
+    evaluate false.  An empty list means the project reached its plan.
+    """
+    work: list[PendingWork] = []
+    for block, view in sorted(db.lineages()):
+        if not blueprint.tracks(view):
+            continue
+        obj = db.latest_version(block, view)
+        if obj is None:
+            continue
+        failing: list[str] = []
+        if obj.continuous:
+            for name in obj.continuous:
+                if not truthy(obj.get(name)):
+                    failing.append(name)
+        if obj.has("uptodate") and not truthy(obj.get("uptodate")):
+            if "uptodate" not in failing:
+                failing.append("uptodate")
+        if failing:
+            work.append(PendingWork(oid=obj.oid, failing=tuple(sorted(failing))))
+    return work

@@ -1,0 +1,256 @@
+"""Synthetic project generators.
+
+The paper evaluates on a real Motorola project we cannot obtain; these
+generators produce the synthetic equivalents the experiments sweep:
+
+* view-chain blueprints (flow depth),
+* block hierarchies under one view (use-link trees: depth × fanout),
+* random dependency DAGs (and optionally cyclic graphs, to exercise the
+  engine's termination guard),
+* change traces (sequences of check-ins, seeded and deterministic).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.metadb.database import MetaDatabase
+from repro.metadb.links import LinkClass
+from repro.metadb.oid import OID
+
+
+# ---------------------------------------------------------------------------
+# blueprint generators
+# ---------------------------------------------------------------------------
+
+
+def chain_blueprint_source(
+    n_views: int,
+    *,
+    event: str = "outofdate",
+    move: bool = True,
+    with_default: bool = True,
+    blueprint_name: str = "chain",
+) -> str:
+    """A linear flow of ``n_views`` views: v0 → v1 → ... → v(n-1).
+
+    Each view derives from its predecessor and propagates *event*; the
+    default view implements the paper's uptodate convention.
+    """
+    if n_views < 1:
+        raise ValueError("need at least one view")
+    lines = [f"blueprint {blueprint_name}", ""]
+    if with_default:
+        lines += [
+            "view default",
+            "  property uptodate default true",
+            f"  when ckin do uptodate = true; post {event} down done",
+            f"  when {event} do uptodate = false done",
+            "endview",
+            "",
+        ]
+    for index in range(n_views):
+        lines.append(f"view v{index}")
+        if index > 0:
+            move_kw = " move" if move else ""
+            lines.append(
+                f"  link_from v{index - 1}{move_kw} propagates {event} type derived"
+            )
+        lines.append("endview")
+        lines.append("")
+    lines.append("endblueprint")
+    return "\n".join(lines)
+
+
+def hierarchy_blueprint_source(
+    *,
+    view: str = "schematic",
+    event: str = "outofdate",
+    blueprint_name: str = "hier",
+) -> str:
+    """A single-view blueprint whose hierarchy propagates *event*."""
+    return "\n".join(
+        [
+            f"blueprint {blueprint_name}",
+            "view default",
+            "  property uptodate default true",
+            f"  when ckin do uptodate = true; post {event} down done",
+            f"  when {event} do uptodate = false done",
+            "endview",
+            f"view {view}",
+            f"  use_link move propagates {event}",
+            "endview",
+            "endblueprint",
+        ]
+    )
+
+
+# ---------------------------------------------------------------------------
+# structure builders
+# ---------------------------------------------------------------------------
+
+
+def build_chain_project(
+    n_views: int, *, block: str = "core", event: str = "outofdate"
+) -> tuple[MetaDatabase, BlueprintEngine]:
+    """A project with one block flowing through an ``n_views``-deep chain.
+
+    OIDs are created oldest view first so the blueprint's auto-linking
+    wires the chain.
+    """
+    db = MetaDatabase(name=f"chain{n_views}")
+    blueprint = Blueprint.from_source(chain_blueprint_source(n_views, event=event))
+    engine = BlueprintEngine(db, blueprint)
+    for index in range(n_views):
+        db.create_object(OID(block, f"v{index}", 1))
+    return db, engine
+
+
+def build_tree(
+    db: MetaDatabase,
+    *,
+    view: str = "schematic",
+    root_block: str = "top",
+    depth: int = 3,
+    fanout: int = 2,
+) -> list[OID]:
+    """A use-link tree: ``fanout`` children per node, ``depth`` levels.
+
+    Returns all created OIDs, root first (breadth-first order).  Links
+    are created parent → child, so they pick up the view's ``use_link``
+    template when a blueprint is attached.
+    """
+    root = OID(root_block, view, 1)
+    if db.find(root) is None:
+        db.create_object(root)
+    created = [root]
+    frontier = [root]
+    for level in range(1, depth):
+        next_frontier: list[OID] = []
+        for parent in frontier:
+            for child_index in range(fanout):
+                child = OID(f"{parent.block}_{child_index}", view, 1)
+                db.create_object(child)
+                db.add_link(parent, child, LinkClass.USE)
+                created.append(child)
+                next_frontier.append(child)
+        frontier = next_frontier
+    return created
+
+
+def build_random_dag(
+    db: MetaDatabase,
+    *,
+    n_nodes: int,
+    edge_probability: float = 0.15,
+    view: str = "data",
+    seed: int = 0,
+    propagates: tuple[str, ...] = ("outofdate",),
+) -> list[OID]:
+    """A random DAG of derive links over ``n_nodes`` blocks.
+
+    Edges only go from lower to higher index, so the graph is acyclic by
+    construction; :func:`add_back_edge` can break that deliberately.
+    """
+    rng = random.Random(seed)
+    oids = []
+    for index in range(n_nodes):
+        oid = OID(f"n{index}", view, 1)
+        db.create_object(oid)
+        oids.append(oid)
+    for i in range(n_nodes):
+        for j in range(i + 1, n_nodes):
+            if rng.random() < edge_probability:
+                db.add_link(
+                    oids[i], oids[j], LinkClass.DERIVE, propagates=propagates,
+                    link_type="derive_from",
+                )
+    return oids
+
+
+def add_back_edge(
+    db: MetaDatabase,
+    oids: list[OID],
+    *,
+    propagates: tuple[str, ...] = ("outofdate",),
+    seed: int = 1,
+) -> None:
+    """Add one cycle-forming edge (tests the engine's termination guard)."""
+    if len(oids) < 2:
+        raise ValueError("need at least two nodes for a back edge")
+    rng = random.Random(seed)
+    j = rng.randrange(1, len(oids))
+    i = rng.randrange(0, j)
+    db.add_link(
+        oids[j], oids[i], LinkClass.DERIVE, propagates=propagates,
+        link_type="derive_from",
+    )
+
+
+# ---------------------------------------------------------------------------
+# change traces
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Change:
+    """One design activity in a trace."""
+
+    block: str
+    view: str
+    user: str = "designer"
+
+
+@dataclass
+class ChangeTrace:
+    """A deterministic sequence of check-ins."""
+
+    changes: list[Change] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.changes)
+
+    def __iter__(self):
+        return iter(self.changes)
+
+
+def make_change_trace(
+    lineages: list[tuple[str, str]],
+    n_changes: int,
+    *,
+    seed: int = 0,
+    users: tuple[str, ...] = ("yves", "marc", "salma"),
+    hot_fraction: float = 0.3,
+) -> ChangeTrace:
+    """A skewed change trace: a "hot" subset of lineages changes most.
+
+    Real projects rework a few blocks constantly while the rest settles;
+    ``hot_fraction`` of the lineages receive ~80% of the changes.
+    """
+    if not lineages:
+        raise ValueError("need at least one lineage")
+    rng = random.Random(seed)
+    n_hot = max(1, int(len(lineages) * hot_fraction))
+    hot = lineages[:n_hot]
+    trace = ChangeTrace()
+    for _ in range(n_changes):
+        pool = hot if rng.random() < 0.8 else lineages
+        block, view = pool[rng.randrange(len(pool))]
+        trace.changes.append(
+            Change(block=block, view=view, user=rng.choice(users))
+        )
+    return trace
+
+
+def apply_change(db: MetaDatabase, engine: BlueprintEngine, change: Change) -> OID:
+    """Apply one change: create the next version and post its ckin."""
+    latest = db.latest_version(change.block, change.view)
+    version = 1 if latest is None else latest.version + 1
+    oid = OID(change.block, change.view, version)
+    db.create_object(oid)
+    engine.post("ckin", oid, "up", user=change.user)
+    engine.run()
+    return oid

@@ -1,0 +1,245 @@
+"""Configurations: lightweight snapshots of OIDs and links.
+
+Paper, section 2: "The third type of meta-data objects are Configurations,
+which consist of a set of database addresses, referencing OIDs and Links.
+This implementation results in light weight configuration objects, which
+can be used to store results of volume queries."
+
+A configuration therefore stores *addresses* (OIDs and link ids), never
+copies of the objects.  It can be built three ways, all provided here:
+
+* by traversing a hierarchy "while following certain rules";
+* as the result of a query (a "non-hierarchical set of data");
+* by snapshotting the full database at a design-cycle step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.metadb.database import MetaDatabase
+from repro.metadb.errors import ConfigurationError
+from repro.metadb.links import Direction, Link, LinkClass
+from repro.metadb.objects import MetaObject
+from repro.metadb.oid import OID
+
+#: A traversal rule decides whether the walk crosses *link* from *here*.
+TraversalRule = Callable[[Link, OID], bool]
+
+
+def use_links_only(link: Link, here: OID) -> bool:
+    """The default traversal rule: follow hierarchy (use) links only."""
+    return link.link_class is LinkClass.USE
+
+
+def all_links(link: Link, here: OID) -> bool:
+    """Traversal rule that crosses every link class."""
+    return True
+
+
+@dataclass
+class Configuration:
+    """A named, immutable-by-convention set of database addresses.
+
+    Attributes:
+        name: configuration name (unique within a registry).
+        description: free-form text ("state of hierarchy before tapeout").
+        oids: member object addresses.
+        link_ids: member link addresses.
+        created_clock: database logical time at creation, so one can tell
+            which of two snapshots of the same hierarchy is older.
+    """
+
+    name: str
+    description: str = ""
+    oids: frozenset[OID] = frozenset()
+    link_ids: frozenset[int] = frozenset()
+    created_clock: int = 0
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_oids(
+        cls,
+        db: MetaDatabase,
+        name: str,
+        oids: Iterable[OID],
+        description: str = "",
+        include_internal_links: bool = True,
+    ) -> "Configuration":
+        """Build a configuration from a query result (a set of OIDs).
+
+        When *include_internal_links* is set, links whose both endpoints
+        are members are included, so the configuration captures the
+        relationships among its members as well.
+        """
+        member_oids = frozenset(oids)
+        for oid in member_oids:
+            if oid not in db:
+                raise ConfigurationError(f"cannot snapshot unknown OID {oid}")
+        link_ids: set[int] = set()
+        if include_internal_links:
+            for oid in member_oids:
+                for link in db.links_of(oid):
+                    if link.source in member_oids and link.dest in member_oids:
+                        link_ids.add(link.link_id)
+        return cls(
+            name=name,
+            description=description,
+            oids=member_oids,
+            link_ids=frozenset(link_ids),
+            created_clock=db.clock,
+        )
+
+    @classmethod
+    def from_hierarchy(
+        cls,
+        db: MetaDatabase,
+        name: str,
+        root: OID,
+        rule: TraversalRule = use_links_only,
+        direction: Direction = Direction.DOWN,
+        description: str = "",
+    ) -> "Configuration":
+        """Build a configuration by traversing from *root*.
+
+        The walk starts at *root*, crosses each link for which *rule*
+        returns true in the given *direction*, and collects every visited
+        OID and crossed link.  With the default rule this captures "the
+        state of the design hierarchy in a snapshot" (section 2).
+        """
+        if root not in db:
+            raise ConfigurationError(f"cannot snapshot unknown root {root}")
+        visited: set[OID] = {root}
+        crossed: set[int] = set()
+        frontier = [root]
+        while frontier:
+            here = frontier.pop()
+            for link, other in db.neighbours(here, direction):
+                if not rule(link, here):
+                    continue
+                crossed.add(link.link_id)
+                if other not in visited:
+                    visited.add(other)
+                    frontier.append(other)
+        return cls(
+            name=name,
+            description=description,
+            oids=frozenset(visited),
+            link_ids=frozenset(crossed),
+            created_clock=db.clock,
+        )
+
+    @classmethod
+    def snapshot(
+        cls, db: MetaDatabase, name: str, description: str = ""
+    ) -> "Configuration":
+        """Snapshot the entire database (all objects and links)."""
+        return cls(
+            name=name,
+            description=description,
+            oids=frozenset(db.oids()),
+            link_ids=frozenset(link.link_id for link in db.links()),
+            created_clock=db.clock,
+        )
+
+    # -- access ---------------------------------------------------------------
+
+    def materialize(self, db: MetaDatabase) -> list[MetaObject]:
+        """Resolve the member addresses against *db* (sorted by OID).
+
+        Raises :class:`ConfigurationError` when an address has since been
+        deleted — configurations are addresses, not copies, so they can go
+        stale; :meth:`is_stale` checks without raising.
+        """
+        missing = [oid for oid in self.oids if oid not in db]
+        if missing:
+            raise ConfigurationError(
+                f"configuration {self.name!r} has stale addresses: "
+                + ", ".join(str(oid) for oid in sorted(missing))
+            )
+        return [db.get(oid) for oid in sorted(self.oids)]
+
+    def is_stale(self, db: MetaDatabase) -> bool:
+        """True when any member address no longer resolves."""
+        if any(oid not in db for oid in self.oids):
+            return True
+        live_links = {link.link_id for link in db.links()}
+        return any(link_id not in live_links for link_id in self.link_ids)
+
+    def __contains__(self, oid: OID) -> bool:
+        return oid in self.oids
+
+    def __len__(self) -> int:
+        return len(self.oids)
+
+    def __iter__(self) -> Iterator[OID]:
+        return iter(sorted(self.oids))
+
+    # -- set algebra ----------------------------------------------------------
+
+    def union(self, other: "Configuration", name: str) -> "Configuration":
+        return Configuration(
+            name=name,
+            description=f"union of {self.name} and {other.name}",
+            oids=self.oids | other.oids,
+            link_ids=self.link_ids | other.link_ids,
+            created_clock=max(self.created_clock, other.created_clock),
+        )
+
+    def intersection(self, other: "Configuration", name: str) -> "Configuration":
+        return Configuration(
+            name=name,
+            description=f"intersection of {self.name} and {other.name}",
+            oids=self.oids & other.oids,
+            link_ids=self.link_ids & other.link_ids,
+            created_clock=max(self.created_clock, other.created_clock),
+        )
+
+    def diff(self, other: "Configuration") -> dict[str, frozenset[OID]]:
+        """What changed between two snapshots of the same design.
+
+        Returns ``{"added": ..., "removed": ...}`` relative to *self*
+        (i.e. *other* is the newer snapshot).
+        """
+        return {
+            "added": other.oids - self.oids,
+            "removed": self.oids - other.oids,
+        }
+
+
+@dataclass
+class ConfigurationRegistry:
+    """Named store of configurations attached to a database."""
+
+    db: MetaDatabase
+    _configs: dict[str, Configuration] = field(default_factory=dict)
+
+    def save(self, config: Configuration) -> None:
+        if config.name in self._configs:
+            raise ConfigurationError(f"configuration {config.name!r} exists")
+        self._configs[config.name] = config
+
+    def replace(self, config: Configuration) -> None:
+        self._configs[config.name] = config
+
+    def get(self, name: str) -> Configuration:
+        try:
+            return self._configs[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown configuration {name!r}") from None
+
+    def delete(self, name: str) -> None:
+        if name not in self._configs:
+            raise ConfigurationError(f"unknown configuration {name!r}")
+        del self._configs[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._configs)
+
+    def __len__(self) -> int:
+        return len(self._configs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._configs

@@ -1,0 +1,359 @@
+"""The DAMOCLES meta-database.
+
+The central store of meta-data objects (:class:`~repro.metadb.objects.
+MetaObject`), links and configurations, with the indexes the run-time
+engine needs for event propagation (links by endpoint) and the version
+manager needs for inheritance (versions by lineage).
+
+DAMOCLES is an *observer* system: design activities mutate the database
+(create objects, create links) and interested parties — the project
+BluePrint above all — subscribe to creation hooks to apply template rules.
+The database itself enforces only structural integrity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.metadb.errors import (
+    DuplicateLinkError,
+    DuplicateOIDError,
+    UnknownLinkError,
+    UnknownOIDError,
+)
+from repro.metadb.links import Direction, Link, LinkClass
+from repro.metadb.objects import MetaObject
+from repro.metadb.oid import OID
+
+ObjectHook = Callable[[MetaObject], None]
+LinkHook = Callable[[Link], None]
+
+
+@dataclass
+class MetaDatabase:
+    """In-memory meta-database with endpoint and lineage indexes.
+
+    The database assigns a monotonically increasing sequence number to
+    every created object and link; the sequence doubles as a logical
+    clock for configurations and the analysis layer.
+    """
+
+    name: str = "project"
+    _objects: dict[OID, MetaObject] = field(default_factory=dict)
+    _links: dict[int, Link] = field(default_factory=dict)
+    _outgoing: dict[OID, set[int]] = field(default_factory=dict)
+    _incoming: dict[OID, set[int]] = field(default_factory=dict)
+    _lineages: dict[tuple[str, str], list[int]] = field(default_factory=dict)
+    _seq: int = 0
+    _next_link_id: int = 1
+    object_hooks: list[ObjectHook] = field(default_factory=list)
+    link_hooks: list[LinkHook] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # sequence / clock
+    # ------------------------------------------------------------------
+
+    @property
+    def clock(self) -> int:
+        """The current logical time (last assigned sequence number)."""
+        return self._seq
+
+    def _tick(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # ------------------------------------------------------------------
+    # objects
+    # ------------------------------------------------------------------
+
+    def create_object(
+        self,
+        oid: OID | str,
+        properties: dict[str, object] | None = None,
+        *,
+        fire_hooks: bool = True,
+    ) -> MetaObject:
+        """Create the meta-data object for *oid*.
+
+        Raises :class:`DuplicateOIDError` if the OID already exists.
+        Creation hooks run after the object is fully indexed, so hook code
+        (blueprint templates) sees a consistent database.
+        """
+        oid = OID.parse(oid) if isinstance(oid, str) else oid
+        if oid in self._objects:
+            raise DuplicateOIDError(oid)
+        obj = MetaObject(oid=oid, created_seq=self._tick())
+        if properties:
+            obj.properties.update(properties)
+        self._objects[oid] = obj
+        versions = self._lineages.setdefault(oid.lineage, [])
+        # keep the lineage list sorted; check-ins normally append
+        if versions and versions[-1] > oid.version:
+            versions.append(oid.version)
+            versions.sort()
+        else:
+            versions.append(oid.version)
+        if fire_hooks:
+            for hook in list(self.object_hooks):
+                hook(obj)
+        return obj
+
+    def get(self, oid: OID | str) -> MetaObject:
+        oid = OID.parse(oid) if isinstance(oid, str) else oid
+        try:
+            return self._objects[oid]
+        except KeyError:
+            raise UnknownOIDError(oid) from None
+
+    def find(self, oid: OID | str) -> MetaObject | None:
+        oid = OID.parse(oid) if isinstance(oid, str) else oid
+        return self._objects.get(oid)
+
+    def __contains__(self, oid: OID) -> bool:
+        return oid in self._objects
+
+    def remove_object(self, oid: OID) -> None:
+        """Delete an object and every link incident to it."""
+        if oid not in self._objects:
+            raise UnknownOIDError(oid)
+        for link_id in list(self._outgoing.get(oid, ())) + list(
+            self._incoming.get(oid, ())
+        ):
+            if link_id in self._links:
+                self.remove_link(link_id)
+        del self._objects[oid]
+        versions = self._lineages.get(oid.lineage)
+        if versions is not None:
+            versions.remove(oid.version)
+            if not versions:
+                del self._lineages[oid.lineage]
+
+    def objects(self) -> Iterator[MetaObject]:
+        return iter(self._objects.values())
+
+    def oids(self) -> Iterator[OID]:
+        return iter(self._objects.keys())
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    @property
+    def object_count(self) -> int:
+        return len(self._objects)
+
+    @property
+    def link_count(self) -> int:
+        return len(self._links)
+
+    # ------------------------------------------------------------------
+    # lineages / versions
+    # ------------------------------------------------------------------
+
+    def versions_of(self, block: str, view: str) -> list[int]:
+        """All version numbers of (block, view), ascending."""
+        return list(self._lineages.get((block, view), ()))
+
+    def latest_version(self, block: str, view: str) -> MetaObject | None:
+        """The highest-numbered version of (block, view), if any."""
+        versions = self._lineages.get((block, view))
+        if not versions:
+            return None
+        return self._objects[OID(block, view, versions[-1])]
+
+    def previous_version(self, oid: OID) -> MetaObject | None:
+        """The newest version of *oid*'s lineage older than *oid*."""
+        versions = self._lineages.get(oid.lineage, ())
+        older = [v for v in versions if v < oid.version]
+        if not older:
+            return None
+        return self._objects[oid.with_version(older[-1])]
+
+    def lineages(self) -> Iterator[tuple[str, str]]:
+        return iter(self._lineages.keys())
+
+    def blocks_of_view(self, view: str) -> list[str]:
+        """All block names that have at least one version in *view*."""
+        return sorted({b for (b, v) in self._lineages if v == view})
+
+    def views_of_block(self, block: str) -> list[str]:
+        """All view types that block has at least one version in."""
+        return sorted({v for (b, v) in self._lineages if b == block})
+
+    # ------------------------------------------------------------------
+    # links
+    # ------------------------------------------------------------------
+
+    def add_link(
+        self,
+        source: OID | str,
+        dest: OID | str,
+        link_class: LinkClass = LinkClass.DERIVE,
+        *,
+        propagates: Iterable[str] = (),
+        link_type: str | None = None,
+        move: bool = False,
+        fire_hooks: bool = True,
+    ) -> Link:
+        """Create a link from *source* to *dest*.
+
+        Both endpoints must exist.  An exact duplicate (same endpoints and
+        class) raises :class:`DuplicateLinkError` — the paper's templates
+        never create parallel identical links, and catching duplicates
+        early has caught several flow-definition mistakes in practice.
+        """
+        source = OID.parse(source) if isinstance(source, str) else source
+        dest = OID.parse(dest) if isinstance(dest, str) else dest
+        if source not in self._objects:
+            raise UnknownOIDError(source)
+        if dest not in self._objects:
+            raise UnknownOIDError(dest)
+        for link_id in self._outgoing.get(source, ()):
+            existing = self._links[link_id]
+            if existing.dest == dest and existing.link_class is link_class:
+                raise DuplicateLinkError(
+                    f"link {source} -> {dest} ({link_class}) already exists"
+                )
+        link = Link(
+            link_id=self._next_link_id,
+            source=source,
+            dest=dest,
+            link_class=link_class,
+            propagates=set(propagates),
+            link_type=link_type,
+            move=move,
+        )
+        self._next_link_id += 1
+        self._tick()
+        self._links[link.link_id] = link
+        self._outgoing.setdefault(source, set()).add(link.link_id)
+        self._incoming.setdefault(dest, set()).add(link.link_id)
+        if fire_hooks:
+            for hook in list(self.link_hooks):
+                hook(link)
+        return link
+
+    def get_link(self, link_id: int) -> Link:
+        try:
+            return self._links[link_id]
+        except KeyError:
+            raise UnknownLinkError(link_id) from None
+
+    def remove_link(self, link_id: int) -> None:
+        link = self.get_link(link_id)
+        self._outgoing.get(link.source, set()).discard(link_id)
+        self._incoming.get(link.dest, set()).discard(link_id)
+        del self._links[link_id]
+
+    def links(self) -> Iterator[Link]:
+        return iter(self._links.values())
+
+    def links_of(self, oid: OID) -> list[Link]:
+        """Every link incident to *oid* (outgoing then incoming)."""
+        out_ids = sorted(self._outgoing.get(oid, ()))
+        in_ids = sorted(self._incoming.get(oid, ()))
+        return [self._links[i] for i in out_ids] + [self._links[i] for i in in_ids]
+
+    def outgoing(self, oid: OID) -> list[Link]:
+        return [self._links[i] for i in sorted(self._outgoing.get(oid, ()))]
+
+    def incoming(self, oid: OID) -> list[Link]:
+        return [self._links[i] for i in sorted(self._incoming.get(oid, ()))]
+
+    def neighbours(self, oid: OID, direction: Direction) -> list[tuple[Link, OID]]:
+        """(link, other-end) pairs reachable one hop *direction*-ward."""
+        result: list[tuple[Link, OID]] = []
+        for link in self.links_of(oid):
+            other = link.endpoint_toward(direction, oid)
+            if other is not None:
+                result.append((link, other))
+        return result
+
+    def retarget_link(
+        self, link_id: int, *, source: OID | None = None, dest: OID | None = None
+    ) -> Link:
+        """Re-attach one endpoint of a link (the `move` mechanics).
+
+        Used when a new version of an OID is created and the blueprint
+        declared the link with ``move``: the link "is automatically
+        shifted from the old version to the new version" (section 3.4).
+        """
+        link = self.get_link(link_id)
+        new_source = source if source is not None else link.source
+        new_dest = dest if dest is not None else link.dest
+        if new_source not in self._objects:
+            raise UnknownOIDError(new_source)
+        if new_dest not in self._objects:
+            raise UnknownOIDError(new_dest)
+        self._outgoing.get(link.source, set()).discard(link_id)
+        self._incoming.get(link.dest, set()).discard(link_id)
+        link.source = new_source
+        link.dest = new_dest
+        self._outgoing.setdefault(new_source, set()).add(link_id)
+        self._incoming.setdefault(new_dest, set()).add(link_id)
+        return link
+
+    # ------------------------------------------------------------------
+    # hooks
+    # ------------------------------------------------------------------
+
+    def on_object_created(self, hook: ObjectHook) -> None:
+        """Register *hook* to run after every object creation."""
+        self.object_hooks.append(hook)
+
+    def on_link_created(self, hook: LinkHook) -> None:
+        """Register *hook* to run after every link creation."""
+        self.link_hooks.append(hook)
+
+    def clear_hooks(self) -> None:
+        self.object_hooks.clear()
+        self.link_hooks.clear()
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Structural counters for reports and sanity checks."""
+        return {
+            "objects": len(self._objects),
+            "links": len(self._links),
+            "lineages": len(self._lineages),
+            "use_links": sum(
+                1 for l in self._links.values() if l.link_class is LinkClass.USE
+            ),
+            "derive_links": sum(
+                1 for l in self._links.values() if l.link_class is LinkClass.DERIVE
+            ),
+            "clock": self._seq,
+        }
+
+    def check_integrity(self) -> list[str]:
+        """Return a list of integrity violations (empty when healthy)."""
+        problems: list[str] = []
+        for link_id, link in self._links.items():
+            if link.source not in self._objects:
+                problems.append(f"link {link_id} has dangling source {link.source}")
+            if link.dest not in self._objects:
+                problems.append(f"link {link_id} has dangling dest {link.dest}")
+            if link_id not in self._outgoing.get(link.source, set()):
+                problems.append(f"link {link_id} missing from outgoing index")
+            if link_id not in self._incoming.get(link.dest, set()):
+                problems.append(f"link {link_id} missing from incoming index")
+        for oid, ids in self._outgoing.items():
+            for link_id in ids:
+                if link_id not in self._links:
+                    problems.append(f"outgoing index of {oid} has stale id {link_id}")
+        for oid, ids in self._incoming.items():
+            for link_id in ids:
+                if link_id not in self._links:
+                    problems.append(f"incoming index of {oid} has stale id {link_id}")
+        for (block, view), versions in self._lineages.items():
+            if sorted(versions) != versions:
+                problems.append(f"lineage {block}.{view} versions out of order")
+            for version in versions:
+                if OID(block, view, version) not in self._objects:
+                    problems.append(
+                        f"lineage {block}.{view} lists missing version {version}"
+                    )
+        return problems

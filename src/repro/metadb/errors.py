@@ -1,0 +1,60 @@
+"""Exception hierarchy for the DAMOCLES meta-database substrate.
+
+Every error raised by :mod:`repro.metadb` derives from :class:`MetaDBError`
+so callers can catch substrate failures with a single handler while still
+being able to discriminate the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class MetaDBError(Exception):
+    """Base class for all meta-database errors."""
+
+
+class InvalidOIDError(MetaDBError):
+    """An OID string or triplet could not be parsed or is malformed."""
+
+
+class UnknownOIDError(MetaDBError, KeyError):
+    """An operation referenced an OID that is not in the database."""
+
+    def __init__(self, oid: object) -> None:
+        super().__init__(f"unknown OID: {oid}")
+        self.oid = oid
+
+
+class DuplicateOIDError(MetaDBError):
+    """An object with the same (block, view, version) already exists."""
+
+    def __init__(self, oid: object) -> None:
+        super().__init__(f"duplicate OID: {oid}")
+        self.oid = oid
+
+
+class UnknownLinkError(MetaDBError, KeyError):
+    """An operation referenced a link id that is not in the database."""
+
+    def __init__(self, link_id: object) -> None:
+        super().__init__(f"unknown link id: {link_id}")
+        self.link_id = link_id
+
+
+class DuplicateLinkError(MetaDBError):
+    """An identical link (same endpoints and class) already exists."""
+
+
+class ConfigurationError(MetaDBError):
+    """A configuration operation failed (unknown name, stale address...)."""
+
+
+class WorkspaceError(MetaDBError):
+    """A workspace (data repository) operation failed."""
+
+
+class PersistenceError(MetaDBError):
+    """A save/load round-trip failed or the on-disk format is invalid."""
+
+
+class PropertyError(MetaDBError):
+    """A property operation failed (e.g. reserved name misuse)."""

@@ -1,0 +1,168 @@
+"""Links between meta-data objects.
+
+Paper, section 2: relationships between design objects are represented by
+*Links*.  DAMOCLES distinguishes two classes:
+
+* **use** links — hierarchy *within* a view type (``<cpu, SCHEMA, 4>`` uses
+  ``<reg, SCHEMA, 2>``); parent and child are of the same view type;
+* **derive** links — every other relationship: derivation, dependency,
+  equivalence, composition...
+
+Every link carries a ``PROPAGATE`` property enumerating the events allowed
+to travel through it, and derive links carry a free-form ``TYPE``
+annotation ("like comments which help the user in visualizing the data
+flow").  Events travel *down* (source → destination) or *up*
+(destination → source).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.metadb.oid import OID
+from repro.metadb.properties import PropertyBag
+
+
+class Direction(enum.Enum):
+    """Propagation direction of an event through the link graph.
+
+    ``DOWN`` follows links from their source endpoint to their destination
+    (from a parent view to the views derived from it, or from a hierarchy
+    parent to its components); ``UP`` travels against the links.
+    """
+
+    UP = "up"
+    DOWN = "down"
+
+    @classmethod
+    def parse(cls, text: str) -> "Direction":
+        lowered = text.strip().lower()
+        for member in cls:
+            if member.value == lowered:
+                return member
+        raise ValueError(f"bad direction {text!r}: expected 'up' or 'down'")
+
+    def reverse(self) -> "Direction":
+        return Direction.UP if self is Direction.DOWN else Direction.DOWN
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class LinkClass(enum.Enum):
+    """The two DAMOCLES link classes."""
+
+    USE = "use"
+    DERIVE = "derive"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Common derive-link TYPE annotations enumerated in section 3.2.
+COMPOSITION = "composition"
+EQUIVALENCE = "equivalence"
+DEPEND_ON = "depend_on"
+DERIVE_FROM = "derive_from"
+KNOWN_LINK_TYPES = frozenset(
+    {COMPOSITION, EQUIVALENCE, DEPEND_ON, DERIVE_FROM, "derived"}
+)
+
+#: Reserved property names on links.
+PROPAGATE = "PROPAGATE"
+TYPE = "TYPE"
+
+
+@dataclass
+class Link:
+    """A directed relationship between two OIDs.
+
+    The link is directed from :attr:`source` to :attr:`dest`:
+
+    * for **use** links the source is the hierarchy parent;
+    * for **derive** links the source is the view the data was derived
+      from (``link_from NetList`` inside view ``GDSII`` yields
+      NetList → GDSII).
+
+    :attr:`propagates` is the set of event names allowed through
+    (the ``PROPAGATE`` property); :attr:`link_type` is the free-form
+    ``TYPE`` annotation; :attr:`move` records whether the blueprint
+    template declared the link with the ``move`` keyword, in which case
+    new versions of an endpoint steal the link from the old version.
+    """
+
+    link_id: int
+    source: OID
+    dest: OID
+    link_class: LinkClass
+    propagates: set[str] = field(default_factory=set)
+    link_type: str | None = None
+    move: bool = False
+    properties: PropertyBag = field(default_factory=PropertyBag)
+
+    def __post_init__(self) -> None:
+        if self.link_class is LinkClass.USE and self.source.view != self.dest.view:
+            raise ValueError(
+                "a use link represents hierarchy within one view type; "
+                f"got {self.source} -> {self.dest}"
+            )
+        # Mirror the semantic fields into the property bag so that generic
+        # property queries see PROPAGATE / TYPE exactly as the paper does.
+        self.properties.set(PROPAGATE, ",".join(sorted(self.propagates)))
+        if self.link_type is not None:
+            self.properties.set(TYPE, self.link_type)
+
+    # -- propagation control ----------------------------------------------
+
+    def allows(self, event_name: str) -> bool:
+        """True when *event_name* is in this link's PROPAGATE list."""
+        return event_name in self.propagates
+
+    def allow(self, event_name: str) -> None:
+        """Add *event_name* to the PROPAGATE list."""
+        self.propagates.add(event_name)
+        self.properties.set(PROPAGATE, ",".join(sorted(self.propagates)))
+
+    def disallow(self, event_name: str) -> None:
+        """Remove *event_name* from the PROPAGATE list (no-op if absent)."""
+        self.propagates.discard(event_name)
+        self.properties.set(PROPAGATE, ",".join(sorted(self.propagates)))
+
+    def endpoint_toward(self, direction: Direction, here: OID) -> OID | None:
+        """The OID an event travelling *direction* reaches from *here*.
+
+        Returns ``None`` when the link does not leave *here* in that
+        direction (e.g. asking to go DOWN from the link's destination).
+        """
+        if direction is Direction.DOWN and here == self.source:
+            return self.dest
+        if direction is Direction.UP and here == self.dest:
+            return self.source
+        return None
+
+    def other_end(self, here: OID) -> OID:
+        """The endpoint that is not *here* (raises if *here* is neither)."""
+        if here == self.source:
+            return self.dest
+        if here == self.dest:
+            return self.source
+        raise ValueError(f"{here} is not an endpoint of link {self.link_id}")
+
+    def touches(self, oid: OID) -> bool:
+        return oid == self.source or oid == self.dest
+
+    # -- rendering ----------------------------------------------------------
+
+    def describe(self) -> str:
+        """One-line human description used by viz and debug dumps."""
+        kind = self.link_type or self.link_class.value
+        events = ",".join(sorted(self.propagates)) or "-"
+        flags = " move" if self.move else ""
+        return (
+            f"{self.source.dotted()} -[{kind} propagates {events}{flags}]-> "
+            f"{self.dest.dotted()}"
+        )
+
+    def __str__(self) -> str:
+        return self.describe()

@@ -1,0 +1,77 @@
+"""Meta-data objects: the database-side image of a piece of design data.
+
+"To each design object corresponds a meta-data object (referenced by an
+OID) ..." (paper, section 2).  The meta object carries the property/value
+pairs that encode the design state (``DRC = ok``, ``uptodate = false`` ...)
+plus bookkeeping the tracking system needs: a logical creation stamp and
+the continuous assignments attached by the blueprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.metadb.oid import OID
+from repro.metadb.properties import PropertyBag, Value
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.core.expressions import Expression
+
+
+@dataclass
+class MetaObject:
+    """The meta-database record for one design object version.
+
+    Attributes:
+        oid: the ``<block, view, version>`` identifier.
+        properties: design-state property/value pairs.
+        created_seq: logical creation timestamp (database sequence number);
+            later objects always have larger stamps.
+        continuous: continuous assignments (name → expression) attached by
+            blueprint template rules; the engine re-evaluates these after
+            every event targeting this object.
+        checked_out_by: user holding the object checked out, if any —
+            used by workspace transactions.
+    """
+
+    oid: OID
+    properties: PropertyBag = field(default_factory=PropertyBag)
+    created_seq: int = 0
+    continuous: dict[str, "Expression"] = field(default_factory=dict)
+    checked_out_by: str | None = None
+
+    @property
+    def block(self) -> str:
+        return self.oid.block
+
+    @property
+    def view(self) -> str:
+        return self.oid.view
+
+    @property
+    def version(self) -> int:
+        return self.oid.version
+
+    # -- property convenience ------------------------------------------------
+
+    def get(self, name: str, default: Value | None = None) -> Value | None:
+        return self.properties.get(name, default)
+
+    def set(self, name: str, value: object) -> None:
+        self.properties.set(name, value)
+
+    def has(self, name: str) -> bool:
+        return name in self.properties
+
+    # -- state ----------------------------------------------------------------
+
+    def state_summary(self) -> dict[str, Value]:
+        """A snapshot of all properties (the object's design state)."""
+        return self.properties.as_dict()
+
+    def __str__(self) -> str:
+        props = ", ".join(
+            f"{name}={self.properties.text(name)}" for name in sorted(self.properties)
+        )
+        return f"{self.oid} {{{props}}}"

@@ -1,0 +1,154 @@
+"""JSON persistence for the meta-database.
+
+The 1995 DAMOCLES server kept its meta-database in a proprietary store;
+we persist to a single documented JSON file so projects survive process
+restarts and so test fixtures can be version-controlled.  The format is
+versioned; loading an unknown version fails loudly rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.metadb.configurations import Configuration, ConfigurationRegistry
+from repro.metadb.database import MetaDatabase
+from repro.metadb.errors import PersistenceError
+from repro.metadb.links import LinkClass
+from repro.metadb.oid import OID
+
+FORMAT_VERSION = 1
+
+
+def database_to_dict(
+    db: MetaDatabase, registry: ConfigurationRegistry | None = None
+) -> dict:
+    """Serialise *db* (and optionally its configurations) to plain data."""
+    objects = []
+    for obj in sorted(db.objects(), key=lambda o: o.oid):
+        objects.append(
+            {
+                "oid": obj.oid.wire(),
+                "properties": obj.properties.as_dict(),
+                "created_seq": obj.created_seq,
+                "checked_out_by": obj.checked_out_by,
+            }
+        )
+    links = []
+    for link in sorted(db.links(), key=lambda l: l.link_id):
+        links.append(
+            {
+                "id": link.link_id,
+                "source": link.source.wire(),
+                "dest": link.dest.wire(),
+                "class": link.link_class.value,
+                "propagates": sorted(link.propagates),
+                "type": link.link_type,
+                "move": link.move,
+            }
+        )
+    configurations = []
+    if registry is not None:
+        for name in registry.names():
+            config = registry.get(name)
+            configurations.append(
+                {
+                    "name": config.name,
+                    "description": config.description,
+                    "oids": sorted(oid.wire() for oid in config.oids),
+                    "link_ids": sorted(config.link_ids),
+                    "created_clock": config.created_clock,
+                }
+            )
+    return {
+        "format": FORMAT_VERSION,
+        "name": db.name,
+        "objects": objects,
+        "links": links,
+        "configurations": configurations,
+    }
+
+
+def database_from_dict(
+    data: dict,
+) -> tuple[MetaDatabase, ConfigurationRegistry]:
+    """Rebuild a database (and configuration registry) from plain data.
+
+    Creation hooks do **not** fire during a load: the stored state already
+    reflects every template application, so re-firing would double-apply
+    blueprint rules.
+    """
+    if not isinstance(data, dict):
+        raise PersistenceError("database file must contain a JSON object")
+    if data.get("format") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported format version {data.get('format')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    db = MetaDatabase(name=data.get("name", "project"))
+    try:
+        for record in data["objects"]:
+            obj = db.create_object(
+                OID.parse(record["oid"]),
+                record.get("properties") or {},
+                fire_hooks=False,
+            )
+            obj.created_seq = record.get("created_seq", obj.created_seq)
+            obj.checked_out_by = record.get("checked_out_by")
+        id_map: dict[int, int] = {}
+        for record in data["links"]:
+            link = db.add_link(
+                OID.parse(record["source"]),
+                OID.parse(record["dest"]),
+                LinkClass(record["class"]),
+                propagates=record.get("propagates", ()),
+                link_type=record.get("type"),
+                move=record.get("move", False),
+                fire_hooks=False,
+            )
+            id_map[record["id"]] = link.link_id
+        registry = ConfigurationRegistry(db)
+        for record in data.get("configurations", ()):
+            registry.save(
+                Configuration(
+                    name=record["name"],
+                    description=record.get("description", ""),
+                    oids=frozenset(
+                        OID.parse(text) for text in record.get("oids", ())
+                    ),
+                    link_ids=frozenset(
+                        id_map[link_id]
+                        for link_id in record.get("link_ids", ())
+                        if link_id in id_map
+                    ),
+                    created_clock=record.get("created_clock", 0),
+                )
+            )
+    except KeyError as exc:
+        raise PersistenceError(f"missing field in database file: {exc}") from exc
+    return db, registry
+
+
+def save_database(
+    db: MetaDatabase,
+    path: Path | str,
+    registry: ConfigurationRegistry | None = None,
+) -> Path:
+    """Write *db* to *path* as JSON; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = database_to_dict(db, registry)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_database(path: Path | str) -> tuple[MetaDatabase, ConfigurationRegistry]:
+    """Load a database previously written by :func:`save_database`."""
+    path = Path(path)
+    if not path.exists():
+        raise PersistenceError(f"no database file at {path}")
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"corrupt database file {path}: {exc}") from exc
+    return database_from_dict(data)

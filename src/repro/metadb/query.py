@@ -1,0 +1,169 @@
+"""Designer-facing queries over the meta-database.
+
+"Designers can retrieve the state of the project by performing queries.
+Therefore, designers know exactly what data still needs to be modified
+before reaching a planned state in the project." (paper, section 1)
+
+The query interface is a small fluent builder over the database plus a few
+canned volume queries whose results are typically stored in configurations
+(section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.metadb.database import MetaDatabase
+from repro.metadb.objects import MetaObject
+from repro.metadb.oid import OID
+from repro.metadb.properties import Value, coerce_value
+
+Predicate = Callable[[MetaObject], bool]
+
+
+@dataclass
+class Query:
+    """Fluent query builder.
+
+    Example::
+
+        stale = (Query(db)
+                 .view("schematic")
+                 .where_property("uptodate", False)
+                 .latest_only()
+                 .select())
+    """
+
+    db: MetaDatabase
+    _predicates: list[Predicate] = field(default_factory=list)
+    _latest_only: bool = False
+
+    # -- filters ------------------------------------------------------------
+
+    def where(self, predicate: Predicate) -> "Query":
+        """Add an arbitrary predicate over meta objects."""
+        self._predicates.append(predicate)
+        return self
+
+    def view(self, view: str) -> "Query":
+        """Keep only objects of the given view type."""
+        return self.where(lambda obj: obj.view == view)
+
+    def block(self, block: str) -> "Query":
+        """Keep only objects of the given block."""
+        return self.where(lambda obj: obj.block == block)
+
+    def where_property(self, name: str, value: object) -> "Query":
+        """Keep objects whose property *name* equals *value* (coerced)."""
+        wanted = coerce_value(value)
+        return self.where(lambda obj: obj.get(name) == wanted)
+
+    def where_property_not(self, name: str, value: object) -> "Query":
+        wanted = coerce_value(value)
+        return self.where(lambda obj: obj.get(name) != wanted)
+
+    def has_property(self, name: str) -> "Query":
+        return self.where(lambda obj: obj.has(name))
+
+    def version_at_least(self, version: int) -> "Query":
+        return self.where(lambda obj: obj.version >= version)
+
+    def checked_out(self) -> "Query":
+        return self.where(lambda obj: obj.checked_out_by is not None)
+
+    def latest_only(self) -> "Query":
+        """Keep only the newest version of each (block, view) lineage."""
+        self._latest_only = True
+        return self
+
+    # -- execution ------------------------------------------------------------
+
+    def select(self) -> list[MetaObject]:
+        """Run the query; results sorted by OID for determinism."""
+        candidates: Iterable[MetaObject]
+        if self._latest_only:
+            candidates = (
+                obj
+                for obj in (
+                    self.db.latest_version(block, view)
+                    for block, view in self.db.lineages()
+                )
+                if obj is not None
+            )
+        else:
+            candidates = self.db.objects()
+        result = [
+            obj
+            for obj in candidates
+            if all(predicate(obj) for predicate in self._predicates)
+        ]
+        result.sort(key=lambda obj: obj.oid)
+        return result
+
+    def oids(self) -> list[OID]:
+        return [obj.oid for obj in self.select()]
+
+    def count(self) -> int:
+        return len(self.select())
+
+    def exists(self) -> bool:
+        return self.count() > 0
+
+    def first(self) -> MetaObject | None:
+        selected = self.select()
+        return selected[0] if selected else None
+
+
+# ---------------------------------------------------------------------------
+# canned volume queries
+# ---------------------------------------------------------------------------
+
+
+def stale_objects(
+    db: MetaDatabase, property_name: str = "uptodate"
+) -> list[MetaObject]:
+    """Latest versions whose *property_name* is false — the classic
+    "what still needs to be modified" query of section 1."""
+    return (
+        Query(db).where_property(property_name, False).latest_only().select()
+    )
+
+
+def objects_failing_state(
+    db: MetaDatabase, state_property: str = "state"
+) -> list[MetaObject]:
+    """Latest versions whose computed state property is not true.
+
+    Objects without the state property at all are included: an object the
+    blueprint never validated cannot have reached the planned state.
+    """
+    failing = []
+    for block, view in db.lineages():
+        obj = db.latest_version(block, view)
+        if obj is not None and obj.get(state_property) is not True:
+            failing.append(obj)
+    failing.sort(key=lambda obj: obj.oid)
+    return failing
+
+
+def property_histogram(
+    db: MetaDatabase, name: str, latest_only: bool = True
+) -> dict[Value | None, int]:
+    """Count objects by the value of property *name*."""
+    query = Query(db)
+    if latest_only:
+        query = query.latest_only()
+    histogram: dict[Value | None, int] = {}
+    for obj in query.select():
+        key = obj.get(name)
+        histogram[key] = histogram.get(key, 0) + 1
+    return histogram
+
+
+def view_census(db: MetaDatabase) -> dict[str, int]:
+    """Number of objects per view type (all versions)."""
+    census: dict[str, int] = {}
+    for obj in db.objects():
+        census[obj.view] = census.get(obj.view, 0) + 1
+    return dict(sorted(census.items()))

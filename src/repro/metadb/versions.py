@@ -1,0 +1,145 @@
+"""Version management and the inheritance scheme.
+
+The paper's meta-data model extends the configuration information with
+"the inheritance scheme used for version control" (section 1): when a new
+version of an OID is created,
+
+* each declared property is either **copied** from the previous version,
+  **moved** from it (the old version reverts to its default), or simply
+  re-created at its default value (Figure 2);
+* links declared with the ``move`` keyword are automatically shifted from
+  the old version to the new version (Figure 3 and section 3.4's
+  ``REG.schematic.2`` example).
+
+This module provides the *mechanics*; the *policy* (which properties copy,
+which links move) lives in the blueprint templates that call these
+functions from database hooks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.metadb.database import MetaDatabase
+from repro.metadb.objects import MetaObject
+from repro.metadb.oid import OID
+from repro.metadb.properties import Value
+
+
+class InheritMode(enum.Enum):
+    """How a property travels from one version to the next."""
+
+    NONE = "none"   # new version starts at the declared default
+    COPY = "copy"   # value duplicated; old version keeps it
+    MOVE = "move"   # value transferred; old version reverts to default
+
+    @classmethod
+    def parse(cls, text: str | None) -> "InheritMode":
+        if text is None:
+            return cls.NONE
+        lowered = text.strip().lower()
+        for member in cls:
+            if member.value == lowered:
+                return member
+        raise ValueError(f"bad inherit mode {text!r}")
+
+
+@dataclass(frozen=True)
+class PropertySpec:
+    """A blueprint property declaration: name, default, inheritance."""
+
+    name: str
+    default: Value
+    inherit: InheritMode = InheritMode.NONE
+
+
+def inherit_property(
+    spec: PropertySpec,
+    new_obj: MetaObject,
+    previous: MetaObject | None,
+) -> None:
+    """Apply *spec* to a freshly created version.
+
+    Implements Figure 2: the first version gets the declared default;
+    later versions copy or move the previous version's value according to
+    the spec, or re-default when the spec declares no inheritance.
+    """
+    if previous is None or spec.inherit is InheritMode.NONE:
+        new_obj.set(spec.name, spec.default)
+        return
+    inherited = previous.get(spec.name, spec.default)
+    new_obj.set(spec.name, inherited)
+    if spec.inherit is InheritMode.MOVE:
+        previous.set(spec.name, spec.default)
+
+
+def shift_move_links(db: MetaDatabase, old: OID, new: OID) -> list[int]:
+    """Re-attach every ``move`` link incident to *old* onto *new*.
+
+    Returns the ids of the links that were shifted.  Implements Figure 3
+    and the section 3.4 rule: "when a new version of an OID is created,
+    these links are automatically shifted from the old version to the new
+    version".  The endpoint the old version occupied is the endpoint that
+    moves; the far end is untouched.
+    """
+    shifted: list[int] = []
+    for link in list(db.links_of(old)):
+        if not link.move:
+            continue
+        if link.source == old:
+            db.retarget_link(link.link_id, source=new)
+        else:
+            db.retarget_link(link.link_id, dest=new)
+        shifted.append(link.link_id)
+    return shifted
+
+
+def next_version_oid(db: MetaDatabase, block: str, view: str) -> OID:
+    """The OID the next check-in of (block, view) will create."""
+    latest = db.latest_version(block, view)
+    if latest is None:
+        return OID(block, view, 1)
+    return latest.oid.successor()
+
+
+def create_version(
+    db: MetaDatabase,
+    block: str,
+    view: str,
+    properties: dict[str, object] | None = None,
+) -> MetaObject:
+    """Create the next version of (block, view) and fire creation hooks.
+
+    This is the low-level primitive used by workspace check-ins.  Template
+    application (property inheritance, link moves) happens in the hooks the
+    blueprint registered on the database, keeping policy out of the
+    substrate.
+    """
+    oid = next_version_oid(db, block, view)
+    return db.create_object(oid, properties)
+
+
+@dataclass
+class VersionHistory:
+    """A read-only view over one lineage's versions, newest last."""
+
+    db: MetaDatabase
+    block: str
+    view: str
+
+    def versions(self) -> list[MetaObject]:
+        return [
+            self.db.get(OID(self.block, self.view, v))
+            for v in self.db.versions_of(self.block, self.view)
+        ]
+
+    def latest(self) -> MetaObject | None:
+        return self.db.latest_version(self.block, self.view)
+
+    def __len__(self) -> int:
+        return len(self.db.versions_of(self.block, self.view))
+
+    def property_trail(self, name: str) -> list[tuple[int, Value | None]]:
+        """(version, value) pairs for property *name* across the lineage."""
+        return [(obj.version, obj.get(name)) for obj in self.versions()]

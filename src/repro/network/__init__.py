@@ -1,0 +1,34 @@
+"""Event transport: the ``postEvent`` wire protocol, an in-process bus
+and a localhost TCP project server (Figure 1's network path)."""
+
+from repro.network.bus import EventBus
+from repro.network.client import BlueprintClient, ClientError, post_event_main
+from repro.network.protocol import (
+    Command,
+    ProtocolError,
+    err_response,
+    format_post_event,
+    format_query_response,
+    ok_response,
+    parse_command,
+    parse_post_event,
+)
+from repro.network.server import ProjectServer, server_main, wait_for_port
+
+__all__ = [
+    "EventBus",
+    "BlueprintClient",
+    "ClientError",
+    "post_event_main",
+    "Command",
+    "ProtocolError",
+    "format_post_event",
+    "parse_post_event",
+    "parse_command",
+    "ok_response",
+    "err_response",
+    "format_query_response",
+    "ProjectServer",
+    "server_main",
+    "wait_for_port",
+]

@@ -1,0 +1,91 @@
+"""In-process event bus: the transport used by tests and single-process
+projects.
+
+The bus speaks the same line dialect as the TCP server, so a wrapper
+written against the bus works unchanged against the network — the
+"generic interface which facilitates the tool integration" of the
+conclusion.  ``process_after_post`` controls whether each accepted event
+is processed immediately (synchronous projects, the default) or left in
+the queue for an explicit :meth:`drain` (batching, benchmarks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.engine import BlueprintEngine
+from repro.core.events import EventMessage
+from repro.metadb.links import Direction
+from repro.metadb.oid import OID
+from repro.network.protocol import (
+    Command,
+    ProtocolError,
+    err_response,
+    format_query_response,
+    ok_response,
+    parse_command,
+)
+
+
+@dataclass
+class EventBus:
+    """Line-protocol front end over one :class:`BlueprintEngine`."""
+
+    engine: BlueprintEngine
+    process_after_post: bool = True
+    lines_seen: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    # -- programmatic posting -------------------------------------------------
+
+    def post(
+        self,
+        name: str,
+        target: OID | str,
+        direction: Direction | str = Direction.DOWN,
+        arg: str = "",
+        user: str = "",
+    ) -> EventMessage:
+        event = self.engine.post(name, target, direction, arg, user)
+        if self.process_after_post:
+            self.engine.run()
+        return event
+
+    def post_message(self, event: EventMessage) -> EventMessage:
+        stamped = self.engine.post_message(event)
+        if self.process_after_post:
+            self.engine.run()
+        return stamped
+
+    def drain(self) -> int:
+        """Process everything pending; returns the number of waves run."""
+        return self.engine.run()
+
+    # -- line protocol -----------------------------------------------------------
+
+    def handle_line(self, line: str) -> str:
+        """Process one wire line, returning the response line."""
+        self.lines_seen += 1
+        try:
+            command = parse_command(line)
+        except ProtocolError as exc:
+            self.errors.append(str(exc))
+            return err_response(str(exc))
+        return self.handle_command(command)
+
+    def handle_command(self, command: Command) -> str:
+        if command.kind == "ping":
+            return "PONG"
+        if command.kind == "quit":
+            return "BYE"
+        if command.kind == "post":
+            assert command.event is not None
+            stamped = self.post_message(command.event)
+            return ok_response(str(stamped.seq))
+        if command.kind == "query":
+            assert command.oid is not None
+            obj = self.engine.db.find(command.oid)
+            if obj is None:
+                return err_response(f"unknown OID {command.oid}")
+            return format_query_response(obj.properties.as_dict())
+        return err_response(f"unhandled command kind {command.kind!r}")

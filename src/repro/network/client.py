@@ -1,0 +1,124 @@
+"""Client side of the project-server protocol.
+
+:class:`BlueprintClient` is what wrapper programs embed; ``postEvent`` is
+the command-line spelling the paper's shell wrappers call::
+
+    postEvent ckin up reg,verilog,4 "logic sim passed"
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+from dataclasses import dataclass
+
+from repro.core.events import EventMessage
+from repro.metadb.links import Direction
+from repro.metadb.oid import OID
+from repro.network.protocol import format_post_event
+
+
+class ClientError(RuntimeError):
+    """A transport failure or an ERR response from the server."""
+
+
+@dataclass
+class BlueprintClient:
+    """A small line-protocol client with one connection per call.
+
+    One-shot connections keep wrapper scripts trivial (no connection
+    state to manage) at a negligible cost on localhost.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 7865
+    timeout: float = 5.0
+
+    def _roundtrip(self, line: str) -> str:
+        try:
+            with socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            ) as conn:
+                conn.sendall((line + "\n").encode("utf-8"))
+                file = conn.makefile("r", encoding="utf-8")
+                response = file.readline().strip()
+        except OSError as exc:
+            raise ClientError(
+                f"cannot reach project server at {self.host}:{self.port}: {exc}"
+            ) from exc
+        if not response:
+            raise ClientError("empty response from project server")
+        return response
+
+    def post_event(
+        self,
+        name: str,
+        target: OID | str,
+        direction: Direction | str = Direction.DOWN,
+        arg: str = "",
+        user: str = "",
+    ) -> int:
+        """Post one event; returns the server-assigned sequence number."""
+        target = OID.parse(target) if isinstance(target, str) else target
+        direction = (
+            Direction.parse(direction) if isinstance(direction, str) else direction
+        )
+        event = EventMessage(
+            name=name, direction=direction, target=target, arg=arg, user=user
+        )
+        response = self._roundtrip(format_post_event(event))
+        if response.startswith("OK"):
+            detail = response[2:].strip()
+            return int(detail) if detail else 0
+        raise ClientError(response)
+
+    def query(self, oid: OID | str) -> dict[str, str]:
+        """Fetch the property state of one OID as text values."""
+        oid = OID.parse(oid) if isinstance(oid, str) else oid
+        response = self._roundtrip(f"query {oid.wire()}")
+        if response.startswith("ERR"):
+            raise ClientError(response)
+        body = response[2:].strip()
+        properties: dict[str, str] = {}
+        for chunk in body.split():
+            if "=" in chunk:
+                name, _, value = chunk.partition("=")
+                properties[name] = value
+        return properties
+
+    def ping(self) -> bool:
+        return self._roundtrip("ping") == "PONG"
+
+
+def post_event_main(argv: list[str] | None = None) -> int:
+    """The ``postEvent`` console command used by wrapper shell scripts.
+
+    Usage: ``postEvent EVENT up|down BLOCK,VIEW,VERSION ["ARG"]``.
+    Server location comes from ``$BLUEPRINT_HOST`` / ``$BLUEPRINT_PORT``
+    (defaults 127.0.0.1:7865).
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="postEvent", description="post a design event to the BluePrint"
+    )
+    parser.add_argument("event")
+    parser.add_argument("direction", choices=["up", "down"])
+    parser.add_argument("oid", help="BLOCK,VIEW,VERSION")
+    parser.add_argument("arg", nargs="?", default="")
+    parser.add_argument("--user", default=os.environ.get("USER", ""))
+    args = parser.parse_args(argv)
+
+    client = BlueprintClient(
+        host=os.environ.get("BLUEPRINT_HOST", "127.0.0.1"),
+        port=int(os.environ.get("BLUEPRINT_PORT", "7865")),
+    )
+    try:
+        seq = client.post_event(
+            args.event, args.oid, args.direction, args.arg, args.user
+        )
+    except (ClientError, Exception) as exc:
+        print(f"postEvent: {exc}")
+        return 1
+    print(f"posted #{seq}")
+    return 0

@@ -1,0 +1,138 @@
+"""The ``postEvent`` wire protocol.
+
+Design activities "transmit information ... to the BluePrint by sending
+events through the computer network" (section 1).  The wire format is the
+paper's wrapper-script command::
+
+    postEvent ckin up reg,verilog,4 "logic sim passed"
+
+i.e. ``postEvent EVENT up|down BLOCK,VIEW,VERSION ["ARG"]``.  The project
+server speaks a line-oriented dialect around it:
+
+* ``postEvent ...``  → ``OK <seq>`` or ``ERR <reason>``
+* ``query BLOCK,VIEW,VERSION``  → ``OK <prop>=<value> ...`` or ``ERR ...``
+* ``ping``  → ``PONG``
+* ``quit``  → closes the connection
+
+All messages are UTF-8 lines terminated by ``\\n``.
+"""
+
+from __future__ import annotations
+
+import shlex
+from dataclasses import dataclass
+
+from repro.core.events import EventMessage
+from repro.metadb.links import Direction
+from repro.metadb.oid import OID
+
+
+class ProtocolError(ValueError):
+    """A malformed wire line."""
+
+
+POST_EVENT = "postEvent"
+QUERY = "query"
+PING = "ping"
+QUIT = "quit"
+
+
+def format_post_event(event: EventMessage) -> str:
+    """Render *event* as a ``postEvent`` line."""
+    line = f"{POST_EVENT} {event.name} {event.direction.value} {event.target.wire()}"
+    if event.arg:
+        escaped = event.arg.replace("\\", "\\\\").replace('"', '\\"')
+        line += f' "{escaped}"'
+    if event.user:
+        escaped = event.user.replace("\\", "\\\\").replace('"', '\\"')
+        if not event.arg:
+            line += ' ""'
+        line += f' "{escaped}"'
+    return line
+
+
+def parse_post_event(line: str) -> EventMessage:
+    """Parse a ``postEvent`` line into an :class:`EventMessage`.
+
+    Raises :class:`ProtocolError` with a human-readable reason; the
+    server relays it verbatim in the ``ERR`` response.
+    """
+    try:
+        parts = shlex.split(line)
+    except ValueError as exc:
+        raise ProtocolError(f"bad quoting: {exc}") from exc
+    if not parts or parts[0] != POST_EVENT:
+        raise ProtocolError(f"expected '{POST_EVENT}', got {line!r}")
+    if len(parts) < 4:
+        raise ProtocolError(
+            "usage: postEvent EVENT up|down BLOCK,VIEW,VERSION [\"ARG\"] [\"USER\"]"
+        )
+    name = parts[1]
+    try:
+        direction = Direction.parse(parts[2])
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from exc
+    try:
+        target = OID.parse(parts[3])
+    except Exception as exc:
+        raise ProtocolError(f"bad OID {parts[3]!r}: {exc}") from exc
+    arg = parts[4] if len(parts) > 4 else ""
+    user = parts[5] if len(parts) > 5 else ""
+    if len(parts) > 6:
+        raise ProtocolError(f"trailing junk after user: {parts[6:]!r}")
+    try:
+        return EventMessage(
+            name=name, direction=direction, target=target, arg=arg, user=user
+        )
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from exc
+
+
+@dataclass(frozen=True)
+class Command:
+    """One parsed server command."""
+
+    kind: str  # "post" | "query" | "ping" | "quit"
+    event: EventMessage | None = None
+    oid: OID | None = None
+
+
+def parse_command(line: str) -> Command:
+    """Parse any server-dialect line."""
+    stripped = line.strip()
+    if not stripped:
+        raise ProtocolError("empty command")
+    head = stripped.split(None, 1)[0]
+    if head == POST_EVENT:
+        return Command(kind="post", event=parse_post_event(stripped))
+    if head == QUERY:
+        parts = stripped.split()
+        if len(parts) != 2:
+            raise ProtocolError("usage: query BLOCK,VIEW,VERSION")
+        try:
+            return Command(kind="query", oid=OID.parse(parts[1]))
+        except Exception as exc:
+            raise ProtocolError(f"bad OID {parts[1]!r}: {exc}") from exc
+    if head == PING:
+        return Command(kind="ping")
+    if head == QUIT:
+        return Command(kind="quit")
+    raise ProtocolError(f"unknown command {head!r}")
+
+
+def ok_response(detail: str = "") -> str:
+    return f"OK {detail}".rstrip()
+
+
+def err_response(reason: str) -> str:
+    return "ERR " + reason.replace("\n", " ")
+
+
+def format_query_response(properties: dict[str, object]) -> str:
+    from repro.metadb.properties import value_to_text
+
+    rendered = " ".join(
+        f"{name}={value_to_text(value)}"  # type: ignore[arg-type]
+        for name, value in sorted(properties.items())
+    )
+    return ok_response(rendered)

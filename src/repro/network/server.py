@@ -1,0 +1,149 @@
+"""The DAMOCLES project server: a TCP front end for the BluePrint.
+
+Figure 1 shows design events flowing from the design environment over the
+network into the project server's message queue.  This server accepts the
+line dialect of :mod:`repro.network.protocol` on localhost TCP, feeds an
+:class:`~repro.network.bus.EventBus`, and serialises all engine work under
+one lock — "events are processed sequentially, first-in first-out".
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+from dataclasses import dataclass
+
+from repro.core.engine import BlueprintEngine
+from repro.network.bus import EventBus
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        server: "_TCPServer" = self.server  # type: ignore[assignment]
+        while True:
+            raw = self.rfile.readline()
+            if not raw:
+                return
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            with server.lock:
+                response = server.bus.handle_line(line)
+            self.wfile.write((response + "\n").encode("utf-8"))
+            if response == "BYE":
+                return
+
+
+class _TCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], bus: EventBus) -> None:
+        super().__init__(address, _Handler)
+        self.bus = bus
+        self.lock = threading.Lock()
+
+
+@dataclass
+class ProjectServer:
+    """Lifecycle wrapper: start/stop a threaded project server.
+
+    Usage::
+
+        server = ProjectServer(engine).start()
+        ... clients connect to ("127.0.0.1", server.port) ...
+        server.stop()
+    """
+
+    engine: BlueprintEngine
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = pick a free port
+
+    def __post_init__(self) -> None:
+        self._server: _TCPServer | None = None
+        self._thread: threading.Thread | None = None
+        self.bus = EventBus(self.engine)
+
+    def start(self) -> "ProjectServer":
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = _TCPServer((self.host, self.port), self.bus)
+        self.port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name="blueprint-server", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "ProjectServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+
+def server_main(argv: list[str] | None = None) -> int:
+    """CLI entry point: serve a blueprint file over TCP.
+
+    Usage: ``blueprintd BLUEPRINT_FILE [--port N] [--db DB_JSON]``
+    """
+    import argparse
+
+    from repro.core.blueprint import Blueprint
+    from repro.metadb.database import MetaDatabase
+    from repro.metadb.persistence import load_database
+
+    parser = argparse.ArgumentParser(
+        prog="blueprintd", description="DAMOCLES project BluePrint server"
+    )
+    parser.add_argument("blueprint", help="path to the blueprint rule file")
+    parser.add_argument("--port", type=int, default=7865)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--db", help="optional JSON meta-database to load")
+    args = parser.parse_args(argv)
+
+    blueprint = Blueprint.from_file(args.blueprint)
+    if args.db:
+        db, _registry = load_database(args.db)
+    else:
+        db = MetaDatabase()
+    engine = BlueprintEngine(db, blueprint)
+    server = ProjectServer(engine, host=args.host, port=args.port).start()
+    print(f"blueprintd: serving {blueprint.name!r} on {server.host}:{server.port}")
+    try:
+        while True:
+            threading.Event().wait(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def wait_for_port(host: str, port: int, timeout: float = 5.0) -> bool:
+    """Poll until a TCP port accepts connections (test helper)."""
+    import time
+
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with socket.create_connection((host, port), timeout=0.2):
+                return True
+        except OSError:
+            time.sleep(0.02)
+    return False

@@ -1,0 +1,6 @@
+"""Design tasks: data-derived project work items (the paper's section 5
+future work)."""
+
+from repro.tasks.model import DesignTask, TaskBoard, TaskState, TaskStatus
+
+__all__ = ["DesignTask", "TaskBoard", "TaskState", "TaskStatus"]

@@ -1,0 +1,164 @@
+"""Design tasks: the paper's future-work extension, implemented.
+
+"We are currently investigating ways to incorporate the notion of design
+tasks to the project BluePrint which gives a higher level of description
+of design activities and their environment." (section 5)
+
+A :class:`DesignTask` names a unit of project work ("verify the CPU
+netlist"), scopes it to a view (optionally one block), and states its
+completion as an expression over the data's properties — the same
+expression language the blueprint uses.  A :class:`TaskBoard` evaluates
+tasks against the live meta-database, honouring dependencies, so project
+leads see progress derived from actual design state rather than
+hand-updated tickets.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.expressions import Expression, truthy
+from repro.core.state import evaluate_on
+from repro.metadb.database import MetaDatabase
+from repro.metadb.objects import MetaObject
+
+
+class TaskState(enum.Enum):
+    BLOCKED = "blocked"      # a dependency is not done
+    WAITING = "waiting"      # no data exists yet for the scope
+    IN_PROGRESS = "in_progress"  # data exists, goal not yet met
+    DONE = "done"            # goal met on every in-scope latest version
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class DesignTask:
+    """One unit of project work with a data-derived completion goal."""
+
+    name: str
+    view: str
+    goal: Expression
+    block: str | None = None  # None = every block of the view
+    assignee: str = ""
+    description: str = ""
+    depends_on: tuple[str, ...] = ()
+
+    @classmethod
+    def parse(
+        cls,
+        name: str,
+        view: str,
+        goal: str,
+        *,
+        block: str | None = None,
+        assignee: str = "",
+        description: str = "",
+        depends_on: tuple[str, ...] = (),
+    ) -> "DesignTask":
+        return cls(
+            name=name,
+            view=view,
+            goal=Expression.parse(goal),
+            block=block,
+            assignee=assignee,
+            description=description,
+            depends_on=depends_on,
+        )
+
+    def scope(self, db: MetaDatabase) -> list[MetaObject]:
+        """The latest versions this task's goal is evaluated on."""
+        objects: list[MetaObject] = []
+        for block, view in db.lineages():
+            if view != self.view:
+                continue
+            if self.block is not None and block != self.block:
+                continue
+            latest = db.latest_version(block, view)
+            if latest is not None:
+                objects.append(latest)
+        objects.sort(key=lambda obj: obj.oid)
+        return objects
+
+    def goal_met(self, db: MetaDatabase) -> bool:
+        objects = self.scope(db)
+        if not objects:
+            return False
+        return all(truthy(evaluate_on(obj, self.goal)) for obj in objects)
+
+
+@dataclass
+class TaskStatus:
+    """One task's evaluated status."""
+
+    task: DesignTask
+    state: TaskState
+    scope_size: int
+    failing: tuple[str, ...] = ()
+
+
+@dataclass
+class TaskBoard:
+    """Evaluates a set of design tasks against the live database."""
+
+    db: MetaDatabase
+    tasks: dict[str, DesignTask] = field(default_factory=dict)
+
+    def add(self, task: DesignTask) -> "TaskBoard":
+        if task.name in self.tasks:
+            raise ValueError(f"duplicate task {task.name!r}")
+        for dependency in task.depends_on:
+            if dependency not in self.tasks:
+                raise ValueError(
+                    f"task {task.name!r} depends on unknown {dependency!r}"
+                )
+        self.tasks[task.name] = task
+        return self
+
+    def status_of(self, name: str) -> TaskStatus:
+        task = self.tasks[name]
+        for dependency in task.depends_on:
+            if self.status_of(dependency).state is not TaskState.DONE:
+                return TaskStatus(task=task, state=TaskState.BLOCKED, scope_size=0)
+        objects = task.scope(self.db)
+        if not objects:
+            return TaskStatus(task=task, state=TaskState.WAITING, scope_size=0)
+        failing = tuple(
+            obj.oid.dotted()
+            for obj in objects
+            if not truthy(evaluate_on(obj, task.goal))
+        )
+        state = TaskState.DONE if not failing else TaskState.IN_PROGRESS
+        return TaskStatus(
+            task=task, state=state, scope_size=len(objects), failing=failing
+        )
+
+    def statuses(self) -> list[TaskStatus]:
+        return [self.status_of(name) for name in sorted(self.tasks)]
+
+    def done_fraction(self) -> float:
+        statuses = self.statuses()
+        if not statuses:
+            return 1.0
+        done = sum(1 for status in statuses if status.state is TaskState.DONE)
+        return done / len(statuses)
+
+    def report(self) -> str:
+        from repro.analysis.reporting import ascii_table
+
+        rows = []
+        for status in self.statuses():
+            rows.append(
+                (
+                    status.task.name,
+                    status.task.assignee or "-",
+                    str(status.state),
+                    status.scope_size,
+                    ", ".join(status.failing) or "-",
+                )
+            )
+        return ascii_table(
+            ["task", "assignee", "state", "scope", "failing"], rows
+        )

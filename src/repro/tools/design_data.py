@@ -1,0 +1,944 @@
+"""Synthetic-but-functional design data formats.
+
+The paper's tool set is a commercial 1995 EDA suite we cannot obtain, so
+the reproduction uses small text formats that genuinely behave like
+design data: HDL models are boolean networks you can simulate, schematics
+and netlists are gate graphs you can flatten and evaluate, layouts are
+rectangle lists you can DRC, and extraction/LVS compares netlist against
+layout.  Every tool in :mod:`repro.tools.simulated` computes real results
+over these formats, so event arguments like ``"2 errors"`` or
+``"is_equiv"`` are measurements, not canned strings.
+
+Formats (line-oriented, ``#`` comments allowed)::
+
+    hdl CPU                      schematic CPU            layout CPU
+    input a b c                  input a b c              cell g1 AND 0 0 8 8
+    output y                     output y                 cell g2 NOT 12 0 20 8
+    assign y = (a & b) | ~c      gate AND g1 a b -> n1    end
+    end                          gate NOT g2 c -> n2
+                                 gate OR g3 n1 n2 -> y
+                                 use REG u1 a b -> n3
+                                 end
+
+A ``netlist`` block is a ``schematic`` with all ``use`` instances inlined
+(flattened hierarchy).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+
+class DesignDataError(ValueError):
+    """Malformed design-data text."""
+
+
+#: Gate types, with their arity. NOT/BUF are unary; the rest binary.
+GATE_ARITY: dict[str, int] = {
+    "AND": 2,
+    "OR": 2,
+    "XOR": 2,
+    "NAND": 2,
+    "NOR": 2,
+    "NOT": 1,
+    "BUF": 1,
+}
+
+
+def _gate_eval(gate_type: str, values: list[bool]) -> bool:
+    if gate_type == "AND":
+        return values[0] and values[1]
+    if gate_type == "OR":
+        return values[0] or values[1]
+    if gate_type == "XOR":
+        return values[0] != values[1]
+    if gate_type == "NAND":
+        return not (values[0] and values[1])
+    if gate_type == "NOR":
+        return not (values[0] or values[1])
+    if gate_type == "NOT":
+        return not values[0]
+    if gate_type == "BUF":
+        return values[0]
+    raise DesignDataError(f"unknown gate type {gate_type!r}")
+
+
+# ---------------------------------------------------------------------------
+# HDL models: boolean expression networks
+# ---------------------------------------------------------------------------
+
+
+class BoolExpr:
+    """Expression AST for HDL ``assign`` right-hand sides."""
+
+    def evaluate(self, values: dict[str, bool]) -> bool:
+        raise NotImplementedError
+
+    def to_text(self) -> str:
+        raise NotImplementedError
+
+    def variables(self) -> set[str]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Var(BoolExpr):
+    name: str
+
+    def evaluate(self, values: dict[str, bool]) -> bool:
+        try:
+            return values[self.name]
+        except KeyError:
+            raise DesignDataError(f"undriven signal {self.name!r}") from None
+
+    def to_text(self) -> str:
+        return self.name
+
+    def variables(self) -> set[str]:
+        return {self.name}
+
+
+@dataclass(frozen=True)
+class UnaryOp(BoolExpr):
+    op: str  # "~"
+    operand: BoolExpr
+
+    def evaluate(self, values: dict[str, bool]) -> bool:
+        return not self.operand.evaluate(values)
+
+    def to_text(self) -> str:
+        return f"~{_paren(self.operand)}"
+
+    def variables(self) -> set[str]:
+        return self.operand.variables()
+
+
+@dataclass(frozen=True)
+class BinaryOp(BoolExpr):
+    op: str  # "&" "|" "^"
+    left: BoolExpr
+    right: BoolExpr
+
+    def evaluate(self, values: dict[str, bool]) -> bool:
+        left = self.left.evaluate(values)
+        right = self.right.evaluate(values)
+        if self.op == "&":
+            return left and right
+        if self.op == "|":
+            return left or right
+        if self.op == "^":
+            return left != right
+        raise DesignDataError(f"unknown operator {self.op!r}")
+
+    def to_text(self) -> str:
+        return f"{_paren(self.left)} {self.op} {_paren(self.right)}"
+
+    def variables(self) -> set[str]:
+        return self.left.variables() | self.right.variables()
+
+
+def _paren(expr: BoolExpr) -> str:
+    if isinstance(expr, BinaryOp):
+        return f"({expr.to_text()})"
+    return expr.to_text()
+
+
+_BOOL_TOKEN_RE = re.compile(r"\s*([&|^~()]|[A-Za-z_]\w*)")
+
+
+def parse_bool_expr(text: str) -> BoolExpr:
+    """Parse ``(a & b) | ~c`` style expressions.
+
+    Precedence (tightest first): ``~``, ``&``, ``^``, ``|``.
+    """
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        match = _BOOL_TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip():
+                raise DesignDataError(f"bad expression character in {text!r}")
+            break
+        tokens.append(match.group(1))
+        pos = match.end()
+    index = 0
+
+    def peek() -> str | None:
+        return tokens[index] if index < len(tokens) else None
+
+    def take() -> str:
+        nonlocal index
+        token = tokens[index]
+        index += 1
+        return token
+
+    def parse_or() -> BoolExpr:
+        node = parse_xor()
+        while peek() == "|":
+            take()
+            node = BinaryOp("|", node, parse_xor())
+        return node
+
+    def parse_xor() -> BoolExpr:
+        node = parse_and()
+        while peek() == "^":
+            take()
+            node = BinaryOp("^", node, parse_and())
+        return node
+
+    def parse_and() -> BoolExpr:
+        node = parse_unary()
+        while peek() == "&":
+            take()
+            node = BinaryOp("&", node, parse_unary())
+        return node
+
+    def parse_unary() -> BoolExpr:
+        token = peek()
+        if token == "~":
+            take()
+            return UnaryOp("~", parse_unary())
+        if token == "(":
+            take()
+            node = parse_or()
+            if peek() != ")":
+                raise DesignDataError(f"missing ')' in {text!r}")
+            take()
+            return node
+        if token is None or token in "&|^)":
+            raise DesignDataError(f"unexpected end/operator in {text!r}")
+        return Var(take())
+
+    node = parse_or()
+    if index != len(tokens):
+        raise DesignDataError(f"trailing tokens in {text!r}")
+    return node
+
+
+@dataclass
+class HdlModel:
+    """A combinational boolean network: the ``HDL_model`` view's data."""
+
+    name: str
+    inputs: list[str]
+    outputs: list[str]
+    assigns: dict[str, BoolExpr]
+
+    def validate(self) -> None:
+        for output in self.outputs:
+            if output not in self.assigns:
+                raise DesignDataError(f"output {output!r} has no assign")
+        known = set(self.inputs) | set(self.assigns)
+        for target, expr in self.assigns.items():
+            undriven = expr.variables() - known
+            if undriven:
+                raise DesignDataError(
+                    f"assign {target!r} reads undriven {sorted(undriven)}"
+                )
+
+    def evaluate(self, vector: dict[str, bool]) -> dict[str, bool]:
+        """Outputs for one input vector (intermediate assigns resolved)."""
+        values = dict(vector)
+        resolving: set[str] = set()
+
+        def resolve(name: str) -> bool:
+            if name in values:
+                return values[name]
+            if name in resolving:
+                raise DesignDataError(f"combinational loop through {name!r}")
+            resolving.add(name)
+            expr = self.assigns.get(name)
+            if expr is None:
+                raise DesignDataError(f"undriven signal {name!r}")
+            needed = {v: resolve(v) for v in expr.variables()}
+            values[name] = expr.evaluate(needed)
+            resolving.discard(name)
+            return values[name]
+
+        return {output: resolve(output) for output in self.outputs}
+
+    def to_text(self) -> str:
+        lines = [f"hdl {self.name}"]
+        lines.append("input " + " ".join(self.inputs))
+        lines.append("output " + " ".join(self.outputs))
+        for target in self.assigns:
+            lines.append(f"assign {target} = {self.assigns[target].to_text()}")
+        lines.append("end")
+        return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# schematics and netlists: gate graphs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate instance: ``gate TYPE NAME in... -> out``."""
+
+    gate_type: str
+    name: str
+    inputs: tuple[str, ...]
+    output: str
+
+    def to_line(self) -> str:
+        return (
+            f"gate {self.gate_type} {self.name} "
+            + " ".join(self.inputs)
+            + f" -> {self.output}"
+        )
+
+
+@dataclass(frozen=True)
+class UseInst:
+    """One hierarchical instance: ``use BLOCK NAME in... -> out``.
+
+    The instantiated block's first output drives ``output``; extra
+    outputs of the sub-block are left internal.
+    """
+
+    block: str
+    name: str
+    inputs: tuple[str, ...]
+    output: str
+
+    def to_line(self) -> str:
+        return (
+            f"use {self.block} {self.name} "
+            + " ".join(self.inputs)
+            + f" -> {self.output}"
+        )
+
+
+@dataclass
+class Schematic:
+    """A gate-level schematic, possibly hierarchical (``use`` instances)."""
+
+    name: str
+    inputs: list[str]
+    outputs: list[str]
+    gates: list[Gate] = field(default_factory=list)
+    uses: list[UseInst] = field(default_factory=list)
+    kind: str = "schematic"  # or "netlist"
+
+    @property
+    def is_flat(self) -> bool:
+        return not self.uses
+
+    def gate_census(self) -> dict[str, int]:
+        census: dict[str, int] = {}
+        for gate in self.gates:
+            census[gate.gate_type] = census.get(gate.gate_type, 0) + 1
+        return dict(sorted(census.items()))
+
+    def evaluate(self, vector: dict[str, bool]) -> dict[str, bool]:
+        """Evaluate a *flat* schematic/netlist on one input vector."""
+        if not self.is_flat:
+            raise DesignDataError(
+                f"{self.name}: evaluate requires a flat netlist "
+                f"(run the netlister first)"
+            )
+        values: dict[str, bool] = dict(vector)
+        driver: dict[str, Gate] = {gate.output: gate for gate in self.gates}
+        resolving: set[str] = set()
+
+        def resolve(net: str) -> bool:
+            if net in values:
+                return values[net]
+            gate = driver.get(net)
+            if gate is None:
+                raise DesignDataError(f"{self.name}: undriven net {net!r}")
+            if net in resolving:
+                raise DesignDataError(f"{self.name}: loop through {net!r}")
+            resolving.add(net)
+            values[net] = _gate_eval(gate.gate_type, [resolve(i) for i in gate.inputs])
+            resolving.discard(net)
+            return values[net]
+
+        return {output: resolve(output) for output in self.outputs}
+
+    def to_text(self) -> str:
+        lines = [f"{self.kind} {self.name}"]
+        lines.append("input " + " ".join(self.inputs))
+        lines.append("output " + " ".join(self.outputs))
+        for use in self.uses:
+            lines.append(use.to_line())
+        for gate in self.gates:
+            lines.append(gate.to_line())
+        lines.append("end")
+        return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# layouts: labelled rectangles
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One placed cell: ``cell NAME TYPE x1 y1 x2 y2``."""
+
+    name: str
+    gate_type: str
+    x1: int
+    y1: int
+    x2: int
+    y2: int
+
+    def to_line(self) -> str:
+        return f"cell {self.name} {self.gate_type} {self.x1} {self.y1} {self.x2} {self.y2}"
+
+    def separation(self, other: "Cell") -> int:
+        """Rectilinear gap between two cells (negative = overlap)."""
+        dx = max(self.x1 - other.x2, other.x1 - self.x2)
+        dy = max(self.y1 - other.y2, other.y1 - self.y2)
+        if dx < 0 and dy < 0:
+            return max(dx, dy)  # overlapping on both axes
+        return max(dx, dy, 0) if (dx >= 0 or dy >= 0) else 0
+
+
+@dataclass
+class Layout:
+    """A placed design: the ``layout`` / ``GDSII`` view's data."""
+
+    name: str
+    cells: list[Cell] = field(default_factory=list)
+
+    def cell_census(self) -> dict[str, int]:
+        census: dict[str, int] = {}
+        for cell in self.cells:
+            census[cell.gate_type] = census.get(cell.gate_type, 0) + 1
+        return dict(sorted(census.items()))
+
+    def to_text(self) -> str:
+        lines = [f"layout {self.name}"]
+        lines.extend(cell.to_line() for cell in self.cells)
+        lines.append("end")
+        return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# synthesis library
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SynthLibrary:
+    """Available cells: the ``synth_lib`` view's data."""
+
+    name: str
+    gates: dict[str, int] = field(default_factory=dict)  # type -> arity
+
+    def supports(self, gate_type: str) -> bool:
+        return gate_type in self.gates
+
+    def to_text(self) -> str:
+        lines = [f"library {self.name}"]
+        for gate_type in sorted(self.gates):
+            lines.append(f"gate {gate_type} {self.gates[gate_type]}")
+        lines.append("end")
+        return "\n".join(lines) + "\n"
+
+
+def standard_library(name: str = "stdcells") -> SynthLibrary:
+    return SynthLibrary(name=name, gates=dict(GATE_ARITY))
+
+
+# ---------------------------------------------------------------------------
+# parsing
+# ---------------------------------------------------------------------------
+
+
+def _content_lines(text: str) -> Iterator[list[str]]:
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            yield line.split()
+
+
+def parse_design(text: str) -> HdlModel | Schematic | Layout | SynthLibrary:
+    """Parse any design-data text, dispatching on the header keyword."""
+    lines = list(_content_lines(text))
+    if not lines:
+        raise DesignDataError("empty design text")
+    header = lines[0]
+    if len(header) != 2:
+        raise DesignDataError(f"bad header {' '.join(header)!r}")
+    kind, name = header
+    if lines[-1] != ["end"]:
+        raise DesignDataError(f"{name}: missing 'end'")
+    body = lines[1:-1]
+    if kind == "hdl":
+        return _parse_hdl(name, body, text)
+    if kind in ("schematic", "netlist"):
+        return _parse_schematic(kind, name, body)
+    if kind == "layout":
+        return _parse_layout(name, body)
+    if kind == "library":
+        return _parse_library(name, body)
+    raise DesignDataError(f"unknown design kind {kind!r}")
+
+
+def _parse_hdl(name: str, body: list[list[str]], original: str) -> HdlModel:
+    inputs: list[str] = []
+    outputs: list[str] = []
+    assigns: dict[str, BoolExpr] = {}
+    # assigns need the raw text after '=': re-scan original lines
+    raw_assigns = [
+        line.split("#", 1)[0].strip()
+        for line in original.splitlines()
+        if line.split("#", 1)[0].strip().startswith("assign ")
+    ]
+    for words in body:
+        if words[0] == "input":
+            inputs.extend(words[1:])
+        elif words[0] == "output":
+            outputs.extend(words[1:])
+        elif words[0] == "assign":
+            continue  # handled from raw lines below
+        else:
+            raise DesignDataError(f"{name}: bad hdl line {' '.join(words)!r}")
+    for raw in raw_assigns:
+        rest = raw[len("assign "):]
+        target, _, expr_text = rest.partition("=")
+        target = target.strip()
+        if not target or not expr_text.strip():
+            raise DesignDataError(f"{name}: bad assign {raw!r}")
+        if target in assigns:
+            raise DesignDataError(f"{name}: signal {target!r} assigned twice")
+        assigns[target] = parse_bool_expr(expr_text)
+    model = HdlModel(name=name, inputs=inputs, outputs=outputs, assigns=assigns)
+    model.validate()
+    return model
+
+
+def _parse_schematic(kind: str, name: str, body: list[list[str]]) -> Schematic:
+    schematic = Schematic(name=name, inputs=[], outputs=[], kind=kind)
+    for words in body:
+        if words[0] == "input":
+            schematic.inputs.extend(words[1:])
+        elif words[0] == "output":
+            schematic.outputs.extend(words[1:])
+        elif words[0] == "gate":
+            if len(words) < 6 or words[-2] != "->":
+                raise DesignDataError(f"{name}: bad gate line {' '.join(words)!r}")
+            gate_type = words[1]
+            arity = GATE_ARITY.get(gate_type)
+            if arity is None:
+                raise DesignDataError(f"{name}: unknown gate type {gate_type!r}")
+            gate_inputs = tuple(words[3:-2])
+            if len(gate_inputs) != arity:
+                raise DesignDataError(
+                    f"{name}: {gate_type} takes {arity} inputs, "
+                    f"got {len(gate_inputs)}"
+                )
+            schematic.gates.append(
+                Gate(gate_type, words[2], gate_inputs, words[-1])
+            )
+        elif words[0] == "use":
+            if kind == "netlist":
+                raise DesignDataError(f"{name}: netlists must be flat")
+            if len(words) < 6 or words[-2] != "->":
+                raise DesignDataError(f"{name}: bad use line {' '.join(words)!r}")
+            schematic.uses.append(
+                UseInst(words[1], words[2], tuple(words[3:-2]), words[-1])
+            )
+        else:
+            raise DesignDataError(f"{name}: bad line {' '.join(words)!r}")
+    return schematic
+
+
+def _parse_layout(name: str, body: list[list[str]]) -> Layout:
+    layout = Layout(name=name)
+    for words in body:
+        if words[0] != "cell" or len(words) != 7:
+            raise DesignDataError(f"{name}: bad layout line {' '.join(words)!r}")
+        try:
+            coords = [int(w) for w in words[3:]]
+        except ValueError as exc:
+            raise DesignDataError(f"{name}: bad coordinates: {exc}") from exc
+        x1, y1, x2, y2 = coords
+        if x2 <= x1 or y2 <= y1:
+            raise DesignDataError(f"{name}: degenerate cell {words[1]!r}")
+        layout.cells.append(Cell(words[1], words[2], x1, y1, x2, y2))
+    return layout
+
+
+def _parse_library(name: str, body: list[list[str]]) -> SynthLibrary:
+    library = SynthLibrary(name=name)
+    for words in body:
+        if words[0] != "gate" or len(words) != 3:
+            raise DesignDataError(f"{name}: bad library line {' '.join(words)!r}")
+        library.gates[words[1]] = int(words[2])
+    return library
+
+
+# ---------------------------------------------------------------------------
+# synthesis, netlisting, layout generation, verification
+# ---------------------------------------------------------------------------
+
+
+def synthesize(model: HdlModel, library: SynthLibrary | None = None) -> Schematic:
+    """Map an HDL model to gates (the paper's "Synthesis tool").
+
+    The mapping is structural: each expression operator becomes one gate,
+    with fresh internal nets.  When a *library* is given, every emitted
+    gate type must exist in it.
+    """
+    model.validate()
+    schematic = Schematic(
+        name=model.name,
+        inputs=list(model.inputs),
+        outputs=list(model.outputs),
+        kind="schematic",
+    )
+    counter = itertools.count(1)
+
+    def fresh_net() -> str:
+        return f"n{next(counter)}"
+
+    def emit(expr: BoolExpr, target: str | None) -> str:
+        if isinstance(expr, Var):
+            if target is None:
+                return expr.name
+            gate_type = "BUF"
+            out = target
+            _check(gate_type)
+            schematic.gates.append(
+                Gate(gate_type, f"g{len(schematic.gates) + 1}", (expr.name,), out)
+            )
+            return out
+        out = target if target is not None else fresh_net()
+        if isinstance(expr, UnaryOp):
+            _check("NOT")
+            operand = emit(expr.operand, None)
+            schematic.gates.append(
+                Gate("NOT", f"g{len(schematic.gates) + 1}", (operand,), out)
+            )
+            return out
+        assert isinstance(expr, BinaryOp)
+        gate_type = {"&": "AND", "|": "OR", "^": "XOR"}[expr.op]
+        _check(gate_type)
+        left = emit(expr.left, None)
+        right = emit(expr.right, None)
+        schematic.gates.append(
+            Gate(gate_type, f"g{len(schematic.gates) + 1}", (left, right), out)
+        )
+        return out
+
+    def _check(gate_type: str) -> None:
+        if library is not None and not library.supports(gate_type):
+            raise DesignDataError(
+                f"library {library.name} has no {gate_type} cell"
+            )
+
+    # intermediate assigns (non-outputs) synthesize into their own nets
+    for target, expr in model.assigns.items():
+        emit(expr, target)
+    return schematic
+
+
+def partition_model(
+    model: HdlModel, partitions: dict[str, str]
+) -> tuple[HdlModel, dict[str, HdlModel]]:
+    """Split outputs into sub-blocks (hierarchical synthesis).
+
+    ``partitions`` maps output names to sub-block names; each named
+    output's cone moves into its own HDL model, and the parent references
+    it.  Returns (parent-with-placeholders, {sub-block-name: sub-model});
+    the parent keeps the partitioned outputs but the synthesiser is
+    expected to emit ``use`` instances for them (see
+    :func:`synthesize_hierarchical`).
+    """
+    subs: dict[str, HdlModel] = {}
+    for output, sub_name in partitions.items():
+        if output not in model.assigns:
+            raise DesignDataError(f"cannot partition unknown output {output!r}")
+        expr = model.assigns[output]
+        sub_inputs = sorted(expr.variables() & set(model.inputs))
+        non_input = expr.variables() - set(model.inputs)
+        if non_input:
+            raise DesignDataError(
+                f"partitioned output {output!r} reads intermediate signals "
+                f"{sorted(non_input)}; partition only input cones"
+            )
+        subs[sub_name] = HdlModel(
+            name=sub_name,
+            inputs=sub_inputs,
+            outputs=[output],
+            assigns={output: expr},
+        )
+    return model, subs
+
+
+def synthesize_hierarchical(
+    model: HdlModel,
+    partitions: dict[str, str],
+    library: SynthLibrary | None = None,
+) -> dict[str, Schematic]:
+    """Synthesize with hierarchy: returns {block-name: schematic}.
+
+    The parent schematic instantiates each partitioned cone as a ``use``
+    of its sub-block (the CPU/REG structure of section 3.4).
+    """
+    _parent_model, subs = partition_model(model, partitions)
+    reduced = HdlModel(
+        name=model.name,
+        inputs=list(model.inputs),
+        outputs=[o for o in model.outputs if o not in partitions],
+        assigns={
+            target: expr
+            for target, expr in model.assigns.items()
+            if target not in partitions
+        },
+    )
+    parent = synthesize(reduced, library) if reduced.outputs else Schematic(
+        name=model.name, inputs=list(model.inputs), outputs=[], kind="schematic"
+    )
+    parent.outputs = list(model.outputs)
+    result: dict[str, Schematic] = {}
+    for index, (output, sub_name) in enumerate(sorted(partitions.items()), 1):
+        sub_model = subs[sub_name]
+        result[sub_name] = synthesize(sub_model, library)
+        parent.uses.append(
+            UseInst(
+                block=sub_name,
+                name=f"u{index}",
+                inputs=tuple(sub_model.inputs),
+                output=output,
+            )
+        )
+    result[model.name] = parent
+    return result
+
+
+def flatten(
+    schematic: Schematic, resolver: Callable[[str], Schematic]
+) -> Schematic:
+    """Inline every ``use`` instance (the paper's "Netlister").
+
+    *resolver* maps a block name to its schematic (typically the latest
+    version in the workspace).  Nets and gate names of sub-blocks are
+    prefixed by the instance path, so the result is a flat netlist.
+    """
+    netlist = Schematic(
+        name=schematic.name,
+        inputs=list(schematic.inputs),
+        outputs=list(schematic.outputs),
+        kind="netlist",
+    )
+
+    def walk(block: Schematic, prefix: str, net_map: dict[str, str]) -> None:
+        def mapped(net: str) -> str:
+            return net_map.get(net, f"{prefix}{net}" if prefix else net)
+
+        for gate in block.gates:
+            netlist.gates.append(
+                Gate(
+                    gate.gate_type,
+                    f"{prefix}{gate.name}",
+                    tuple(mapped(i) for i in gate.inputs),
+                    mapped(gate.output),
+                )
+            )
+        for use in block.uses:
+            sub = resolver(use.block)
+            if sub is None:
+                raise DesignDataError(f"cannot resolve sub-block {use.block!r}")
+            if len(use.inputs) != len(sub.inputs):
+                raise DesignDataError(
+                    f"use {use.name} of {use.block}: expected "
+                    f"{len(sub.inputs)} inputs, got {len(use.inputs)}"
+                )
+            sub_map: dict[str, str] = {}
+            for formal, actual in zip(sub.inputs, use.inputs):
+                sub_map[formal] = mapped(actual)
+            if sub.outputs:
+                sub_map[sub.outputs[0]] = mapped(use.output)
+            walk(sub, f"{prefix}{use.name}/", sub_map)
+
+    walk(schematic, "", {})
+    return netlist
+
+
+def generate_layout(
+    netlist: Schematic,
+    cell_size: int = 8,
+    spacing: int = 4,
+    row_width: int = 10,
+    violations: int = 0,
+) -> Layout:
+    """Place a flat netlist on a grid (the paper's "Layout editor").
+
+    *violations* deliberately nudges that many cells onto their left
+    neighbour to create DRC errors — the knob scenario tests use to make
+    the DRC tool report real failures.
+    """
+    if not netlist.is_flat:
+        raise DesignDataError("layout generation requires a flat netlist")
+    layout = Layout(name=netlist.name)
+    pitch = cell_size + spacing
+    remaining_violations = violations
+    for index, gate in enumerate(netlist.gates):
+        row, col = divmod(index, row_width)
+        x1 = col * pitch
+        y1 = row * pitch
+        if remaining_violations > 0 and col > 0:
+            x1 -= cell_size  # slam into the left neighbour
+            remaining_violations -= 1
+        layout.cells.append(
+            Cell(gate.name, gate.gate_type, x1, y1, x1 + cell_size, y1 + cell_size)
+        )
+    return layout
+
+
+def drc_check(layout: Layout, min_spacing: int = 2) -> list[str]:
+    """Spacing/overlap check; returns violation descriptions."""
+    violations: list[str] = []
+    cells = layout.cells
+    for i, a in enumerate(cells):
+        for b in cells[i + 1 :]:
+            gap = a.separation(b)
+            if gap < min_spacing:
+                kind = "overlap" if gap < 0 else f"spacing {gap} < {min_spacing}"
+                violations.append(f"{a.name}/{b.name}: {kind}")
+    return violations
+
+
+def extract_census(layout: Layout) -> dict[str, int]:
+    """Layout extraction: recover the cell-type census."""
+    return layout.cell_census()
+
+
+def lvs_compare(netlist: Schematic, layout: Layout) -> tuple[bool, str]:
+    """Layout-versus-schematic: compare gate censuses.
+
+    (Connectivity is not stored in the layout format, so the check is a
+    census compare — enough to catch missing/extra cells, which is the
+    failure mode the scenario exercises.)
+    """
+    want = netlist.gate_census()
+    have = extract_census(layout)
+    if want == have:
+        return True, "is_equiv"
+    differences = []
+    for gate_type in sorted(set(want) | set(have)):
+        w = want.get(gate_type, 0)
+        h = have.get(gate_type, 0)
+        if w != h:
+            differences.append(f"{gate_type}: netlist {w} vs layout {h}")
+    return False, "not_equiv: " + "; ".join(differences)
+
+
+def compare_functional(
+    golden: HdlModel | Schematic,
+    candidate: HdlModel | Schematic,
+    max_exhaustive_inputs: int = 10,
+    samples: int = 256,
+    seed: int = 0,
+) -> tuple[int, int]:
+    """Count mismatching vectors between two designs.
+
+    Exhaustive up to ``2**max_exhaustive_inputs`` vectors, seeded random
+    sampling beyond.  Returns (errors, vectors_checked).
+    """
+    inputs = list(golden.inputs)
+    if sorted(candidate.inputs) != sorted(inputs):
+        raise DesignDataError(
+            f"input mismatch: {sorted(inputs)} vs {sorted(candidate.inputs)}"
+        )
+    shared_outputs = [o for o in golden.outputs if o in set(candidate.outputs)]
+    if not shared_outputs:
+        raise DesignDataError("no common outputs to compare")
+    if len(inputs) <= max_exhaustive_inputs:
+        vectors: list[dict[str, bool]] = [
+            dict(zip(inputs, bits))
+            for bits in itertools.product([False, True], repeat=len(inputs))
+        ]
+    else:
+        rng = random.Random(seed)
+        vectors = [
+            {name: rng.random() < 0.5 for name in inputs} for _ in range(samples)
+        ]
+    errors = 0
+    for vector in vectors:
+        got = candidate.evaluate(vector)
+        want = golden.evaluate(vector)
+        if any(got[o] != want[o] for o in shared_outputs):
+            errors += 1
+    return errors, len(vectors)
+
+
+# ---------------------------------------------------------------------------
+# synthetic generators (benchmarks, fuzzing)
+# ---------------------------------------------------------------------------
+
+
+def random_hdl(
+    name: str,
+    n_inputs: int = 4,
+    n_outputs: int = 2,
+    depth: int = 3,
+    seed: int = 0,
+) -> HdlModel:
+    """A random-but-deterministic HDL model for synthetic projects."""
+    rng = random.Random(seed)
+    inputs = [f"i{k}" for k in range(n_inputs)]
+    outputs = [f"o{k}" for k in range(n_outputs)]
+
+    def build(level: int) -> BoolExpr:
+        if level <= 0 or rng.random() < 0.2:
+            return Var(rng.choice(inputs))
+        op = rng.choice(["&", "|", "^", "~"])
+        if op == "~":
+            return UnaryOp("~", build(level - 1))
+        return BinaryOp(op, build(level - 1), build(level - 1))
+
+    assigns = {output: build(depth) for output in outputs}
+    return HdlModel(name=name, inputs=inputs, outputs=outputs, assigns=assigns)
+
+
+def mutate_hdl(model: HdlModel, seed: int = 1) -> HdlModel:
+    """Introduce one functional bug (operator swap / inversion drop).
+
+    Used to script the paper's scenario: version 1 of the CPU model is
+    ``mutate_hdl(spec)``, fails simulation, version 2 is the spec itself.
+    """
+    rng = random.Random(seed)
+
+    def mutate(expr: BoolExpr, flip: list[bool]) -> BoolExpr:
+        if isinstance(expr, BinaryOp):
+            if not flip[0] and rng.random() < 0.5:
+                flip[0] = True
+                swapped = {"&": "|", "|": "&", "^": "|"}[expr.op]
+                return BinaryOp(swapped, expr.left, expr.right)
+            return BinaryOp(expr.op, mutate(expr.left, flip), mutate(expr.right, flip))
+        if isinstance(expr, UnaryOp):
+            if not flip[0] and rng.random() < 0.5:
+                flip[0] = True
+                return expr.operand  # drop the inversion
+            return UnaryOp(expr.op, mutate(expr.operand, flip))
+        return expr
+
+    mutated: dict[str, BoolExpr] = {}
+    flipped = [False]
+    for target, expr in model.assigns.items():
+        mutated[target] = mutate(expr, flipped)
+    candidate = HdlModel(
+        name=model.name,
+        inputs=list(model.inputs),
+        outputs=list(model.outputs),
+        assigns=mutated,
+    )
+    # An operator swap can be a functional no-op in context (`a & a` vs
+    # `a | a`); verify and fall back to an output inversion, which always
+    # changes the function on every vector.
+    errors, _total = compare_functional(model, candidate, seed=seed)
+    if errors == 0:
+        first = model.outputs[0]
+        candidate.assigns[first] = UnaryOp("~", candidate.assigns[first])
+    return candidate

@@ -1,0 +1,106 @@
+"""Tool registry: wire wrappers, scheduler and transport together.
+
+``build_toolset`` constructs the full Figure 4 tool suite over one
+project; ``connect_workspace`` makes workspace transactions post the
+``ckin`` events that drive the whole run-time machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.engine import BlueprintEngine
+from repro.core.policy import PermissionPolicy
+from repro.core.scheduler import ToolScheduler
+from repro.metadb.links import Direction
+from repro.metadb.oid import OID
+from repro.metadb.workspace import Workspace
+from repro.network.bus import EventBus
+from repro.tools.wrappers import (
+    DrcWrapper,
+    HdlSimWrapper,
+    LayoutWrapper,
+    LvsWrapper,
+    NetlisterWrapper,
+    NetlistSimWrapper,
+    SynthesisWrapper,
+    ToolContext,
+    WrapperProgram,
+)
+
+
+def connect_workspace(workspace: Workspace, bus: EventBus) -> None:
+    """Post a ``ckin`` event for every workspace check-in.
+
+    This is the "data transactions ... produce information used to track
+    the state of the design" path of section 3.1: the workspace observes
+    its own transactions and converts them to events.
+    """
+
+    def observer(transaction: str, oid: OID, user: str) -> None:
+        if transaction == "ckin":
+            bus.post("ckin", oid, Direction.UP, user=user)
+
+    workspace.subscribe(observer)
+
+
+@dataclass
+class Toolset:
+    """The registered tool suite of one project."""
+
+    ctx: ToolContext
+    scheduler: ToolScheduler
+    wrappers: dict[str, WrapperProgram] = field(default_factory=dict)
+
+    def wrapper(self, name: str) -> WrapperProgram:
+        return self.wrappers[name]
+
+    def run(self, tool: str, block: str):
+        """Designer-invoked tool run (outside any exec rule)."""
+        result = self.wrappers[tool].run_block(block)
+        self.ctx.bus.drain()
+        return result
+
+
+def build_toolset(
+    engine: BlueprintEngine,
+    workspace: Workspace,
+    *,
+    specs: dict[str, str] | None = None,
+    partitions: dict[str, dict[str, str]] | None = None,
+    policy: PermissionPolicy | None = None,
+    automatic: bool = True,
+    user: str = "wrapper",
+    bus: EventBus | None = None,
+) -> Toolset:
+    """Assemble the standard tool suite for a project.
+
+    Registers every wrapper with a :class:`ToolScheduler`, installs the
+    scheduler as the engine's executor (so ``exec netlister "$oid"``
+    rules work), and connects the workspace's check-ins to the event bus.
+    """
+    bus = bus or EventBus(engine)
+    ctx = ToolContext(
+        db=engine.db,
+        workspace=workspace,
+        bus=bus,
+        user=user,
+        policy=policy,
+        specs=dict(specs or {}),
+        partitions=dict(partitions or {}),
+    )
+    wrappers: dict[str, WrapperProgram] = {
+        "hdl_sim": HdlSimWrapper(ctx),
+        "synthesis": SynthesisWrapper(ctx),
+        "netlister": NetlisterWrapper(ctx),
+        "nl_sim": NetlistSimWrapper(ctx),
+        "layout": LayoutWrapper(ctx),
+        "drc": DrcWrapper(ctx),
+        "lvs": LvsWrapper(ctx),
+    }
+    scheduler = ToolScheduler(db=engine.db, policy=policy, automatic=automatic)
+    for name, wrapper in wrappers.items():
+        scheduler.register(name, wrapper)
+    engine.executor = scheduler
+    connect_workspace(workspace, bus)
+    return Toolset(ctx=ctx, scheduler=scheduler, wrappers=wrappers)

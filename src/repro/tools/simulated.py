@@ -1,0 +1,231 @@
+"""The simulated EDA tool set.
+
+One class per tool of Figure 4 (synthesis, schematic/HDL editing is the
+designer's job, netlister, simulator, layout editor, DRC, LVS).  Each
+tool is a pure function over design-data text: read inputs, compute real
+results, return a :class:`ToolResult`.  Wrappers (next module) handle
+workspace I/O and event posting — the separation the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.tools.design_data import (
+    DesignDataError,
+    HdlModel,
+    Layout,
+    Schematic,
+    SynthLibrary,
+    compare_functional,
+    drc_check,
+    flatten,
+    generate_layout,
+    lvs_compare,
+    parse_design,
+    synthesize,
+    synthesize_hierarchical,
+)
+
+
+@dataclass
+class ToolResult:
+    """Outcome of one tool run.
+
+    ``message`` is what the wrapper forwards as the event argument
+    (``"good"``, ``"2 errors"``, ``"is_equiv"``...); ``outputs`` maps
+    produced block names to design text to check in.
+    """
+
+    tool: str
+    ok: bool
+    message: str
+    outputs: dict[str, str] = field(default_factory=dict)
+
+
+def _as_hdl(text: str) -> HdlModel:
+    design = parse_design(text)
+    if not isinstance(design, HdlModel):
+        raise DesignDataError(f"expected hdl text, got {type(design).__name__}")
+    return design
+
+
+def _as_schematic(text: str) -> Schematic:
+    design = parse_design(text)
+    if not isinstance(design, Schematic):
+        raise DesignDataError(f"expected schematic text, got {type(design).__name__}")
+    return design
+
+
+def _as_layout(text: str) -> Layout:
+    design = parse_design(text)
+    if not isinstance(design, Layout):
+        raise DesignDataError(f"expected layout text, got {type(design).__name__}")
+    return design
+
+
+def _as_library(text: str) -> SynthLibrary:
+    design = parse_design(text)
+    if not isinstance(design, SynthLibrary):
+        raise DesignDataError(f"expected library text, got {type(design).__name__}")
+    return design
+
+
+@dataclass
+class HdlSimulator:
+    """Functional simulation of an HDL model against the golden spec."""
+
+    name: str = "hdl_simulator"
+    samples: int = 256
+    seed: int = 0
+
+    def run(self, hdl_text: str, spec_text: str) -> ToolResult:
+        model = _as_hdl(hdl_text)
+        spec = _as_hdl(spec_text)
+        errors, _total = compare_functional(
+            spec, model, samples=self.samples, seed=self.seed
+        )
+        ok = errors == 0
+        return ToolResult(
+            tool=self.name,
+            ok=ok,
+            message="good" if ok else f"{errors} errors",
+        )
+
+
+@dataclass
+class Synthesizer:
+    """HDL → schematic(s); hierarchical when a partition map is given."""
+
+    name: str = "synthesizer"
+
+    def run(
+        self,
+        hdl_text: str,
+        library_text: str | None = None,
+        partitions: dict[str, str] | None = None,
+    ) -> ToolResult:
+        model = _as_hdl(hdl_text)
+        library = _as_library(library_text) if library_text else None
+        try:
+            if partitions:
+                schematics = synthesize_hierarchical(model, partitions, library)
+            else:
+                schematics = {model.name: synthesize(model, library)}
+        except DesignDataError as exc:
+            return ToolResult(tool=self.name, ok=False, message=str(exc))
+        outputs = {name: sch.to_text() for name, sch in schematics.items()}
+        total_gates = sum(len(sch.gates) for sch in schematics.values())
+        return ToolResult(
+            tool=self.name,
+            ok=True,
+            message=f"{len(schematics)} schematics, {total_gates} gates",
+            outputs=outputs,
+        )
+
+
+@dataclass
+class Netlister:
+    """Schematic → flat netlist, resolving ``use`` sub-blocks."""
+
+    name: str = "netlister"
+
+    def run(
+        self, schematic_text: str, resolver: Callable[[str], Schematic]
+    ) -> ToolResult:
+        schematic = _as_schematic(schematic_text)
+        try:
+            netlist = flatten(schematic, resolver)
+        except DesignDataError as exc:
+            return ToolResult(tool=self.name, ok=False, message=str(exc))
+        return ToolResult(
+            tool=self.name,
+            ok=True,
+            message=f"{len(netlist.gates)} gates",
+            outputs={netlist.name: netlist.to_text()},
+        )
+
+
+@dataclass
+class NetlistSimulator:
+    """Gate-level simulation of a netlist against the golden spec."""
+
+    name: str = "netlist_simulator"
+    samples: int = 256
+    seed: int = 0
+
+    def run(self, netlist_text: str, spec_text: str) -> ToolResult:
+        netlist = _as_schematic(netlist_text)
+        spec = _as_hdl(spec_text)
+        try:
+            errors, _total = compare_functional(
+                spec, netlist, samples=self.samples, seed=self.seed
+            )
+        except DesignDataError as exc:
+            return ToolResult(tool=self.name, ok=False, message=str(exc))
+        ok = errors == 0
+        return ToolResult(
+            tool=self.name, ok=ok, message="good" if ok else f"{errors} errors"
+        )
+
+
+@dataclass
+class LayoutGenerator:
+    """Flat netlist → placed layout ("Layout editor" stand-in)."""
+
+    name: str = "layout_generator"
+    cell_size: int = 8
+    spacing: int = 4
+    row_width: int = 10
+    violations: int = 0  # deliberate DRC errors for failure scenarios
+
+    def run(self, netlist_text: str) -> ToolResult:
+        netlist = _as_schematic(netlist_text)
+        try:
+            layout = generate_layout(
+                netlist,
+                cell_size=self.cell_size,
+                spacing=self.spacing,
+                row_width=self.row_width,
+                violations=self.violations,
+            )
+        except DesignDataError as exc:
+            return ToolResult(tool=self.name, ok=False, message=str(exc))
+        return ToolResult(
+            tool=self.name,
+            ok=True,
+            message=f"{len(layout.cells)} cells placed",
+            outputs={layout.name: layout.to_text()},
+        )
+
+
+@dataclass
+class DrcTool:
+    """Design-rule check over a layout."""
+
+    name: str = "drc"
+    min_spacing: int = 2
+
+    def run(self, layout_text: str) -> ToolResult:
+        layout = _as_layout(layout_text)
+        violations = drc_check(layout, min_spacing=self.min_spacing)
+        ok = not violations
+        return ToolResult(
+            tool=self.name,
+            ok=ok,
+            message="good" if ok else f"{len(violations)} violations",
+        )
+
+
+@dataclass
+class LvsTool:
+    """Layout-versus-schematic (netlist) equivalence."""
+
+    name: str = "lvs"
+
+    def run(self, netlist_text: str, layout_text: str) -> ToolResult:
+        netlist = _as_schematic(netlist_text)
+        layout = _as_layout(layout_text)
+        equivalent, message = lvs_compare(netlist, layout)
+        return ToolResult(tool=self.name, ok=equivalent, message=message)

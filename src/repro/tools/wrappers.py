@@ -1,0 +1,292 @@
+"""Wrapper programs: the glue between tools and the tracking system.
+
+"The invocation of the tools is encapsulated into shell scripts called
+wrapper programs.  These scripts post event messages to the BluePrint."
+(section 3.1) and "Tool scheduling is implemented by the wrapper
+programs.  The program queries the meta-database, requesting the
+permission to access data and to run the tool." (section 3.3)
+
+Each wrapper here follows that exact shape:
+
+1. resolve its input OIDs (latest versions in the workspace),
+2. optionally ask the permission policy,
+3. read the design text, run the pure tool,
+4. check produced data into the workspace (which creates new OIDs and
+   fires the blueprint's template hooks),
+5. post the result event(s) through the transport.
+
+Wrappers are independent of the design flow: the same wrapper works under
+any blueprint, which is the tool-integration claim the paper makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.engine import ExecRequest
+from repro.core.policy import PermissionPolicy
+from repro.metadb.database import MetaDatabase
+from repro.metadb.links import Direction, LinkClass
+from repro.metadb.objects import MetaObject
+from repro.metadb.oid import OID
+from repro.metadb.workspace import Workspace
+from repro.network.bus import EventBus
+from repro.tools.design_data import Schematic, parse_design
+from repro.tools.simulated import (
+    DrcTool,
+    HdlSimulator,
+    LayoutGenerator,
+    LvsTool,
+    Netlister,
+    NetlistSimulator,
+    Synthesizer,
+    ToolResult,
+)
+
+
+class WrapperError(RuntimeError):
+    """A wrapper could not complete (missing data, refused permission)."""
+
+
+@dataclass
+class ToolContext:
+    """Everything a wrapper needs to talk to the project.
+
+    ``specs`` holds the golden HDL spec per block — the stand-in for the
+    customer specification the simulators verify against.
+    ``partitions`` configures hierarchical synthesis per block
+    (output name → sub-block name), e.g. ``{"CPU": {"z": "REG"}}``.
+    """
+
+    db: MetaDatabase
+    workspace: Workspace
+    bus: EventBus
+    user: str = "wrapper"
+    policy: PermissionPolicy | None = None
+    specs: dict[str, str] = field(default_factory=dict)
+    partitions: dict[str, dict[str, str]] = field(default_factory=dict)
+    view_names: dict[str, str] = field(
+        default_factory=lambda: {
+            "hdl": "HDL_model",
+            "schematic": "schematic",
+            "netlist": "netlist",
+            "layout": "layout",
+            "synth_lib": "synth_lib",
+        }
+    )
+
+    def latest(self, block: str, view_key: str) -> MetaObject | None:
+        return self.db.latest_version(block, self.view_names[view_key])
+
+    def read_latest(self, block: str, view_key: str) -> tuple[OID, str]:
+        obj = self.latest(block, view_key)
+        if obj is None:
+            raise WrapperError(
+                f"no {self.view_names[view_key]} data for block {block!r}"
+            )
+        return obj.oid, self.workspace.read(obj.oid)
+
+    def spec_for(self, block: str) -> str:
+        spec = self.specs.get(block)
+        if spec is None:
+            raise WrapperError(f"no golden spec registered for block {block!r}")
+        return spec
+
+    def check_permission(self, tool: str, inputs: list[OID]) -> None:
+        if self.policy is None:
+            return
+        decision = self.policy.check(self.db, tool, list(inputs))
+        if not decision.granted:
+            raise WrapperError(
+                f"{tool}: permission refused: " + "; ".join(decision.reasons)
+            )
+
+
+def _target_block(request: ExecRequest) -> str:
+    """The block a wrapper should operate on, from the exec args or OID."""
+    for arg in request.args:
+        try:
+            return OID.parse(arg).block
+        except Exception:
+            continue
+    return request.oid.block
+
+
+@dataclass
+class WrapperProgram:
+    """Base class: adapts a tool to the exec-rule calling convention."""
+
+    ctx: ToolContext
+    name: str = "wrapper"
+
+    def __call__(self, request: ExecRequest) -> ToolResult:
+        return self.run_block(_target_block(request))
+
+    def run_block(self, block: str) -> ToolResult:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass
+class HdlSimWrapper(WrapperProgram):
+    """Simulate a block's HDL model; post ``hdl_sim`` with the verdict."""
+
+    name: str = "hdl_sim"
+    tool: HdlSimulator = field(default_factory=HdlSimulator)
+
+    def run_block(self, block: str) -> ToolResult:
+        oid, hdl_text = self.ctx.read_latest(block, "hdl")
+        self.ctx.check_permission(self.name, [oid])
+        result = self.tool.run(hdl_text, self.ctx.spec_for(block))
+        self.ctx.bus.post(
+            "hdl_sim", oid, Direction.UP, arg=result.message, user=self.ctx.user
+        )
+        return result
+
+
+@dataclass
+class SynthesisWrapper(WrapperProgram):
+    """Synthesize a block's HDL into schematic(s) and check them in.
+
+    Check-ins create the schematic OIDs; the blueprint's templates attach
+    the derive link from the HDL model automatically.  Hierarchical
+    sub-blocks get explicit ``use`` links parent → child, as the paper's
+    synthesis step does for ``<CPU.schematic.1>`` / ``<REG.schematic.1>``.
+    """
+
+    name: str = "synthesis"
+    tool: Synthesizer = field(default_factory=Synthesizer)
+
+    def run_block(self, block: str) -> ToolResult:
+        oid, hdl_text = self.ctx.read_latest(block, "hdl")
+        self.ctx.check_permission(self.name, [oid])
+        library_obj = None
+        lib_view = self.ctx.view_names["synth_lib"]
+        lib_blocks = self.ctx.db.blocks_of_view(lib_view)
+        library_text = None
+        if lib_blocks:
+            library_obj = self.ctx.db.latest_version(lib_blocks[0], lib_view)
+            if library_obj is not None:
+                library_text = self.ctx.workspace.read(library_obj.oid)
+        result = self.tool.run(
+            hdl_text,
+            library_text,
+            partitions=self.ctx.partitions.get(block),
+        )
+        if not result.ok:
+            return result
+        schematic_view = self.ctx.view_names["schematic"]
+        created: dict[str, OID] = {}
+        # check sub-blocks in first so the parent's use links can attach
+        for name in sorted(result.outputs, key=lambda n: n == block):
+            obj = self.ctx.workspace.check_in(
+                name, schematic_view, result.outputs[name], user=self.ctx.user
+            )
+            created[name] = obj.oid
+        parent_oid = created[block]
+        for name, child_oid in created.items():
+            if name == block:
+                continue
+            self.ctx.db.add_link(parent_oid, child_oid, LinkClass.USE)
+        return result
+
+
+@dataclass
+class NetlisterWrapper(WrapperProgram):
+    """Flatten a block's schematic into a netlist and check it in."""
+
+    name: str = "netlister"
+    tool: Netlister = field(default_factory=Netlister)
+
+    def run_block(self, block: str) -> ToolResult:
+        oid, schematic_text = self.ctx.read_latest(block, "schematic")
+        self.ctx.check_permission(self.name, [oid])
+
+        def resolver(sub_block: str) -> Schematic:
+            _oid, text = self.ctx.read_latest(sub_block, "schematic")
+            design = parse_design(text)
+            assert isinstance(design, Schematic)
+            return design
+
+        result = self.tool.run(schematic_text, resolver)
+        if not result.ok:
+            return result
+        netlist_view = self.ctx.view_names["netlist"]
+        for name, text in result.outputs.items():
+            self.ctx.workspace.check_in(name, netlist_view, text, user=self.ctx.user)
+        return result
+
+
+@dataclass
+class NetlistSimWrapper(WrapperProgram):
+    """Simulate a netlist against the spec; post ``nl_sim``.
+
+    Section 3.3's example check: "prior to running a simulation, the
+    wrapper makes sure that the input netlist is up to date" — expressed
+    here through the permission policy.
+    """
+
+    name: str = "nl_sim"
+    tool: NetlistSimulator = field(default_factory=NetlistSimulator)
+
+    def run_block(self, block: str) -> ToolResult:
+        oid, netlist_text = self.ctx.read_latest(block, "netlist")
+        self.ctx.check_permission(self.name, [oid])
+        result = self.tool.run(netlist_text, self.ctx.spec_for(block))
+        self.ctx.bus.post(
+            "nl_sim", oid, Direction.UP, arg=result.message, user=self.ctx.user
+        )
+        return result
+
+
+@dataclass
+class LayoutWrapper(WrapperProgram):
+    """Generate and check in a layout for a block's netlist."""
+
+    name: str = "layout"
+    tool: LayoutGenerator = field(default_factory=LayoutGenerator)
+
+    def run_block(self, block: str) -> ToolResult:
+        oid, netlist_text = self.ctx.read_latest(block, "netlist")
+        self.ctx.check_permission(self.name, [oid])
+        result = self.tool.run(netlist_text)
+        if not result.ok:
+            return result
+        layout_view = self.ctx.view_names["layout"]
+        for name, text in result.outputs.items():
+            self.ctx.workspace.check_in(name, layout_view, text, user=self.ctx.user)
+        return result
+
+
+@dataclass
+class DrcWrapper(WrapperProgram):
+    """Run DRC on a block's layout; post ``drc`` with the verdict."""
+
+    name: str = "drc"
+    tool: DrcTool = field(default_factory=DrcTool)
+
+    def run_block(self, block: str) -> ToolResult:
+        oid, layout_text = self.ctx.read_latest(block, "layout")
+        self.ctx.check_permission(self.name, [oid])
+        result = self.tool.run(layout_text)
+        self.ctx.bus.post(
+            "drc", oid, Direction.UP, arg=result.message, user=self.ctx.user
+        )
+        return result
+
+
+@dataclass
+class LvsWrapper(WrapperProgram):
+    """Run LVS between a block's netlist and layout; post ``lvs``."""
+
+    name: str = "lvs"
+    tool: LvsTool = field(default_factory=LvsTool)
+
+    def run_block(self, block: str) -> ToolResult:
+        netlist_oid, netlist_text = self.ctx.read_latest(block, "netlist")
+        layout_oid, layout_text = self.ctx.read_latest(block, "layout")
+        self.ctx.check_permission(self.name, [netlist_oid, layout_oid])
+        result = self.tool.run(netlist_text, layout_text)
+        self.ctx.bus.post(
+            "lvs", layout_oid, Direction.UP, arg=result.message, user=self.ctx.user
+        )
+        return result

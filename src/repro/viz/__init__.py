@@ -1,0 +1,24 @@
+"""Visualisation: DOT and ASCII renderings of flows and design state
+(the paper's future-work GUI, realised as renderers)."""
+
+from repro.viz.ascii_flow import (
+    EDTC_CLASSIC_EDGES,
+    render_classic,
+    render_flow,
+    render_pending,
+    render_status,
+)
+from repro.viz.dot import blueprint_to_dot, database_to_dot
+from repro.viz.html import render_dashboard, write_dashboard
+
+__all__ = [
+    "blueprint_to_dot",
+    "database_to_dot",
+    "render_flow",
+    "render_classic",
+    "render_status",
+    "render_pending",
+    "render_dashboard",
+    "write_dashboard",
+    "EDTC_CLASSIC_EDGES",
+]

@@ -1,0 +1,78 @@
+"""Plain-text renderings of flows and project state.
+
+``render_flow`` prints the Figure 5 view of a blueprint; ``render_status``
+prints the per-view health table designers would query; ``render_classic``
+prints the Figure 4 (tool-centric) representation for side-by-side
+comparison — the pair of figures experiment F4 regenerates.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import ascii_table
+from repro.core.blueprint import Blueprint
+from repro.core.state import ProjectStatus, pending_work
+from repro.metadb.database import MetaDatabase
+
+
+def render_flow(blueprint: Blueprint) -> str:
+    """The BluePrint representation: views, links and event messages."""
+    lines = [f"blueprint {blueprint.name}"]
+    for view_name in blueprint.tracked_views():
+        view = blueprint.effective(view_name)
+        assert view is not None
+        lines.append(f"  [{view_name}]")
+        for template in view.link_templates:
+            events = ",".join(sorted(template.propagates)) or "-"
+            kind = template.link_type or "derive"
+            move = " (move)" if template.move else ""
+            lines.append(
+                f"    <- {template.from_view}  [{kind}: {events}]{move}"
+            )
+        if view.use_link is not None:
+            events = ",".join(sorted(view.use_link.propagates)) or "-"
+            move = " (move)" if view.use_link.move else ""
+            lines.append(f"    <- self (hierarchy: {events}){move}")
+        for event_name in sorted(view.rules):
+            lines.append(f"    on {event_name}: {len(view.rules[event_name])} rule(s)")
+        for let_name in sorted(view.lets):
+            lines.append(f"    let {let_name} = {view.lets[let_name].to_source()}")
+    return "\n".join(lines)
+
+
+def render_classic(tool_edges: list[tuple[str, str, str]]) -> str:
+    """The classical tool-centric flow (Figure 4): tool, input, output."""
+    lines = ["classical flow (tools and views)"]
+    for tool, source, dest in tool_edges:
+        lines.append(f"  {source:>12} --[{tool}]--> {dest}")
+    return "\n".join(lines)
+
+
+#: The Figure 4 tool-centric edges of the EDTC flow.
+EDTC_CLASSIC_EDGES: list[tuple[str, str, str]] = [
+    ("synthesis", "HDL_model", "schematic"),
+    ("sch_editor", "(designer)", "schematic"),
+    ("synthesis", "synth_lib", "schematic"),
+    ("netlister", "schematic", "netlist"),
+    ("simulator", "HDL_model", "waves"),
+    ("simulator", "netlist", "waves"),
+    ("layout_editor", "(designer)", "layout"),
+    ("drc", "layout", "report"),
+    ("lvs", "schematic+layout", "report"),
+]
+
+
+def render_status(status: ProjectStatus) -> str:
+    """Per-view health table (objects, latest, up-to-date, state-ok)."""
+    return ascii_table(
+        ["view", "objects", "latest", "up_to_date", "state_ok"],
+        status.to_rows(),
+    )
+
+
+def render_pending(db: MetaDatabase, blueprint: Blueprint) -> str:
+    """The designer's to-do list: what blocks the planned state."""
+    work = pending_work(db, blueprint)
+    if not work:
+        return "project is at its planned state — nothing pending"
+    rows = [(item.oid.dotted(), ", ".join(item.failing)) for item in work]
+    return ascii_table(["OID", "failing checks"], rows)

@@ -1,0 +1,96 @@
+"""Graphviz DOT renderings of flows and databases.
+
+The paper's conclusion lists "a graphical interface to visualize the
+design state relative to its flow" as work in progress; these renderers
+are that feature in 2020s clothing.  :func:`blueprint_to_dot` draws the
+Figure 5 representation (views, links, propagated events);
+:func:`database_to_dot` draws the live meta-database with staleness
+highlighting.
+"""
+
+from __future__ import annotations
+
+from repro.core.blueprint import Blueprint
+from repro.metadb.database import MetaDatabase
+from repro.metadb.links import LinkClass
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', '\\"') + '"'
+
+
+def blueprint_to_dot(blueprint: Blueprint) -> str:
+    """The flow graph of a blueprint: one node per view, one edge per
+    link template (labelled TYPE + PROPAGATE), a self-loop for use links."""
+    lines = [f"digraph {_quote(blueprint.name)} {{"]
+    lines.append("  rankdir=TB;")
+    lines.append("  node [shape=box, fontname=Helvetica];")
+    for view_name in blueprint.tracked_views():
+        view = blueprint.effective(view_name)
+        assert view is not None
+        badges = []
+        if view.lets:
+            badges.append("state:" + ",".join(sorted(view.lets)))
+        label = view_name if not badges else f"{view_name}\\n{'; '.join(badges)}"
+        lines.append(f"  {_quote(view_name)} [label={_quote(label)}];")
+    for view_name in blueprint.tracked_views():
+        view = blueprint.effective(view_name)
+        assert view is not None
+        for template in view.link_templates:
+            label_parts = []
+            if template.link_type:
+                label_parts.append(template.link_type)
+            if template.propagates:
+                label_parts.append(",".join(sorted(template.propagates)))
+            if template.move:
+                label_parts.append("move")
+            edge_label = _quote("\\n".join(label_parts))
+            lines.append(
+                f"  {_quote(template.from_view)} -> {_quote(view_name)} "
+                f"[label={edge_label}];"
+            )
+        if view.use_link is not None:
+            events = ",".join(sorted(view.use_link.propagates))
+            lines.append(
+                f"  {_quote(view_name)} -> {_quote(view_name)} "
+                f"[label={_quote('hierarchy ' + events)}, style=dashed];"
+            )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def database_to_dot(
+    db: MetaDatabase, *, latest_only: bool = True, highlight_stale: bool = True
+) -> str:
+    """The live object graph; stale objects (uptodate == false) in red."""
+    lines = [f"digraph {_quote(db.name)} {{"]
+    lines.append("  rankdir=LR;")
+    lines.append("  node [shape=record, fontname=Helvetica];")
+    wanted = set()
+    if latest_only:
+        for block, view in db.lineages():
+            obj = db.latest_version(block, view)
+            if obj is not None:
+                wanted.add(obj.oid)
+    else:
+        wanted = set(db.oids())
+    for oid in sorted(wanted):
+        obj = db.get(oid)
+        attributes = []
+        if highlight_stale and obj.get("uptodate") is False:
+            attributes.append("color=red, fontcolor=red")
+        attr_text = (", " + ", ".join(attributes)) if attributes else ""
+        lines.append(
+            f"  {_quote(oid.dotted())} [label={_quote(oid.dotted())}{attr_text}];"
+        )
+    for link in db.links():
+        if link.source not in wanted or link.dest not in wanted:
+            continue
+        style = "dashed" if link.link_class is LinkClass.USE else "solid"
+        label = link.link_type or link.link_class.value
+        lines.append(
+            f"  {_quote(link.source.dotted())} -> {_quote(link.dest.dotted())} "
+            f"[label={_quote(label)}, style={style}];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,127 @@
+"""A static HTML project dashboard.
+
+The paper's conclusion promises "a graphical interface to visualize the
+design state relative to its flow"; this renderer produces that as a
+single self-contained HTML file: per-view health, the pending-work list,
+the flow structure, and recent notifications — everything a project lead
+checks each morning.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.core.state import pending_work, project_status
+from repro.metadb.database import MetaDatabase
+
+_STYLE = """
+body { font-family: sans-serif; margin: 2em; color: #222; }
+h1 { border-bottom: 2px solid #444; padding-bottom: 0.2em; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { border: 1px solid #bbb; padding: 0.3em 0.8em; text-align: left; }
+th { background: #eee; }
+tr.stale td { background: #fdd; }
+tr.done td { background: #dfd; }
+.flow { font-family: monospace; white-space: pre; background: #f7f7f7;
+        padding: 1em; border: 1px solid #ddd; }
+.empty { color: #070; font-weight: bold; }
+"""
+
+
+def _table(headers: list[str], rows: list[tuple], row_classes: list[str] | None = None) -> str:
+    parts = ["<table>", "<tr>"]
+    for header in headers:
+        parts.append(f"<th>{html.escape(header)}</th>")
+    parts.append("</tr>")
+    for index, row in enumerate(rows):
+        cls = ""
+        if row_classes is not None and row_classes[index]:
+            cls = f' class="{row_classes[index]}"'
+        parts.append(f"<tr{cls}>")
+        for cell in row:
+            parts.append(f"<td>{html.escape(str(cell))}</td>")
+        parts.append("</tr>")
+    parts.append("</table>")
+    return "".join(parts)
+
+
+def render_dashboard(
+    db: MetaDatabase,
+    blueprint: Blueprint,
+    engine: BlueprintEngine | None = None,
+    title: str = "Project status",
+) -> str:
+    """Render the full dashboard as an HTML document string."""
+    status = project_status(db, blueprint)
+    work = pending_work(db, blueprint)
+
+    status_rows = []
+    status_classes = []
+    for view_status in sorted(status.views.values(), key=lambda s: s.view):
+        status_rows.append(
+            (
+                view_status.view,
+                view_status.objects,
+                view_status.latest,
+                view_status.up_to_date,
+                view_status.state_ok,
+            )
+        )
+        status_classes.append("done" if view_status.complete else "")
+
+    work_rows = [(item.oid.dotted(), ", ".join(item.failing)) for item in work]
+
+    from repro.viz.ascii_flow import render_flow
+
+    sections = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        f"<p>blueprint <b>{html.escape(blueprint.name)}</b> — "
+        f"{db.object_count} objects, {db.link_count} links, "
+        f"clock t{db.clock}</p>",
+        "<h2>View health</h2>",
+        _table(
+            ["view", "objects", "latest", "up to date", "state ok"],
+            status_rows,
+            status_classes,
+        ),
+        "<h2>Pending work</h2>",
+    ]
+    if work_rows:
+        sections.append(
+            _table(["OID", "failing checks"], work_rows, ["stale"] * len(work_rows))
+        )
+    else:
+        sections.append(
+            "<p class='empty'>project is at its planned state — nothing "
+            "pending</p>"
+        )
+    sections.append("<h2>Flow</h2>")
+    sections.append(f"<div class='flow'>{html.escape(render_flow(blueprint))}</div>")
+    if engine is not None and engine.notifications:
+        sections.append("<h2>Notifications</h2>")
+        sections.append(
+            _table(["message"], [(m,) for m in engine.notifications[-20:]])
+        )
+    sections.append("</body></html>")
+    return "\n".join(sections)
+
+
+def write_dashboard(
+    db: MetaDatabase,
+    blueprint: Blueprint,
+    path: Path | str,
+    engine: BlueprintEngine | None = None,
+    title: str = "Project status",
+) -> Path:
+    """Render and write the dashboard; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_dashboard(db, blueprint, engine, title))
+    return path

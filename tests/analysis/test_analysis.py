@@ -1,0 +1,142 @@
+"""Metrics plumbing and report formatting."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    ComparisonRow,
+    PropagationStats,
+    Timing,
+    measure,
+    overhead_report,
+    staleness_truth,
+)
+from repro.analysis.reporting import (
+    ExperimentReport,
+    ReportWriter,
+    ascii_table,
+    markdown_table,
+)
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.flows.generators import chain_blueprint_source
+from repro.metadb.database import MetaDatabase
+from repro.metadb.oid import OID
+
+
+class TestTiming:
+    def test_measure_collects_samples(self):
+        timing = measure(lambda: sum(range(100)), repeat=4, label="sum")
+        assert len(timing.samples) == 4
+        assert timing.mean > 0
+        assert timing.total >= timing.mean
+
+    def test_statistics(self):
+        timing = Timing(label="x", samples=[1.0, 2.0, 3.0])
+        assert timing.mean == 2.0
+        assert timing.median == 2.0
+        assert timing.stdev == 1.0
+
+    def test_per_second(self):
+        timing = Timing(label="x", samples=[0.5])
+        assert timing.per_second(100) == 200.0
+
+    def test_empty_timing(self):
+        timing = Timing(label="x")
+        assert timing.mean == 0.0
+        assert timing.stdev == 0.0
+
+
+class TestOverheadReport:
+    def test_ratios(self):
+        db = MetaDatabase()
+        engine = BlueprintEngine(
+            db, Blueprint.from_source(chain_blueprint_source(4))
+        )
+        for index in range(4):
+            db.create_object(OID("b", f"v{index}", 1))
+        engine.post("ckin", OID("b", "v0", 1), "up")
+        engine.run()
+        report = overhead_report(engine)
+        assert report.events == 1
+        assert report.deliveries_per_event >= 1
+        assert report.hops_per_event == 3
+        assert report.writes_per_event > 0
+
+    def test_zero_events(self):
+        db = MetaDatabase()
+        engine = BlueprintEngine(
+            db, Blueprint.from_source("blueprint e view v endview endblueprint")
+        )
+        report = overhead_report(engine)
+        assert report.deliveries_per_event == 0.0
+
+
+class TestStalenessTruth:
+    def test_latest_versions_only(self):
+        db = MetaDatabase()
+        db.create_object(OID("a", "v", 1), {"uptodate": False})
+        db.create_object(OID("a", "v", 2), {"uptodate": True})
+        db.create_object(OID("b", "v", 1), {"uptodate": False})
+        assert staleness_truth(db) == {OID("b", "v", 1)}
+
+
+class TestPropagationStats:
+    def test_aggregation(self):
+        stats = PropagationStats()
+        for size in (1, 5, 3):
+            stats.record(size)
+        assert stats.mean == 3.0
+        assert stats.max == 5
+        assert stats.total == 9
+
+
+class TestTables:
+    def test_ascii_alignment(self):
+        table = ascii_table(["name", "n"], [("alpha", 1), ("b", 22)])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_ascii_handles_none(self):
+        table = ascii_table(["a"], [(None,)])
+        assert table  # no crash, renders empty cell
+
+    def test_markdown_shape(self):
+        table = markdown_table(["a", "b"], [(1, 2)])
+        lines = table.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_comparison_row_tuple(self):
+        row = ComparisonRow(
+            system="damocles",
+            blocking_interactions=0,
+            tool_runs=3,
+            redundant_runs=0,
+            staleness_recall=1.0,
+            staleness_precision=1.0,
+        ).as_tuple()
+        assert row[0] == "damocles"
+        assert row[4] == "1.00"
+
+
+class TestExperimentReport:
+    def test_render(self):
+        report = (
+            ExperimentReport("F1", "architecture")
+            .add_text("events flow through a queue")
+            .add_table(["k"], [(1,)], caption="counts")
+        )
+        text = report.to_text()
+        assert text.startswith("== F1: architecture ==")
+        assert "counts" in text
+
+    def test_writer(self, tmp_path):
+        writer = ReportWriter(tmp_path / "out" / "report.txt")
+        writer.add(ExperimentReport("F1", "a").add_text("x"))
+        writer.add(ExperimentReport("F2", "b").add_text("y"))
+        path = writer.write()
+        content = path.read_text()
+        assert "F1" in content and "F2" in content

@@ -1,0 +1,82 @@
+"""The no-tracking manual baseline."""
+
+import pytest
+
+from repro.baselines.manual import ManualTracker, run_manual_comparison
+from repro.metadb.database import MetaDatabase
+from repro.metadb.links import LinkClass
+from repro.metadb.oid import OID
+
+
+@pytest.fixture
+def db():
+    database = MetaDatabase()
+    oids = [database.create_object(OID(f"n{i}", "v", 1)).oid for i in range(6)]
+    for left, right in zip(oids, oids[1:]):
+        database.add_link(
+            left, right, LinkClass.DERIVE, propagates=["outofdate"]
+        )
+    return database
+
+
+class TestTruthMaintenance:
+    def test_truth_is_exact_reachability(self, db):
+        tracker = ManualTracker(db=db, attention=0.0, seed=1)
+        tracker.on_change(OID("n0", "v", 1))
+        assert len(tracker.true_stale) == 5  # everything downstream
+
+    def test_changed_datum_is_fresh(self, db):
+        tracker = ManualTracker(db=db, attention=1.0, seed=1)
+        tracker.on_change(OID("n2", "v", 1))
+        assert OID("n2", "v", 1) not in tracker.true_stale
+
+    def test_refresh_clears_both(self, db):
+        tracker = ManualTracker(db=db, attention=1.0, forget_rate=0.0, seed=1)
+        tracker.on_change(OID("n0", "v", 1))
+        tracker.on_refresh(OID("n1", "v", 1))
+        assert OID("n1", "v", 1) not in tracker.true_stale
+        assert OID("n1", "v", 1) not in tracker.believed_stale
+
+
+class TestBeliefDecay:
+    def test_perfect_attention_no_misses(self, db):
+        tracker = ManualTracker(db=db, attention=1.0, forget_rate=0.0, seed=1)
+        tracker.on_change(OID("n0", "v", 1))
+        accuracy = tracker.accuracy()
+        assert accuracy.missed == 0
+        assert accuracy.recall == 1.0
+        assert accuracy.precision == 1.0
+
+    def test_zero_attention_misses_everything(self, db):
+        tracker = ManualTracker(db=db, attention=0.0, forget_rate=0.0, seed=1)
+        tracker.on_change(OID("n0", "v", 1))
+        accuracy = tracker.accuracy()
+        assert accuracy.missed == accuracy.true_stale == 5
+        assert accuracy.recall == 0.0
+
+    def test_partial_attention_misses_some(self, db):
+        accuracy = run_manual_comparison(
+            db,
+            [OID("n0", "v", 1)] * 3,
+            attention=0.5,
+            forget_rate=0.2,
+            seed=7,
+        )
+        assert 0 < accuracy.recall < 1.0
+
+    def test_deterministic_given_seed(self, db):
+        first = run_manual_comparison(db, [OID("n0", "v", 1)], seed=3)
+        second = run_manual_comparison(db, [OID("n0", "v", 1)], seed=3)
+        assert first == second
+
+    def test_empty_history_perfect(self, db):
+        tracker = ManualTracker(db=db)
+        accuracy = tracker.accuracy()
+        assert accuracy.recall == 1.0
+        assert accuracy.precision == 1.0
+
+    def test_changes_counted(self, db):
+        tracker = ManualTracker(db=db, seed=2)
+        for _ in range(4):
+            tracker.on_change(OID("n0", "v", 1))
+        assert tracker.changes_seen == 4

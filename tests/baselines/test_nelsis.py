@@ -1,0 +1,86 @@
+"""The NELSIS-style activity-driven (obstructive) flow manager."""
+
+import pytest
+
+from repro.baselines.nelsis import Activity, ActivityFlowManager, FlowViolation
+
+VIEWS = ["rtl", "netlist", "layout"]
+
+
+@pytest.fixture
+def manager():
+    return ActivityFlowManager().declare_chain(VIEWS)
+
+
+class TestDeclaration:
+    def test_chain_declares_edit_plus_steps(self, manager):
+        assert set(manager.activities) == {"edit_rtl", "make_netlist", "make_layout"}
+
+    def test_custom_activity(self):
+        manager = ActivityFlowManager().declare(
+            Activity("sta", ("netlist",), "timing_report")
+        )
+        assert "sta" in manager.activities
+
+
+class TestObstructiveness:
+    def test_every_request_is_a_blocking_interaction(self, manager):
+        manager.request("edit_rtl", "cpu")
+        manager.request("make_netlist", "cpu")
+        assert manager.log.blocking_interactions == 2
+
+    def test_out_of_order_request_refused(self, manager):
+        with pytest.raises(FlowViolation):
+            manager.request("make_layout", "cpu")
+        assert manager.log.refusals == 1
+        assert manager.log.blocking_interactions == 1
+
+    def test_unknown_activity_refused(self, manager):
+        with pytest.raises(FlowViolation):
+            manager.request("make_coffee", "cpu")
+        assert manager.log.refusals == 1
+
+    def test_direct_edit_always_rejected(self, manager):
+        with pytest.raises(FlowViolation):
+            manager.direct_edit("cpu", "rtl")
+        assert manager.log.direct_edit_rejections == 1
+
+    def test_inconsistent_input_refused(self, manager):
+        manager.run_chain_for_change("cpu", VIEWS)
+        manager.request("edit_rtl", "cpu")  # netlist now inconsistent
+        with pytest.raises(FlowViolation):
+            manager.request("make_layout", "cpu")  # layout needs consistent netlist
+
+
+class TestTransactionalState:
+    def test_chain_produces_versions(self, manager):
+        manager.run_chain_for_change("cpu", VIEWS)
+        assert manager._item("cpu", "rtl").version == 1
+        assert manager._item("cpu", "netlist").version == 1
+        assert manager._item("cpu", "layout").version == 1
+
+    def test_edit_invalidates_downstream(self, manager):
+        manager.run_chain_for_change("cpu", VIEWS)
+        manager.request("edit_rtl", "cpu")
+        inconsistent = {item.view for item in manager.inconsistent_items()}
+        assert inconsistent == {"netlist", "layout"}
+
+    def test_rerun_restores_consistency(self, manager):
+        manager.run_chain_for_change("cpu", VIEWS)
+        manager.run_chain_for_change("cpu", VIEWS)
+        assert manager.inconsistent_items() == []
+
+    def test_blocks_are_independent(self, manager):
+        manager.run_chain_for_change("cpu", VIEWS)
+        manager.request("edit_rtl", "dsp")
+        assert {item.view for item in manager.inconsistent_items()} == set()
+        # dsp only has rtl; cpu untouched
+
+    def test_chain_interaction_cost(self, manager):
+        cost = manager.run_chain_for_change("cpu", VIEWS)
+        assert cost == len(VIEWS)  # one blocking request per view
+
+    def test_history_records_runs(self, manager):
+        manager.run_chain_for_change("cpu", VIEWS, user="yves")
+        assert manager.history[0] == "edit_rtl(cpu) by yves"
+        assert len(manager.history) == 3

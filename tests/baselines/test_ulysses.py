@@ -1,0 +1,85 @@
+"""The ULYSSES/HILDA-style goal-driven scheduler."""
+
+import pytest
+
+from repro.baselines.ulysses import (
+    GoalDrivenScheduler,
+    PlanningError,
+    ToolSignature,
+)
+
+VIEWS = ["rtl", "netlist", "layout", "gdsii"]
+
+
+@pytest.fixture
+def scheduler():
+    sch = GoalDrivenScheduler().register_chain(VIEWS)
+    sch.source_change("cpu", "rtl")
+    return sch
+
+
+class TestPlanning:
+    def test_plan_topological(self, scheduler):
+        plan = scheduler.plan("cpu", "gdsii")
+        assert [s.output_view for s in plan] == ["netlist", "layout", "gdsii"]
+
+    def test_plan_for_intermediate_goal(self, scheduler):
+        plan = scheduler.plan("cpu", "layout")
+        assert [s.output_view for s in plan] == ["netlist", "layout"]
+
+    def test_missing_source_rejected(self):
+        scheduler = GoalDrivenScheduler().register_chain(VIEWS)
+        with pytest.raises(PlanningError):
+            scheduler.plan("cpu", "gdsii")  # no rtl source data
+
+    def test_cycle_detected(self):
+        scheduler = GoalDrivenScheduler()
+        scheduler.register(ToolSignature("t1", ("a",), "b"))
+        scheduler.register(ToolSignature("t2", ("b",), "a"))
+        scheduler.source_change("x", "a")
+        with pytest.raises(PlanningError):
+            scheduler.plan("x", "a")
+
+    def test_diamond_plan_runs_shared_stage_once(self):
+        scheduler = GoalDrivenScheduler()
+        scheduler.register(ToolSignature("mk_b", ("a",), "b"))
+        scheduler.register(ToolSignature("mk_c", ("a",), "c"))
+        scheduler.register(ToolSignature("mk_d", ("b", "c"), "d"))
+        scheduler.source_change("x", "a")
+        plan = scheduler.plan("x", "d")
+        assert len(plan) == 3
+
+
+class TestEagerness:
+    def test_first_achieve_runs_everything(self, scheduler):
+        assert scheduler.achieve("cpu", "gdsii") == 3
+        assert scheduler.redundant_runs == 0
+
+    def test_repeat_achieve_is_all_redundant(self, scheduler):
+        scheduler.achieve("cpu", "gdsii")
+        executed = scheduler.achieve("cpu", "gdsii")
+        assert executed == 3
+        assert scheduler.redundant_runs == 3
+
+    def test_change_burst_multiplies_runs(self, scheduler):
+        runs = 0
+        for _ in range(5):
+            scheduler.source_change("cpu", "rtl")
+            runs += scheduler.achieve("cpu", "gdsii")
+        assert runs == 15  # full chain every time
+
+    def test_selective_mode_skips_fresh_stages(self, scheduler):
+        scheduler.achieve("cpu", "gdsii")
+        executed = scheduler.achieve("cpu", "gdsii", eager=False)
+        assert executed == 0
+        assert scheduler.redundant_runs == 0
+
+    def test_selective_mode_rebuilds_after_change(self, scheduler):
+        scheduler.achieve("cpu", "gdsii")
+        scheduler.source_change("cpu", "rtl")
+        executed = scheduler.achieve("cpu", "gdsii", eager=False)
+        assert executed == 3  # whole chain genuinely stale
+
+    def test_run_log(self, scheduler):
+        scheduler.achieve("cpu", "layout")
+        assert scheduler.runs == ["make_netlist(cpu)", "make_layout(cpu)"]

@@ -1,0 +1,76 @@
+"""Shared fixtures for the reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.flows.edtc import EDTC_BLUEPRINT, build_edtc_project
+from repro.metadb.database import MetaDatabase
+from repro.metadb.oid import OID
+from repro.metadb.workspace import Workspace
+
+#: A small blueprint exercising every template construct.
+SMALL_BLUEPRINT = """\
+blueprint small
+
+view default
+  property uptodate default true
+  when ckin do uptodate = true; post outofdate down done
+  when outofdate do uptodate = false done
+endview
+
+view source
+  property quality default bad copy
+  when check do quality = $arg done
+endview
+
+view derived
+  property verdict default bad
+  let state = ($verdict == good) and ($uptodate == true)
+  link_from source move propagates outofdate type derive_from
+  use_link move propagates outofdate
+  when verify do verdict = $arg done
+endview
+
+endblueprint
+"""
+
+
+@pytest.fixture
+def db() -> MetaDatabase:
+    return MetaDatabase(name="test")
+
+
+@pytest.fixture
+def small_blueprint() -> Blueprint:
+    return Blueprint.from_source(SMALL_BLUEPRINT)
+
+
+@pytest.fixture
+def engine(db: MetaDatabase, small_blueprint: Blueprint) -> BlueprintEngine:
+    return BlueprintEngine(db, small_blueprint)
+
+
+@pytest.fixture
+def linked_pair(db: MetaDatabase, engine: BlueprintEngine) -> tuple[OID, OID]:
+    """A source and a derived object, auto-linked by the blueprint."""
+    source = db.create_object(OID("alu", "source", 1))
+    derived = db.create_object(OID("alu", "derived", 1))
+    return source.oid, derived.oid
+
+
+@pytest.fixture
+def workspace(tmp_path, db: MetaDatabase) -> Workspace:
+    return Workspace(tmp_path / "ws", db)
+
+
+@pytest.fixture
+def edtc_project(tmp_path):
+    return build_edtc_project(tmp_path / "edtc")
+
+
+@pytest.fixture
+def edtc_blueprint() -> Blueprint:
+    return Blueprint.from_source(EDTC_BLUEPRINT)

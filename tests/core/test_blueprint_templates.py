@@ -1,0 +1,193 @@
+"""Template rules: what happens when OIDs and links are created."""
+
+import pytest
+
+from repro.core.blueprint import Blueprint
+from repro.metadb.database import MetaDatabase
+from repro.metadb.links import LinkClass
+from repro.metadb.oid import OID
+
+FIG2_SOURCE = """\
+blueprint fig2
+view GDSII
+  property DRC default bad copy
+endview
+endblueprint
+"""
+
+FIG3_SOURCE = """\
+blueprint fig3
+view NetList
+endview
+view GDSII
+  link_from NetList propagates OutOfDate type derive_from MOVE
+endview
+endblueprint
+"""
+
+
+@pytest.fixture
+def db():
+    return MetaDatabase()
+
+
+class TestFigure2PropertyTemplates:
+    """Figure 2: 'property DRC default bad copy' across versions."""
+
+    def test_first_version_gets_default(self, db):
+        Blueprint.from_source(FIG2_SOURCE).attach(db)
+        obj = db.create_object(OID("alu", "GDSII", 5))
+        assert obj.get("DRC") == "bad"
+
+    def test_copy_carries_value_forward(self, db):
+        Blueprint.from_source(FIG2_SOURCE).attach(db)
+        v5 = db.create_object(OID("alu", "GDSII", 5))
+        v5.set("DRC", "ok")
+        v6 = db.create_object(OID("alu", "GDSII", 6))
+        assert v6.get("DRC") == "ok"   # copied, as in the figure
+        assert v5.get("DRC") == "ok"   # old version keeps it
+
+    def test_untracked_view_untouched(self, db):
+        Blueprint.from_source(FIG2_SOURCE).attach(db)
+        obj = db.create_object(OID("alu", "unknown_view", 1))
+        assert len(obj.properties) == 0
+
+
+class TestFigure3MoveLinks:
+    """Figure 3: the NetList -> GDSII derive link moves to new versions."""
+
+    def test_auto_link_created_with_template_annotations(self, db):
+        Blueprint.from_source(FIG3_SOURCE).attach(db)
+        db.create_object(OID("alu", "NetList", 8))
+        db.create_object(OID("alu", "GDSII", 5))
+        links = list(db.links())
+        assert len(links) == 1
+        link = links[0]
+        assert link.source == OID("alu", "NetList", 8)
+        assert link.allows("OutOfDate")
+        assert link.link_type == "derive_from"
+        assert link.move is True
+
+    def test_link_moves_to_new_gdsii_version(self, db):
+        Blueprint.from_source(FIG3_SOURCE).attach(db)
+        db.create_object(OID("alu", "NetList", 8))
+        db.create_object(OID("alu", "GDSII", 5))
+        db.create_object(OID("alu", "GDSII", 6))
+        link = next(iter(db.links()))
+        assert link.dest == OID("alu", "GDSII", 6)
+
+    def test_link_moves_to_new_netlist_version(self, db):
+        Blueprint.from_source(FIG3_SOURCE).attach(db)
+        db.create_object(OID("alu", "NetList", 8))
+        db.create_object(OID("alu", "GDSII", 5))
+        db.create_object(OID("alu", "NetList", 9))
+        link = next(iter(db.links()))
+        assert link.source == OID("alu", "NetList", 9)
+
+    def test_no_duplicate_link_after_move(self, db):
+        Blueprint.from_source(FIG3_SOURCE).attach(db)
+        db.create_object(OID("alu", "NetList", 8))
+        db.create_object(OID("alu", "GDSII", 5))
+        db.create_object(OID("alu", "GDSII", 6))
+        assert db.link_count == 1  # moved, not re-created
+
+
+class TestAutoLinking:
+    SOURCE = """\
+blueprint auto
+view lib
+endview
+view sch
+  link_from hdl propagates outofdate type derived
+  link_from lib propagates outofdate type depend_on
+endview
+view hdl
+endview
+endblueprint
+"""
+
+    def test_same_block_source_preferred(self, db):
+        Blueprint.from_source(self.SOURCE).attach(db)
+        db.create_object(OID("cpu", "hdl", 1))
+        db.create_object(OID("dsp", "hdl", 1))
+        db.create_object(OID("cpu", "sch", 1))
+        links = list(db.links())
+        assert len(links) == 1
+        assert links[0].source == OID("cpu", "hdl", 1)
+
+    def test_single_block_library_fallback(self, db):
+        Blueprint.from_source(self.SOURCE).attach(db)
+        db.create_object(OID("stdcells", "lib", 1))
+        db.create_object(OID("cpu", "hdl", 1))
+        db.create_object(OID("cpu", "sch", 1))
+        sources = {link.source for link in db.links()}
+        assert OID("stdcells", "lib", 1) in sources
+
+    def test_ambiguous_library_skipped(self, db):
+        Blueprint.from_source(self.SOURCE).attach(db)
+        db.create_object(OID("libA", "lib", 1))
+        db.create_object(OID("libB", "lib", 1))
+        db.create_object(OID("cpu", "sch", 1))
+        # two candidate libraries, no same-block one: no link created
+        assert db.link_count == 0
+
+    def test_auto_link_disabled(self, db):
+        Blueprint.from_source(self.SOURCE).attach(db, auto_link=False)
+        db.create_object(OID("cpu", "hdl", 1))
+        db.create_object(OID("cpu", "sch", 1))
+        assert db.link_count == 0
+
+    def test_latest_source_version_used(self, db):
+        Blueprint.from_source(self.SOURCE).attach(db)
+        db.create_object(OID("cpu", "hdl", 1))
+        db.create_object(OID("cpu", "hdl", 2))
+        db.create_object(OID("cpu", "sch", 1))
+        link = next(iter(db.links()))
+        assert link.source == OID("cpu", "hdl", 2)
+
+
+class TestLinkTemplateAnnotation:
+    def test_explicit_link_gets_annotated(self, db):
+        bp = Blueprint.from_source(self.USE_SOURCE)
+        bp.attach(db)
+        parent = db.create_object(OID("cpu", "sch", 1))
+        child = db.create_object(OID("reg", "sch", 1))
+        link = db.add_link(parent.oid, child.oid, LinkClass.USE)
+        assert link.allows("outofdate")
+        assert link.move is True
+
+    USE_SOURCE = """\
+blueprint use_bp
+view sch
+  use_link move propagates outofdate
+endview
+endblueprint
+"""
+
+    def test_unmatched_link_left_alone(self, db):
+        Blueprint.from_source(self.USE_SOURCE).attach(db)
+        a = db.create_object(OID("a", "other", 1))
+        b = db.create_object(OID("b", "other", 1))
+        link = db.add_link(a.oid, b.oid, LinkClass.DERIVE)
+        assert not link.propagates
+
+    def test_lets_attached_as_continuous(self, db):
+        source = (
+            "blueprint b view v let state = ($x == 1) endview endblueprint"
+        )
+        Blueprint.from_source(source).attach(db)
+        obj = db.create_object(OID("a", "v", 1))
+        assert "state" in obj.continuous
+
+    def test_template_application_report(self, db):
+        bp = Blueprint.from_source(FIG2_SOURCE)
+        bp.attach(db)
+        obj = db.create_object(OID("alu", "GDSII", 1), fire_hooks=False)
+        application = bp.apply_object_template(db, obj)
+        assert application.properties_set == ["DRC"]
+        assert application.oid == obj.oid
+
+    def test_untracked_application_returns_none(self, db):
+        bp = Blueprint.from_source(FIG2_SOURCE)
+        obj = db.create_object(OID("alu", "other", 1), fire_hooks=False)
+        assert bp.apply_object_template(db, obj) is None

@@ -1,0 +1,246 @@
+"""Engine action semantics: phase ordering, post variants, exec, notify."""
+
+import pytest
+
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.metadb.database import MetaDatabase
+from repro.metadb.links import LinkClass
+from repro.metadb.oid import OID
+
+
+@pytest.fixture
+def db():
+    return MetaDatabase()
+
+
+class TestPhaseOrdering:
+    """Paper: assigns run first, then lets, then execs, then posts."""
+
+    SOURCE = """\
+blueprint phases
+view v
+  property x default start
+  let snapshot = $x
+  when go do post note down "$x"; x = changed done
+  when note do x = $x done
+endview
+endblueprint
+"""
+
+    def test_assign_before_post_interpolation(self, db):
+        """The post's "$x" must see the assigned value even though the
+        post action is written first in the rule."""
+        engine = BlueprintEngine(db, Blueprint.from_source(self.SOURCE))
+        obj = db.create_object(OID("a", "v", 1))
+        engine.post("go", obj.oid, "down")
+        engine.run()
+        # the posted arg was interpolated after the assign phase
+        posted = [r for r in engine.trace if r.kind == "post"]
+        assert posted, "post action must have fired"
+        assert obj.get("snapshot") == "changed"
+
+    def test_lets_see_assigned_values(self, db):
+        engine = BlueprintEngine(db, Blueprint.from_source(self.SOURCE))
+        obj = db.create_object(OID("a", "v", 1))
+        engine.post("go", obj.oid, "down")
+        engine.run()
+        assert obj.get("snapshot") == "changed"
+
+    EXEC_ORDER_SOURCE = """\
+blueprint order
+view v
+  property p default unset
+  when go do exec tool "$p"; p = late done
+endview
+endblueprint
+"""
+
+    def test_exec_runs_after_assigns(self, db):
+        """Exec args interpolate after the assign phase (paper's ordering:
+        assigns, lets, THEN scripts)."""
+        engine = BlueprintEngine(db, Blueprint.from_source(self.EXEC_ORDER_SOURCE))
+        seen = []
+        engine.executor = lambda request: seen.append(tuple(request.args))
+        obj = db.create_object(OID("a", "v", 1))
+        engine.post("go", obj.oid, "down")
+        engine.run()
+        assert seen == [("late",)]
+
+
+class TestPostVariants:
+    FANOUT_SOURCE = """\
+blueprint fan
+view default
+  property got default no
+  when pulse do got = yes done
+endview
+view src
+  when kick do post pulse down done
+endview
+view dst
+  link_from src propagates pulse
+endview
+endblueprint
+"""
+
+    def test_post_fanout_skips_origin(self, db):
+        """post EVENT down: origin only fans out, never re-processes."""
+        engine = BlueprintEngine(db, Blueprint.from_source(self.FANOUT_SOURCE))
+        src = db.create_object(OID("a", "src", 1))
+        dst = db.create_object(OID("a", "dst", 1))
+        engine.post("kick", src.oid, "down")
+        engine.run()
+        assert db.get(dst.oid).get("got") == "yes"
+        assert db.get(src.oid).get("got") == "no"
+
+    TO_VIEW_SOURCE = """\
+blueprint tov
+view default
+  property got default no
+  when pulse do got = yes done
+endview
+view a
+  when kick do post pulse down to c done
+endview
+view b
+  link_from a propagates pulse
+endview
+view c
+  link_from b propagates pulse
+endview
+endblueprint
+"""
+
+    def test_post_to_view_reaches_named_view_only(self, db):
+        """post E down to C: delivered at the nearest C, not at B."""
+        engine = BlueprintEngine(db, Blueprint.from_source(self.TO_VIEW_SOURCE))
+        a = db.create_object(OID("k", "a", 1))
+        b = db.create_object(OID("k", "b", 1))
+        c = db.create_object(OID("k", "c", 1))
+        engine.post("kick", a.oid, "down")
+        engine.run()
+        assert db.get(c.oid).get("got") == "yes"
+        assert db.get(b.oid).get("got") == "no"
+
+    def test_post_to_view_falls_back_to_same_block(self, db):
+        """With no linked path, the latest same-block OID is used."""
+        source = """\
+blueprint fb
+view default
+  property got default no
+  when pulse do got = yes done
+endview
+view a
+  when kick do post pulse down to c done
+endview
+view c
+endview
+endblueprint
+"""
+        engine = BlueprintEngine(db, Blueprint.from_source(source))
+        a = db.create_object(OID("k", "a", 1))
+        c = db.create_object(OID("k", "c", 1))
+        engine.post("kick", a.oid, "down")
+        engine.run()
+        assert db.get(c.oid).get("got") == "yes"
+
+    def test_post_to_missing_view_is_noop(self, db):
+        source = """\
+blueprint np
+view a
+  when kick do post pulse down to ghost done
+endview
+endblueprint
+"""
+        engine = BlueprintEngine(db, Blueprint.from_source(source))
+        a = db.create_object(OID("k", "a", 1))
+        engine.post("kick", a.oid, "down")
+        engine.run()  # must not raise
+        assert engine.metrics.posts == 1
+
+    def test_posted_event_carries_interpolated_arg(self, db):
+        source = """\
+blueprint arg
+view default
+  property msg default none
+  when relay do msg = $arg done
+endview
+view src
+  property status default broken
+  when kick do post relay down "$status today" done
+endview
+view dst
+  link_from src propagates relay
+endview
+endblueprint
+"""
+        engine = BlueprintEngine(db, Blueprint.from_source(source))
+        src = db.create_object(OID("a", "src", 1))
+        dst = db.create_object(OID("a", "dst", 1))
+        engine.post("kick", src.oid, "down")
+        engine.run()
+        assert db.get(dst.oid).get("msg") == "broken today"
+
+
+class TestExecAndNotify:
+    SOURCE = """\
+blueprint en
+view v
+  when build do exec netlister "$oid" done
+  when warn do notify "$user: check $oid" done
+endview
+endblueprint
+"""
+
+    def test_exec_request_shape(self, db):
+        engine = BlueprintEngine(db, Blueprint.from_source(self.SOURCE))
+        requests = []
+        engine.executor = lambda request: requests.append(request)
+        obj = db.create_object(OID("cpu", "v", 3))
+        engine.post("build", obj.oid, "up")
+        engine.run()
+        assert len(requests) == 1
+        assert requests[0].script == "netlister"
+        assert requests[0].args == ["cpu.v.3"]
+        assert requests[0].oid == obj.oid
+
+    def test_exec_failure_does_not_kill_wave(self, db):
+        engine = BlueprintEngine(db, Blueprint.from_source(self.SOURCE))
+
+        def bomb(request):
+            raise RuntimeError("tool crashed")
+
+        engine.executor = bomb
+        obj = db.create_object(OID("cpu", "v", 1))
+        engine.post("build", obj.oid, "up")
+        engine.run()
+        assert engine.metrics.exec_failures == 1
+        assert engine.metrics.execs == 1
+
+    def test_exec_logged(self, db):
+        engine = BlueprintEngine(db, Blueprint.from_source(self.SOURCE))
+        obj = db.create_object(OID("cpu", "v", 1))
+        engine.post("build", obj.oid, "up")
+        engine.run()
+        assert len(engine.exec_log) == 1
+        assert engine.exec_log[0].command_line() == "netlister cpu.v.1"
+
+    def test_notify_collects_and_calls(self, db):
+        messages = []
+        engine = BlueprintEngine(
+            db, Blueprint.from_source(self.SOURCE), notifier=messages.append
+        )
+        obj = db.create_object(OID("cpu", "v", 1))
+        engine.post("warn", obj.oid, "up", user="salma")
+        engine.run()
+        assert engine.notifications == ["salma: check cpu.v.1"]
+        assert messages == engine.notifications
+
+    def test_default_executor_records_only(self, db):
+        engine = BlueprintEngine(db, Blueprint.from_source(self.SOURCE))
+        obj = db.create_object(OID("cpu", "v", 1))
+        engine.post("build", obj.oid, "up")
+        engine.run()
+        assert engine.metrics.execs == 1
+        assert engine.metrics.exec_failures == 0

@@ -1,0 +1,195 @@
+"""Engine edge cases: old versions, direction defaults, swap timing,
+bidirectional posts, numeric values, wave-limit boundaries."""
+
+import pytest
+
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.metadb.database import MetaDatabase
+from repro.metadb.links import Direction, LinkClass
+from repro.metadb.oid import OID
+
+
+@pytest.fixture
+def db():
+    return MetaDatabase()
+
+
+class TestVersionTargeting:
+    SOURCE = """\
+blueprint vt
+view v
+  property tag default none
+  when mark do tag = $arg done
+endview
+endblueprint
+"""
+
+    def test_event_on_old_version_stays_on_old_version(self, db):
+        """Events target exact OIDs, not lineages — the paper's wrappers
+        always name a full triplet."""
+        engine = BlueprintEngine(db, Blueprint.from_source(self.SOURCE))
+        old = db.create_object(OID("a", "v", 1))
+        new = db.create_object(OID("a", "v", 2))
+        engine.post("mark", old.oid, "up", arg="for-v1")
+        engine.run()
+        assert old.get("tag") == "for-v1"
+        assert new.get("tag") == "none"
+
+
+class TestDirectionDefaults:
+    def test_post_without_direction_defaults_down(self):
+        from repro.core.lang.parser import parse_blueprint
+
+        ast = parse_blueprint("view v when e do post x done endview")
+        action = ast.view("v").rules[0].actions[0]
+        assert action.direction is Direction.DOWN
+
+
+class TestBidirectionalPosting:
+    SOURCE = """\
+blueprint bi
+view default
+  property seen default 0
+  when wave do seen = $arg done
+endview
+view mid
+  when kick do post wave up; post wave down done
+endview
+view src
+endview
+view dst
+  link_from mid propagates wave
+endview
+endblueprint
+"""
+
+    def test_same_event_posted_both_directions(self, db):
+        """One rule posting the same event up and down must reach both
+        neighbourhoods (regression for the direction-aware visited set)."""
+        engine = BlueprintEngine(db, Blueprint.from_source(self.SOURCE))
+        src = db.create_object(OID("k", "src", 1))
+        mid = db.create_object(OID("k", "mid", 1))
+        dst = db.create_object(OID("k", "dst", 1))
+        db.add_link(src.oid, mid.oid, LinkClass.DERIVE, propagates=["wave"])
+        engine.post("kick", mid.oid, "down")
+        engine.run()
+        assert db.get(src.oid).get("seen") != 0
+        assert db.get(dst.oid).get("seen") != 0
+
+
+class TestSwapTiming:
+    def test_swap_applies_to_already_queued_events(self, db):
+        source_a = (
+            "blueprint a view v when e do tag = old done endview endblueprint"
+        )
+        source_b = (
+            "blueprint b view v when e do tag = new done endview endblueprint"
+        )
+        engine = BlueprintEngine(db, Blueprint.from_source(source_a))
+        obj = db.create_object(OID("x", "v", 1))
+        engine.post("e", obj.oid, "up")
+        engine.swap_blueprint(Blueprint.from_source(source_b))
+        engine.run()
+        assert obj.get("tag") == "new"
+
+
+class TestNumericValues:
+    SOURCE = """\
+blueprint num
+view v
+  property attempts default 0
+  property threshold default 3
+  let too_many = $attempts >= $threshold
+  when try do attempts = $arg done
+endview
+endblueprint
+"""
+
+    def test_numeric_comparison_in_let(self, db):
+        engine = BlueprintEngine(db, Blueprint.from_source(self.SOURCE))
+        obj = db.create_object(OID("x", "v", 1))
+        engine.post("try", obj.oid, "up", arg="2")
+        engine.run()
+        assert obj.get("too_many") is False
+        engine.post("try", obj.oid, "up", arg="5")
+        engine.run()
+        assert obj.get("too_many") is True
+
+
+class TestWaveLimitBoundary:
+    def test_exact_limit_not_aborted(self, db):
+        source = "blueprint w view v endview endblueprint"
+        engine = BlueprintEngine(
+            db, Blueprint.from_source(source), max_wave_deliveries=5
+        )
+        oids = [db.create_object(OID(f"n{i}", "v", 1)).oid for i in range(5)]
+        for left, right in zip(oids, oids[1:]):
+            db.add_link(left, right, LinkClass.DERIVE, propagates=["e"])
+        engine.post("e", oids[0], "down")
+        engine.run()
+        assert not any(r.kind == "abort" for r in engine.trace)
+
+    def test_one_past_limit_aborts(self, db):
+        source = "blueprint w view v endview endblueprint"
+        engine = BlueprintEngine(
+            db, Blueprint.from_source(source), max_wave_deliveries=4
+        )
+        oids = [db.create_object(OID(f"n{i}", "v", 1)).oid for i in range(5)]
+        for left, right in zip(oids, oids[1:]):
+            db.add_link(left, right, LinkClass.DERIVE, propagates=["e"])
+        engine.post("e", oids[0], "down")
+        engine.run()
+        assert any(r.kind == "abort" for r in engine.trace)
+
+
+class TestArgEdgeCases:
+    SOURCE = """\
+blueprint args
+view v
+  property msg default none
+  when say do msg = $arg done
+endview
+endblueprint
+"""
+
+    def test_empty_arg(self, db):
+        engine = BlueprintEngine(db, Blueprint.from_source(self.SOURCE))
+        obj = db.create_object(OID("x", "v", 1))
+        engine.post("say", obj.oid, "up", arg="")
+        engine.run()
+        assert obj.get("msg") == ""
+
+    def test_arg_with_spaces_and_quotes(self, db):
+        engine = BlueprintEngine(db, Blueprint.from_source(self.SOURCE))
+        obj = db.create_object(OID("x", "v", 1))
+        engine.post("say", obj.oid, "up", arg='logic "sim" passed')
+        engine.run()
+        assert obj.get("msg") == 'logic "sim" passed'
+
+    def test_arg_spelling_of_boolean_coerces(self, db):
+        engine = BlueprintEngine(db, Blueprint.from_source(self.SOURCE))
+        obj = db.create_object(OID("x", "v", 1))
+        engine.post("say", obj.oid, "up", arg="true")
+        engine.run()
+        assert obj.get("msg") is True
+
+
+class TestNotifierFailure:
+    def test_failing_notifier_propagates(self, db):
+        """A notifier is trusted infrastructure; failures surface."""
+        source = (
+            'blueprint n view v when e do notify "hello" done endview '
+            "endblueprint"
+        )
+
+        def broken(message: str) -> None:
+            raise RuntimeError("mail server down")
+
+        engine = BlueprintEngine(
+            db, Blueprint.from_source(source), notifier=broken
+        )
+        obj = db.create_object(OID("x", "v", 1))
+        engine.post("e", obj.oid, "up")
+        with pytest.raises(RuntimeError):
+            engine.run()

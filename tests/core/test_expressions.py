@@ -1,0 +1,162 @@
+"""The continuous-assignment expression language."""
+
+import pytest
+
+from repro.core.expressions import (
+    Expression,
+    ExpressionError,
+    MappingEnvironment,
+    interpolate,
+    truthy,
+    values_equal,
+)
+
+
+def ev(source: str, **values):
+    return Expression.parse(source).evaluate(MappingEnvironment(values))
+
+
+class TestTruthiness:
+    def test_none_is_false(self):
+        assert truthy(None) is False
+
+    def test_bools(self):
+        assert truthy(True) and not truthy(False)
+
+    def test_false_string(self):
+        assert truthy("false") is False
+        assert truthy("FALSE") is False
+
+    def test_empty_string(self):
+        assert truthy("") is False
+
+    def test_other_strings_true(self):
+        assert truthy("good") is True
+        assert truthy("0 errors") is True
+
+    def test_numbers(self):
+        assert truthy(0) is False
+        assert truthy(3) is True
+
+
+class TestValuesEqual:
+    def test_bool_vs_spelling(self):
+        assert values_equal(True, "true")
+        assert values_equal(False, "false")
+
+    def test_number_vs_text(self):
+        assert values_equal(4, "4")
+        assert values_equal("4.0", 4)
+
+    def test_plain_strings(self):
+        assert values_equal("ok", "ok")
+        assert not values_equal("ok", "bad")
+
+    def test_none_only_equals_none(self):
+        assert values_equal(None, None)
+        assert not values_equal(None, "")
+
+
+class TestPaperExpressions:
+    def test_sim_equals_ok(self):
+        assert ev("($sim == ok)", sim="ok") is True
+        assert ev("($sim == ok)", sim="bad") is False
+
+    def test_full_state_assignment(self):
+        source = (
+            "($nl_sim_res == good) and ($lvs_res == is_equiv) "
+            "and ($uptodate == true)"
+        )
+        assert ev(source, nl_sim_res="good", lvs_res="is_equiv", uptodate=True)
+        assert not ev(source, nl_sim_res="good", lvs_res="is_equiv", uptodate=False)
+        assert not ev(source, nl_sim_res="bad", lvs_res="is_equiv", uptodate=True)
+
+    def test_unset_property_is_empty_string(self):
+        assert ev("$missing == ok") is False
+        assert ev('$missing == ""') is True
+
+
+class TestOperators:
+    def test_not(self):
+        assert ev("not ($x == 1)", x=2) is True
+        assert ev("not not ($x == 1)", x=1) is True
+
+    def test_or(self):
+        assert ev("($a == 1) or ($b == 1)", a=0, b=1) is True
+        assert ev("($a == 1) or ($b == 1)", a=0, b=0) is False
+
+    def test_precedence_and_binds_tighter(self):
+        # a or (b and c)
+        assert ev("($a == 1) or ($b == 1) and ($c == 1)", a=1, b=0, c=0) is True
+        assert ev("($a == 1) or ($b == 1) and ($c == 1)", a=0, b=1, c=0) is False
+
+    def test_not_equal(self):
+        assert ev("$x != done", x="pending") is True
+
+    def test_ordered_numeric(self):
+        assert ev("$n >= 3", n=3) is True
+        assert ev("$n < 3", n="2") is True  # numeric strings compare numerically
+
+    def test_ordered_text(self):
+        assert ev("$a < $b", a="apple", b="banana") is True
+
+    def test_ordered_mixed_types_false(self):
+        assert ev("$a < $b", a="apple", b=3) is False
+
+    def test_bare_word_is_literal(self):
+        assert ev("good == good") is True
+
+    def test_true_false_literals(self):
+        assert ev("true") is True
+        assert ev("$f == false", f=False) is True
+
+    def test_numbers(self):
+        assert ev("3 == 3.0") is True
+        assert ev("-2 < 1") is True
+
+
+class TestInterpolation:
+    def test_basic(self):
+        env = MappingEnvironment({"oid": "CPU.sch.1", "user": "yves"})
+        assert (
+            interpolate("$oid changed by $user", env) == "CPU.sch.1 changed by yves"
+        )
+
+    def test_unknown_renders_empty(self):
+        assert interpolate("[$ghost]", MappingEnvironment()) == "[]"
+
+    def test_bool_value_spelled_blueprint_style(self):
+        env = MappingEnvironment({"flag": True})
+        assert interpolate("flag=$flag", env) == "flag=true"
+
+    def test_quoted_literal_interpolates_at_eval(self):
+        result = ev('"$who did it"', who="marc")
+        assert result == "marc did it"
+
+    def test_plain_string_without_dollar_untouched(self):
+        assert ev('"just text"') == "just text"
+
+
+class TestParsing:
+    def test_round_trip(self):
+        source = "($a == good) and not ($b != 2) or $c"
+        expr = Expression.parse(source)
+        again = Expression.parse(expr.to_source())
+        env = MappingEnvironment({"a": "good", "b": 2, "c": False})
+        assert expr.evaluate(env) == again.evaluate(env)
+
+    def test_variables_collected(self):
+        expr = Expression.parse('($a == ok) and "$b text" or not $c')
+        assert expr.variables() == {"a", "b", "c"}
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "(", "$", "a ==", "== a", "(a == b", "a b", "a && b"],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ExpressionError):
+            Expression.parse(bad)
+
+    def test_string_escapes(self):
+        expr = Expression.parse('"say \\"hi\\""')
+        assert expr.evaluate(MappingEnvironment()) == 'say "hi"'

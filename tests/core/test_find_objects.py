@@ -1,0 +1,92 @@
+"""The expression-based volume query (find_objects)."""
+
+import pytest
+
+from repro.core.expressions import ExpressionError
+from repro.core.state import find_objects
+from repro.metadb.database import MetaDatabase
+from repro.metadb.oid import OID
+
+
+@pytest.fixture
+def db():
+    database = MetaDatabase()
+    database.create_object(
+        OID("cpu", "sch", 1), {"uptodate": False, "owner": "yves"}
+    )
+    database.create_object(
+        OID("cpu", "sch", 2), {"uptodate": True, "owner": "yves"}
+    )
+    database.create_object(
+        OID("dsp", "sch", 1), {"uptodate": False, "owner": "marc"}
+    )
+    database.create_object(OID("cpu", "net", 1), {"uptodate": True})
+    return database
+
+
+class TestSelection:
+    def test_property_match(self, db):
+        matches = find_objects(db, "$uptodate == false")
+        assert [obj.oid for obj in matches] == [OID("dsp", "sch", 1)]
+
+    def test_all_versions(self, db):
+        matches = find_objects(db, "$uptodate == false", latest_only=False)
+        assert {obj.oid for obj in matches} == {
+            OID("cpu", "sch", 1),
+            OID("dsp", "sch", 1),
+        }
+
+    def test_builtin_view_filter(self, db):
+        matches = find_objects(db, "$view == sch")
+        assert len(matches) == 2
+
+    def test_conjunction(self, db):
+        matches = find_objects(db, "($view == sch) and ($owner == yves)")
+        assert [obj.oid for obj in matches] == [OID("cpu", "sch", 2)]
+
+    def test_negation(self, db):
+        matches = find_objects(db, "not ($owner == yves)")
+        assert {obj.oid.block for obj in matches} == {"dsp", "cpu"}
+        # cpu,net has no owner -> "" != yves -> matches too
+
+    def test_precompiled_expression(self, db):
+        from repro.core.expressions import Expression
+
+        expr = Expression.parse("$version >= 2")
+        matches = find_objects(db, expr, latest_only=False)
+        assert [obj.oid for obj in matches] == [OID("cpu", "sch", 2)]
+
+    def test_results_sorted(self, db):
+        matches = find_objects(db, "true")
+        oids = [obj.oid for obj in matches]
+        assert oids == sorted(oids)
+
+    def test_bad_expression_raises(self, db):
+        with pytest.raises(ExpressionError):
+            find_objects(db, "=== nonsense")
+
+
+class TestCliFind:
+    def test_find_command(self, db, tmp_path, capsys):
+        from repro.cli import main
+        from repro.metadb.persistence import save_database
+
+        path = save_database(db, tmp_path / "db.json")
+        assert main(["find", str(path), "$uptodate == false"]) == 0
+        out = capsys.readouterr().out
+        assert "dsp.sch.1" in out
+        assert "1 match(es)" in out
+
+    def test_find_no_match_exits_one(self, db, tmp_path, capsys):
+        from repro.cli import main
+        from repro.metadb.persistence import save_database
+
+        path = save_database(db, tmp_path / "db.json")
+        assert main(["find", str(path), "$owner == nobody_here"]) == 1
+
+    def test_find_bad_expression_exits_two(self, db, tmp_path, capsys):
+        from repro.cli import main
+        from repro.metadb.persistence import save_database
+
+        path = save_database(db, tmp_path / "db.json")
+        assert main(["find", str(path), "((("]) == 2

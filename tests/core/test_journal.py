@@ -1,0 +1,148 @@
+"""Event journal and deterministic replay."""
+
+import pytest
+
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.core.journal import (
+    Journal,
+    JournalEntry,
+    JournalError,
+    attach_journal,
+    replay,
+    state_fingerprint,
+)
+from repro.core.policy import loosen_blueprint
+from repro.flows.generators import chain_blueprint_source
+from repro.metadb.database import MetaDatabase
+from repro.metadb.links import LinkClass
+from repro.metadb.oid import OID
+
+CHAIN = 5
+
+
+@pytest.fixture
+def recorded():
+    """A project driven through a little history, with a journal."""
+    blueprint = Blueprint.from_source(chain_blueprint_source(CHAIN))
+    db = MetaDatabase()
+    engine = BlueprintEngine(db, blueprint)
+    journal = attach_journal(engine, Journal())
+    for index in range(CHAIN):
+        db.create_object(OID("core", f"v{index}", 1))
+    engine.post("ckin", OID("core", "v0", 1), "up", user="yves")
+    engine.run()
+    db.create_object(OID("core", "v0", 2))
+    engine.post("ckin", OID("core", "v0", 2), "up", user="marc")
+    engine.run()
+    return blueprint, db, engine, journal
+
+
+class TestRecording:
+    def test_objects_and_events_recorded(self, recorded):
+        _bp, _db, _engine, journal = recorded
+        kinds = [entry.kind for entry in journal]
+        assert kinds.count("object") == CHAIN + 1
+        assert kinds.count("event") == 2
+        # auto-created links recorded too (harmless; replay dedups)
+        assert kinds.count("link") == CHAIN - 1
+
+    def test_event_payload(self, recorded):
+        _bp, _db, _engine, journal = recorded
+        events = [e for e in journal if e.kind == "event"]
+        assert events[0].payload["name"] == "ckin"
+        assert events[0].payload["user"] == "yves"
+        assert events[0].payload["direction"] == "up"
+
+
+class TestReplayDeterminism:
+    def test_replay_reproduces_state_exactly(self, recorded):
+        blueprint, db, _engine, journal = recorded
+        rebuilt, _engine2 = replay(journal, blueprint)
+        assert state_fingerprint(rebuilt) == state_fingerprint(db)
+
+    def test_replay_twice_identical(self, recorded):
+        blueprint, _db, _engine, journal = recorded
+        first, _ = replay(journal, blueprint)
+        second, _ = replay(journal, blueprint)
+        assert state_fingerprint(first) == state_fingerprint(second)
+
+    def test_what_if_replay_under_loosened_blueprint(self, recorded):
+        """Replaying the same history under a loosened blueprint shows
+        what the project would have looked like — the E7 experiment."""
+        blueprint, db, _engine, journal = recorded
+        loosened = loosen_blueprint(blueprint, block_events={"outofdate"})
+        rebuilt, _ = replay(journal, loosened)
+        stale_original = sum(
+            1 for o in db.objects() if o.get("uptodate") is False
+        )
+        stale_loosened = sum(
+            1 for o in rebuilt.objects() if o.get("uptodate") is False
+        )
+        assert stale_original > 0
+        assert stale_loosened == 0
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, recorded, tmp_path):
+        blueprint, db, _engine, journal = recorded
+        path = journal.save(tmp_path / "events.jsonl")
+        loaded = Journal.load(path)
+        assert len(loaded) == len(journal)
+        rebuilt, _ = replay(loaded, blueprint)
+        assert state_fingerprint(rebuilt) == state_fingerprint(db)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(JournalError):
+            Journal.load(tmp_path / "nope.jsonl")
+
+    def test_corrupt_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"seq": 1, "kind": "event"}\nnot json\n')
+        with pytest.raises(JournalError):
+            Journal.load(path)
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(JournalError):
+            JournalEntry.from_json('{"seq": 1}')
+
+    def test_blank_lines_skipped(self, recorded, tmp_path):
+        _bp, _db, _engine, journal = recorded
+        path = journal.save(tmp_path / "events.jsonl")
+        path.write_text(path.read_text() + "\n\n")
+        assert len(Journal.load(path)) == len(journal)
+
+
+class TestReplayRobustness:
+    def test_unknown_kind_rejected(self):
+        journal = Journal()
+        journal.entries.append(JournalEntry(seq=1, kind="alien", payload={}))
+        blueprint = Blueprint.from_source(chain_blueprint_source(2))
+        with pytest.raises(JournalError):
+            replay(journal, blueprint)
+
+    def test_duplicate_link_entries_deduplicated(self):
+        """Auto-links recorded by the journal are re-derived by replay's
+        own template hooks; the duplicate entries must be skipped."""
+        blueprint = Blueprint.from_source(chain_blueprint_source(2))
+        db = MetaDatabase()
+        engine = BlueprintEngine(db, blueprint)
+        journal = attach_journal(engine, Journal())
+        db.create_object(OID("core", "v0", 1))
+        db.create_object(OID("core", "v1", 1))  # template auto-links v0->v1
+        rebuilt, _ = replay(journal, blueprint)
+        assert rebuilt.link_count == 1
+
+    def test_manual_links_replayed(self):
+        source = "blueprint m view x use_link propagates e endview endblueprint"
+        blueprint = Blueprint.from_source(source)
+        db = MetaDatabase()
+        engine = BlueprintEngine(db, blueprint)
+        journal = attach_journal(engine, Journal())
+        parent = db.create_object(OID("top", "x", 1)).oid
+        child = db.create_object(OID("sub", "x", 1)).oid
+        db.add_link(parent, child, LinkClass.USE)
+        rebuilt, _ = replay(journal, blueprint)
+        assert rebuilt.link_count == 1
+        link = next(iter(rebuilt.links()))
+        assert link.allows("e")  # template re-annotated at replay

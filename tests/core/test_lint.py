@@ -1,0 +1,246 @@
+"""The blueprint linter."""
+
+import pytest
+
+from repro.core.blueprint import Blueprint
+from repro.core.lint import Severity, lint_blueprint
+from repro.flows.edtc import EDTC_BLUEPRINT
+
+
+def lint_source(source: str):
+    return lint_blueprint(Blueprint.from_source(source))
+
+
+def codes(findings):
+    return {finding.code for finding in findings}
+
+
+class TestCleanBlueprints:
+    def test_edtc_blueprint_has_no_warnings_or_errors(self):
+        findings = lint_source(EDTC_BLUEPRINT)
+        assert not [
+            f for f in findings if f.severity in (Severity.ERROR, Severity.WARNING)
+        ]
+
+    def test_findings_sorted_by_severity(self):
+        source = """\
+blueprint s
+view a
+  let x = $never_written
+  when go do post ghost down done
+endview
+endblueprint
+"""
+        findings = lint_source(source)
+        severities = [f.severity for f in findings]
+        order = {Severity.ERROR: 0, Severity.WARNING: 1, Severity.INFO: 2}
+        assert [order[s] for s in severities] == sorted(order[s] for s in severities)
+
+
+class TestPostWithoutPropagation:
+    def test_bp010_flagged(self):
+        source = """\
+blueprint s
+view a
+  when ckin do post outofdate down done
+endview
+endblueprint
+"""
+        findings = lint_source(source)
+        assert "BP010" in codes(findings)
+
+    def test_bp010_quiet_when_a_link_carries_it(self):
+        source = """\
+blueprint s
+view a
+  when ckin do post outofdate down done
+endview
+view b
+  link_from a propagates outofdate
+endview
+endblueprint
+"""
+        assert "BP010" not in codes(lint_source(source))
+
+    def test_post_to_view_not_flagged(self):
+        source = """\
+blueprint s
+view a
+  when ckin do post sim_ok down to b done
+endview
+view b
+endview
+endblueprint
+"""
+        assert "BP010" not in codes(lint_source(source))
+
+
+class TestUnhandledPropagation:
+    def test_bp011_flagged(self):
+        source = """\
+blueprint s
+view a
+endview
+view b
+  link_from a propagates mystery
+endview
+endblueprint
+"""
+        findings = lint_source(source)
+        assert "BP011" in codes(findings)
+
+    def test_bp011_quiet_when_handled_anywhere(self):
+        source = """\
+blueprint s
+view a
+endview
+view b
+  link_from a propagates mystery
+  when mystery do x = 1 done
+endview
+endblueprint
+"""
+        assert "BP011" not in codes(lint_source(source))
+
+
+class TestUnreachableRules:
+    def test_bp012_flagged_for_orphan_event(self):
+        source = """\
+blueprint s
+view a
+  when custom_verify do x = 1 done
+endview
+endblueprint
+"""
+        assert "BP012" in codes(lint_source(source))
+
+    def test_bp012_skips_conventional_wrapper_events(self):
+        source = """\
+blueprint s
+view a
+  when ckin do x = 1 done
+endview
+endblueprint
+"""
+        assert "BP012" not in codes(lint_source(source))
+
+
+class TestTemplateCycles:
+    def test_bp020_flagged(self):
+        source = """\
+blueprint s
+view a
+  link_from b propagates e
+  when e do x = 1 done
+endview
+view b
+  link_from a propagates e
+endview
+endblueprint
+"""
+        findings = lint_source(source)
+        assert "BP020" in codes(findings)
+        cycle = next(f for f in findings if f.code == "BP020")
+        assert "->" in cycle.message
+
+    def test_chain_is_not_a_cycle(self):
+        source = """\
+blueprint s
+view a
+endview
+view b
+  link_from a propagates e
+  when e do x = 1 done
+endview
+view c
+  link_from b propagates e
+endview
+endblueprint
+"""
+        assert "BP020" not in codes(lint_source(source))
+
+
+class TestLetInputs:
+    def test_bp030_flagged(self):
+        source = """\
+blueprint s
+view a
+  let state = ($never == ok)
+endview
+endblueprint
+"""
+        assert "BP030" in codes(lint_source(source))
+
+    def test_bp030_quiet_when_property_declared(self):
+        source = """\
+blueprint s
+view a
+  property never default bad
+  let state = ($never == ok)
+endview
+endblueprint
+"""
+        assert "BP030" not in codes(lint_source(source))
+
+    def test_bp030_quiet_when_rule_writes_it(self):
+        source = """\
+blueprint s
+view a
+  let state = ($verdict == ok)
+  when verify do verdict = $arg done
+endview
+endblueprint
+"""
+        findings = lint_source(source)
+        assert "BP030" not in codes(findings)
+
+    def test_builtins_never_flagged(self):
+        source = """\
+blueprint s
+view a
+  let who = $user
+endview
+endblueprint
+"""
+        assert "BP030" not in codes(lint_source(source))
+
+
+class TestInfoChecks:
+    def test_bp031_undeclared_assignment(self):
+        source = """\
+blueprint s
+view a
+  when ckin do surprise = 1 done
+endview
+endblueprint
+"""
+        assert "BP031" in codes(lint_source(source))
+
+    def test_bp040_exec_without_oid(self):
+        source = """\
+blueprint s
+view a
+  when ckin do exec cleanup done
+endview
+endblueprint
+"""
+        assert "BP040" in codes(lint_source(source))
+
+    def test_bp040_quiet_with_oid_arg(self):
+        source = """\
+blueprint s
+view a
+  when ckin do exec netlister "$oid" done
+endview
+endblueprint
+"""
+        assert "BP040" not in codes(lint_source(source))
+
+
+class TestFindingRendering:
+    def test_str_contains_code_and_location(self):
+        source = "blueprint s view a when go do post ghost down done endview endblueprint"
+        findings = lint_source(source)
+        text = str(findings[0])
+        assert "BP" in text
+        assert "view a" in text or "blueprint" in text

@@ -1,0 +1,191 @@
+"""Project policies: permissions, loosening, phases."""
+
+import pytest
+
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.core.policy import (
+    PermissionPolicy,
+    PermissionRule,
+    PhasePolicy,
+    ProjectPhase,
+    apply_blueprint_to_links,
+    loosen_blueprint,
+)
+from repro.flows.generators import chain_blueprint_source
+from repro.metadb.database import MetaDatabase
+from repro.metadb.oid import OID
+
+
+@pytest.fixture
+def db():
+    database = MetaDatabase()
+    database.create_object(OID("cpu", "netlist", 1), {"uptodate": True})
+    database.create_object(OID("cpu", "netlist", 2), {"uptodate": False})
+    database.create_object(OID("cpu", "layout", 1), {"uptodate": True, "drc": "good"})
+    return database
+
+
+class TestPermissionPolicy:
+    def test_grant_when_rules_hold(self, db):
+        policy = PermissionPolicy().require("sim", "$uptodate == true")
+        decision = policy.check(db, "sim", [OID("cpu", "netlist", 1)])
+        assert decision.granted
+        assert bool(decision) is True
+
+    def test_refuse_with_reasons(self, db):
+        policy = PermissionPolicy().require("sim", "$uptodate == true")
+        decision = policy.check(db, "sim", [OID("cpu", "netlist", 2)])
+        assert not decision.granted
+        assert "fails" in decision.reasons[0]
+
+    def test_view_scoped_rule_skips_other_views(self, db):
+        policy = PermissionPolicy().require("sim", "$drc == good", view="layout")
+        decision = policy.check(
+            db, "sim", [OID("cpu", "netlist", 1), OID("cpu", "layout", 1)]
+        )
+        assert decision.granted
+
+    def test_unknown_input_refused(self, db):
+        policy = PermissionPolicy()
+        decision = policy.check(db, "sim", [OID("ghost", "netlist", 1)])
+        assert not decision.granted
+        assert "not in the meta-database" in decision.reasons[0]
+
+    def test_wildcard_tool_rule(self, db):
+        policy = PermissionPolicy().add(
+            PermissionRule.parse("*", "$uptodate == true")
+        )
+        assert not policy.check(db, "anything", [OID("cpu", "netlist", 2)])
+
+    def test_multiple_inputs_all_checked(self, db):
+        policy = PermissionPolicy().require("sim", "$uptodate == true")
+        decision = policy.check(
+            db, "sim", [OID("cpu", "netlist", 1), OID("cpu", "netlist", 2)]
+        )
+        assert not decision.granted
+        assert len(decision.reasons) == 1
+
+    def test_audit_trail(self, db):
+        policy = PermissionPolicy().require("sim", "$uptodate == true")
+        policy.check(db, "sim", [OID("cpu", "netlist", 1)])
+        policy.check(db, "sim", [OID("cpu", "netlist", 2)])
+        assert [granted for _t, _o, granted in policy.audit] == [True, False]
+
+    def test_string_inputs_accepted(self, db):
+        policy = PermissionPolicy().require("sim", "$uptodate == true")
+        assert policy.check(db, "sim", ["cpu,netlist,1"]).granted
+
+
+class TestLoosening:
+    def test_blocked_event_removed_from_templates(self):
+        strict = Blueprint.from_source(chain_blueprint_source(3))
+        loose = loosen_blueprint(strict, block_events={"outofdate"})
+        template = loose.effective("v1").link_template_from("v0")
+        assert template.propagates == frozenset()
+
+    def test_name_gets_suffix(self):
+        strict = Blueprint.from_source(chain_blueprint_source(3))
+        assert loosen_blueprint(strict, block_events={"x"}).name.endswith(
+            "_loosened"
+        )
+
+    def test_original_untouched(self):
+        strict = Blueprint.from_source(chain_blueprint_source(3))
+        loosen_blueprint(strict, block_events={"outofdate"})
+        template = strict.effective("v1").link_template_from("v0")
+        assert "outofdate" in template.propagates
+
+    def test_other_events_kept(self):
+        source = (
+            "blueprint b view a endview view c "
+            "link_from a propagates outofdate, lvs type derived endview "
+            "endblueprint"
+        )
+        loose = loosen_blueprint(
+            Blueprint.from_source(source), block_events={"outofdate"}
+        )
+        assert loose.effective("c").link_template_from("a").propagates == frozenset(
+            {"lvs"}
+        )
+
+    def test_restricted_to_link_types(self):
+        source = (
+            "blueprint b view a endview view l endview view c "
+            "link_from a propagates outofdate type derived "
+            "link_from l propagates outofdate type depend_on "
+            "endview endblueprint"
+        )
+        loose = loosen_blueprint(
+            Blueprint.from_source(source),
+            block_events={"outofdate"},
+            link_types={"depend_on"},
+        )
+        effective = loose.effective("c")
+        assert "outofdate" in effective.link_template_from("a").propagates
+        assert effective.link_template_from("l").propagates == frozenset()
+
+    def test_restricted_to_views(self):
+        strict = Blueprint.from_source(chain_blueprint_source(4))
+        loose = loosen_blueprint(
+            strict, block_events={"outofdate"}, views={"v2"}
+        )
+        assert loose.effective("v1").link_template_from("v0").propagates
+        assert not loose.effective("v2").link_template_from("v1").propagates
+
+    def test_rules_untouched(self):
+        strict = Blueprint.from_source(chain_blueprint_source(3))
+        loose = loosen_blueprint(strict, block_events={"outofdate"})
+        assert loose.effective("v0").rules_for("ckin")
+
+    def test_apply_to_existing_links(self):
+        db = MetaDatabase()
+        strict = Blueprint.from_source(chain_blueprint_source(3))
+        engine = BlueprintEngine(db, strict)
+        for index in range(3):
+            db.create_object(OID("b", f"v{index}", 1))
+        assert all(link.allows("outofdate") for link in db.links())
+        loose = loosen_blueprint(strict, block_events={"outofdate"})
+        changed = apply_blueprint_to_links(loose, db)
+        assert changed == 2
+        assert all(not link.allows("outofdate") for link in db.links())
+        assert engine is not None
+
+
+class TestPhases:
+    def test_switch_swaps_engine_blueprint(self):
+        db = MetaDatabase()
+        strict = Blueprint.from_source(chain_blueprint_source(3))
+        loose = loosen_blueprint(strict, block_events={"outofdate"})
+        engine = BlueprintEngine(db, strict)
+        phases = (
+            PhasePolicy()
+            .add_phase(ProjectPhase("bringup", loose))
+            .add_phase(ProjectPhase("signoff", strict))
+        )
+        phases.switch_to("bringup", engine)
+        assert engine.blueprint is loose
+        assert phases.current.name == "bringup"
+        phases.switch_to("signoff", engine)
+        assert engine.blueprint is strict
+        assert phases.transitions == ["bringup", "signoff"]
+
+    def test_switch_reannotates_links(self):
+        db = MetaDatabase()
+        strict = Blueprint.from_source(chain_blueprint_source(2))
+        loose = loosen_blueprint(strict, block_events={"outofdate"})
+        engine = BlueprintEngine(db, strict)
+        db.create_object(OID("b", "v0", 1))
+        db.create_object(OID("b", "v1", 1))
+        phases = PhasePolicy().add_phase(ProjectPhase("bringup", loose))
+        phases.switch_to("bringup", engine, db)
+        assert all(not link.allows("outofdate") for link in db.links())
+
+    def test_unknown_phase(self):
+        phases = PhasePolicy()
+        with pytest.raises(ValueError):
+            phases.switch_to("nope", engine=None)
+
+    def test_current_requires_phases(self):
+        with pytest.raises(ValueError):
+            PhasePolicy().current  # noqa: B018 - property with side effect

@@ -1,0 +1,59 @@
+"""Printer round-trips: print(parse(x)) re-parses to an equal AST."""
+
+import pytest
+
+from repro.core.lang.parser import parse_blueprint
+from repro.core.lang.printer import print_blueprint
+from repro.flows.edtc import EDTC_BLUEPRINT, EDTC_BLUEPRINT_VERBATIM
+from tests.conftest import SMALL_BLUEPRINT
+
+
+def normalize(ast):
+    """A comparable projection of the AST (dataclass equality is partial
+    because ViewDecl is mutable; compare rendered text instead)."""
+    return print_blueprint(ast)
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        SMALL_BLUEPRINT,
+        EDTC_BLUEPRINT,
+        EDTC_BLUEPRINT_VERBATIM,
+        "blueprint tiny view only endview endblueprint",
+        "view a property p default x copy endview",
+        'view a when e do exec t "$oid" a1; notify "m"; post e2 up to B "x" done endview',
+    ],
+)
+def test_round_trip_fixed_point(source):
+    first = parse_blueprint(source)
+    printed = print_blueprint(first)
+    second = parse_blueprint(printed)
+    assert print_blueprint(second) == printed
+
+
+def test_printed_text_is_readable():
+    printed = print_blueprint(parse_blueprint(EDTC_BLUEPRINT))
+    assert printed.startswith("blueprint EDTC_example")
+    assert "view schematic" in printed
+    assert "endblueprint" in printed
+
+
+def test_print_preserves_rule_order():
+    source = (
+        "view v when a do x = 1 done when b do y = 2 done "
+        "when a do z = 3 done endview"
+    )
+    printed = print_blueprint(parse_blueprint(source))
+    first_a = printed.index("when a do x = 1 done")
+    b_rule = printed.index("when b do y = 2 done")
+    second_a = printed.index("when a do z = 3 done")
+    assert first_a < b_rule < second_a
+
+
+def test_print_escapes_strings():
+    source = 'view v when e do notify "say \\"hi\\"" done endview'
+    printed = print_blueprint(parse_blueprint(source))
+    reparsed = parse_blueprint(printed)
+    action = reparsed.view("v").rules[0].actions[0]
+    assert action.message == 'say "hi"'

@@ -1,0 +1,93 @@
+"""Pure propagation analysis (reachability without rule execution)."""
+
+import pytest
+
+from repro.core.propagation import (
+    impacted_by_change,
+    propagation_targets,
+    reachable_set,
+)
+from repro.metadb.database import MetaDatabase
+from repro.metadb.links import Direction, LinkClass
+from repro.metadb.oid import OID
+
+
+@pytest.fixture
+def db():
+    database = MetaDatabase()
+    # a -> b -> c (outofdate); a -> d (lvs only); e isolated
+    for name in ("a", "b", "c", "d", "e"):
+        database.create_object(OID(name, "v", 1))
+    database.add_link(
+        OID("a", "v", 1), OID("b", "v", 1), LinkClass.DERIVE,
+        propagates=["outofdate"],
+    )
+    database.add_link(
+        OID("b", "v", 1), OID("c", "v", 1), LinkClass.DERIVE,
+        propagates=["outofdate"],
+    )
+    database.add_link(
+        OID("a", "v", 1), OID("d", "v", 1), LinkClass.DERIVE,
+        propagates=["lvs"],
+    )
+    return database
+
+
+class TestSingleHop:
+    def test_targets_filter_by_event(self, db):
+        targets = propagation_targets(
+            db, OID("a", "v", 1), "outofdate", Direction.DOWN
+        )
+        assert [oid for _l, oid in targets] == [OID("b", "v", 1)]
+
+    def test_targets_filter_by_direction(self, db):
+        assert (
+            propagation_targets(db, OID("a", "v", 1), "outofdate", Direction.UP)
+            == []
+        )
+
+    def test_targets_other_event(self, db):
+        targets = propagation_targets(db, OID("a", "v", 1), "lvs", Direction.DOWN)
+        assert [oid for _l, oid in targets] == [OID("d", "v", 1)]
+
+
+class TestReachability:
+    def test_transitive_down(self, db):
+        report = reachable_set(db, OID("a", "v", 1), "outofdate", Direction.DOWN)
+        assert report.reached == frozenset({OID("b", "v", 1), OID("c", "v", 1)})
+        assert report.fanout == 2
+        assert report.hops == 2
+
+    def test_up_from_leaf(self, db):
+        report = reachable_set(db, OID("c", "v", 1), "outofdate", Direction.UP)
+        assert report.reached == frozenset({OID("b", "v", 1), OID("a", "v", 1)})
+
+    def test_origin_excluded_by_default(self, db):
+        report = reachable_set(db, OID("a", "v", 1), "outofdate", Direction.DOWN)
+        assert OID("a", "v", 1) not in report.reached
+
+    def test_origin_included_on_request(self, db):
+        report = reachable_set(
+            db, OID("a", "v", 1), "outofdate", Direction.DOWN, include_origin=True
+        )
+        assert OID("a", "v", 1) in report.reached
+
+    def test_isolated_node(self, db):
+        report = reachable_set(db, OID("e", "v", 1), "outofdate", Direction.DOWN)
+        assert report.reached == frozenset()
+        assert report.hops == 0
+
+    def test_cycle_terminates(self, db):
+        db.add_link(
+            OID("c", "v", 1), OID("a", "v", 1), LinkClass.DERIVE,
+            propagates=["outofdate"],
+        )
+        report = reachable_set(db, OID("a", "v", 1), "outofdate", Direction.DOWN)
+        assert report.reached == frozenset(
+            {OID("b", "v", 1), OID("c", "v", 1)}
+        )
+
+    def test_impacted_by_change_is_down_outofdate(self, db):
+        assert impacted_by_change(db, OID("a", "v", 1)) == frozenset(
+            {OID("b", "v", 1), OID("c", "v", 1)}
+        )

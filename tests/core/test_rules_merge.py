@@ -1,0 +1,123 @@
+"""Default-view merging and compiled-view lookups."""
+
+from repro.core.blueprint import Blueprint
+from repro.core.lang.parser import parse_blueprint
+from repro.core.rules import merge_views, validate_view
+from repro.metadb.versions import InheritMode
+
+MERGE_SOURCE = """\
+blueprint m
+view default
+  property uptodate default true
+  property owner default nobody copy
+  let healthy = ($uptodate == true)
+  when ckin do uptodate = true done
+  when outofdate do uptodate = false done
+endview
+view sch
+  property owner default team_sch
+  property quality default bad
+  let healthy = ($uptodate == true) and ($quality == good)
+  when ckin do quality = checking done
+endview
+endblueprint
+"""
+
+
+class TestMergeSemantics:
+    def test_default_properties_added(self):
+        bp = Blueprint.from_source(MERGE_SOURCE)
+        sch = bp.effective("sch")
+        names = [spec.name for spec in sch.properties]
+        assert "uptodate" in names
+
+    def test_specific_property_wins(self):
+        bp = Blueprint.from_source(MERGE_SOURCE)
+        sch = bp.effective("sch")
+        owner = sch.property_spec("owner")
+        assert owner.default == "team_sch"
+        assert owner.inherit is InheritMode.NONE  # the view's decl, not default's
+
+    def test_specific_let_shadows_default(self):
+        bp = Blueprint.from_source(MERGE_SOURCE)
+        sch = bp.effective("sch")
+        assert "quality" in sch.lets["healthy"].variables()
+
+    def test_rules_concatenate_default_first(self):
+        bp = Blueprint.from_source(MERGE_SOURCE)
+        rules = bp.effective("sch").rules_for("ckin")
+        assert len(rules) == 2
+        # default's assign to uptodate comes before the view's own
+        assert rules[0].actions[0].name == "uptodate"
+        assert rules[1].actions[0].name == "quality"
+
+    def test_default_only_event_still_handled(self):
+        bp = Blueprint.from_source(MERGE_SOURCE)
+        assert len(bp.effective("sch").rules_for("outofdate")) == 1
+
+    def test_events_handled(self):
+        bp = Blueprint.from_source(MERGE_SOURCE)
+        assert bp.effective("sch").events_handled() == {"ckin", "outofdate"}
+
+    def test_default_itself_not_a_tracked_view(self):
+        bp = Blueprint.from_source(MERGE_SOURCE)
+        assert bp.tracked_views() == ["sch"]
+        assert bp.effective("default") is None
+
+    def test_merge_without_default(self):
+        ast = parse_blueprint("view only property p default x endview")
+        merged = merge_views(None, ast.view("only"))
+        assert [spec.name for spec in merged.properties] == ["p"]
+
+    def test_default_use_link_inherited(self):
+        source = (
+            "blueprint b view default use_link propagates e endview "
+            "view v endview endblueprint"
+        )
+        bp = Blueprint.from_source(source)
+        assert bp.effective("v").use_link is not None
+
+    def test_specific_use_link_shadows_default(self):
+        source = (
+            "blueprint b view default use_link propagates e1 endview "
+            "view v use_link move propagates e2 endview endblueprint"
+        )
+        bp = Blueprint.from_source(source)
+        use = bp.effective("v").use_link
+        assert use.propagates == frozenset({"e2"})
+        assert use.move
+
+
+class TestValidation:
+    def test_duplicate_property_warned(self):
+        ast = parse_blueprint(
+            "view v property p default a property p default b endview"
+        )
+        warnings = validate_view(ast.view("v"))
+        assert any("declared twice" in w for w in warnings)
+
+    def test_let_shadowing_property_warned(self):
+        ast = parse_blueprint(
+            "view v property state default x let state = $uptodate endview"
+        )
+        assert any("shadows" in w for w in validate_view(ast.view("v")))
+
+    def test_self_link_warned(self):
+        ast = parse_blueprint("view v link_from v propagates e endview")
+        assert any("itself" in w for w in validate_view(ast.view("v")))
+
+    def test_multiple_use_links_warned(self):
+        ast = parse_blueprint(
+            "view v use_link propagates a use_link propagates b endview"
+        )
+        assert any("multiple use_link" in w for w in validate_view(ast.view("v")))
+
+    def test_unknown_link_source_warned_at_compile(self):
+        bp = Blueprint.from_source(
+            "blueprint b view v link_from ghost propagates e endview endblueprint"
+        )
+        assert any("untracked" in w for w in bp.warnings)
+
+    def test_clean_blueprint_no_warnings(self):
+        bp = Blueprint.from_source(MERGE_SOURCE)
+        assert bp.warnings == []

@@ -1,0 +1,143 @@
+"""Tool scheduling: registry, permission gating, automation modes."""
+
+import pytest
+
+from repro.core.engine import ExecRequest
+from repro.core.events import EventMessage
+from repro.core.policy import PermissionPolicy
+from repro.core.scheduler import SchedulerError, ToolScheduler
+from repro.metadb.database import MetaDatabase
+from repro.metadb.links import Direction
+from repro.metadb.oid import OID
+
+
+@pytest.fixture
+def db():
+    database = MetaDatabase()
+    database.create_object(OID("cpu", "sch", 1), {"uptodate": True})
+    database.create_object(OID("cpu", "net", 1), {"uptodate": False})
+    return database
+
+
+def request_for(oid: OID, script: str = "netlister", args=None) -> ExecRequest:
+    event = EventMessage(name="ckin", direction=Direction.UP, target=oid)
+    return ExecRequest(
+        script=script, args=list(args or [oid.dotted()]), oid=oid, event=event
+    )
+
+
+class TestRegistry:
+    def test_register_and_resolve(self, db):
+        scheduler = ToolScheduler(db=db)
+        wrapper = lambda request: "ran"  # noqa: E731
+        scheduler.register("netlister", wrapper)
+        assert scheduler.resolve("netlister") is wrapper
+
+    def test_resolve_shell_spellings(self, db):
+        scheduler = ToolScheduler(db=db)
+        wrapper = lambda request: None  # noqa: E731
+        scheduler.register("netlister", wrapper)
+        assert scheduler.resolve("netlister.sh") is wrapper
+        assert scheduler.resolve("./netlister") is wrapper
+        assert scheduler.resolve("/tools/bin/netlister.sh") is wrapper
+
+    def test_unknown_script_lenient(self, db):
+        scheduler = ToolScheduler(db=db)
+        result = scheduler(request_for(OID("cpu", "sch", 1), script="ghost"))
+        assert result is None
+        assert scheduler.runs[0].refusal_reasons == ("no wrapper registered",)
+
+    def test_unknown_script_strict(self, db):
+        scheduler = ToolScheduler(db=db, strict=True)
+        with pytest.raises(SchedulerError):
+            scheduler(request_for(OID("cpu", "sch", 1), script="ghost"))
+
+
+class TestPermissionGate:
+    def test_granted_runs(self, db):
+        policy = PermissionPolicy().require("netlister", "$uptodate == true")
+        scheduler = ToolScheduler(db=db, policy=policy)
+        ran = []
+        scheduler.register("netlister", lambda request: ran.append(request.oid))
+        scheduler(request_for(OID("cpu", "sch", 1)))
+        assert ran == [OID("cpu", "sch", 1)]
+
+    def test_refused_does_not_run(self, db):
+        policy = PermissionPolicy().require("netlister", "$uptodate == true")
+        scheduler = ToolScheduler(db=db, policy=policy)
+        ran = []
+        scheduler.register("netlister", lambda request: ran.append(1))
+        scheduler(request_for(OID("cpu", "net", 1)))
+        assert ran == []
+        run = scheduler.runs[0]
+        assert not run.granted and not run.executed
+        assert run.refusal_reasons
+
+    def test_oid_args_also_checked(self, db):
+        policy = PermissionPolicy().require("netlister", "$uptodate == true")
+        scheduler = ToolScheduler(db=db, policy=policy)
+        scheduler.register("netlister", lambda request: None)
+        request = request_for(
+            OID("cpu", "sch", 1), args=["cpu.net.1"]  # stale input as arg
+        )
+        scheduler(request)
+        assert not scheduler.runs[0].granted
+
+
+class TestAutomationModes:
+    def test_automatic_executes(self, db):
+        scheduler = ToolScheduler(db=db, automatic=True)
+        ran = []
+        scheduler.register("netlister", lambda request: ran.append(1))
+        scheduler(request_for(OID("cpu", "sch", 1)))
+        assert ran == [1]
+        assert scheduler.counts()["executed"] == 1
+
+    def test_manual_parks(self, db):
+        scheduler = ToolScheduler(db=db, automatic=False)
+        ran = []
+        scheduler.register("netlister", lambda request: ran.append(1))
+        scheduler(request_for(OID("cpu", "sch", 1)))
+        assert ran == []
+        assert scheduler.counts()["parked"] == 1
+
+    def test_run_pending_executes_batch(self, db):
+        scheduler = ToolScheduler(db=db, automatic=False)
+        ran = []
+        scheduler.register("netlister", lambda request: ran.append(request.oid))
+        scheduler(request_for(OID("cpu", "sch", 1)))
+        scheduler(request_for(OID("cpu", "net", 1)))
+        executed = scheduler.run_pending()
+        assert executed == 2
+        assert len(ran) == 2
+        assert scheduler.pending == []
+
+    def test_depth_limit_stops_recursion(self, db):
+        scheduler = ToolScheduler(db=db, max_depth=3)
+
+        def recursive(request):
+            scheduler(request_for(OID("cpu", "sch", 1)))
+
+        scheduler.register("netlister", recursive)
+        scheduler(request_for(OID("cpu", "sch", 1)))
+        limited = [
+            run for run in scheduler.runs if "depth limit" in " ".join(run.refusal_reasons)
+        ]
+        assert len(limited) == 1
+        assert all(run.depth <= 3 for run in scheduler.runs)
+
+    def test_run_records(self, db):
+        scheduler = ToolScheduler(db=db)
+        scheduler.register("netlister", lambda request: "result!")
+        scheduler(request_for(OID("cpu", "sch", 1)))
+        run = scheduler.executed_runs()[0]
+        assert run.result == "result!"
+        assert run.script == "netlister"
+        assert run.event == "ckin"
+
+    def test_refused_runs_listing(self, db):
+        policy = PermissionPolicy().require("netlister", "$uptodate == true")
+        scheduler = ToolScheduler(db=db, policy=policy)
+        scheduler.register("netlister", lambda request: None)
+        scheduler(request_for(OID("cpu", "net", 1)))
+        assert len(scheduler.refused_runs()) == 1

@@ -1,0 +1,147 @@
+"""Design-state queries: status, pending work, ad-hoc evaluation."""
+
+import pytest
+
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.core.state import (
+    design_state,
+    evaluate_on,
+    is_up_to_date,
+    pending_work,
+    project_status,
+    stale_latest,
+)
+from repro.metadb.database import MetaDatabase
+from repro.metadb.oid import OID
+
+SOURCE = """\
+blueprint st
+view default
+  property uptodate default true
+  when ckin do uptodate = true; post outofdate down done
+  when outofdate do uptodate = false done
+endview
+view src
+  property checked default bad
+  let state = ($checked == good) and ($uptodate == true)
+  when check do checked = $arg done
+endview
+view dst
+  link_from src move propagates outofdate
+endview
+endblueprint
+"""
+
+
+@pytest.fixture
+def db():
+    return MetaDatabase()
+
+
+@pytest.fixture
+def engine(db):
+    return BlueprintEngine(db, Blueprint.from_source(SOURCE))
+
+
+@pytest.fixture
+def project(db, engine):
+    db.create_object(OID("cpu", "src", 1))
+    db.create_object(OID("cpu", "dst", 1))
+    db.create_object(OID("dsp", "src", 1))
+    return db, engine
+
+
+class TestDesignState:
+    def test_snapshot(self, project):
+        db, _ = project
+        state = design_state(db, "cpu,src,1")
+        assert state["uptodate"] is True
+        assert state["checked"] == "bad"
+
+    def test_is_up_to_date(self, project):
+        db, engine = project
+        assert is_up_to_date(db, "cpu,dst,1")
+        db.create_object(OID("cpu", "src", 2))
+        engine.post("ckin", "cpu,src,2", "up")
+        engine.run()
+        assert not is_up_to_date(db, "cpu,dst,1")
+
+    def test_stale_latest(self, project):
+        db, engine = project
+        assert stale_latest(db) == []
+        db.create_object(OID("cpu", "src", 2))
+        engine.post("ckin", "cpu,src,2", "up")
+        engine.run()
+        assert [obj.oid for obj in stale_latest(db)] == [OID("cpu", "dst", 1)]
+
+
+class TestEvaluateOn:
+    def test_expression_string(self, project):
+        db, _ = project
+        obj = db.get(OID("cpu", "src", 1))
+        assert evaluate_on(obj, "$checked == bad") is True
+        assert evaluate_on(obj, "$checked == good") is False
+
+    def test_builtin_oid_fields(self, project):
+        db, _ = project
+        obj = db.get(OID("cpu", "src", 1))
+        assert evaluate_on(obj, "$block == cpu") is True
+        assert evaluate_on(obj, "$view == src") is True
+        assert evaluate_on(obj, "$version == 1") is True
+
+
+class TestProjectStatus:
+    def test_counts(self, project):
+        db, engine = project
+        status = project_status(db, engine.blueprint)
+        assert status.views["src"].objects == 2
+        assert status.views["src"].latest == 2
+        assert status.views["src"].up_to_date == 2
+        assert status.views["src"].state_ok == 0  # not yet checked
+
+    def test_complete_after_checks(self, project):
+        db, engine = project
+        for block in ("cpu", "dsp"):
+            engine.post("check", OID(block, "src", 1), "up", arg="good")
+        engine.run()
+        status = project_status(db, engine.blueprint)
+        assert status.views["src"].state_ok == 2
+        assert status.views["src"].complete
+        assert status.complete  # dst has no state: up-to-date counts as ok
+
+    def test_rows_sorted(self, project):
+        db, engine = project
+        rows = project_status(db, engine.blueprint).to_rows()
+        assert [row[0] for row in rows] == ["dst", "src"]
+
+
+class TestPendingWork:
+    def test_initial_pending(self, project):
+        db, engine = project
+        work = pending_work(db, engine.blueprint)
+        # both src blocks fail their state expression
+        assert {item.oid for item in work} == {
+            OID("cpu", "src", 1),
+            OID("dsp", "src", 1),
+        }
+
+    def test_failing_names_recorded(self, project):
+        db, engine = project
+        work = pending_work(db, engine.blueprint)
+        assert all(item.failing == ("state",) for item in work)
+
+    def test_uptodate_failure_reported(self, project):
+        db, engine = project
+        db.create_object(OID("cpu", "src", 2))
+        engine.post("ckin", OID("cpu", "src", 2), "up")
+        engine.run()
+        work = {item.oid: item.failing for item in pending_work(db, engine.blueprint)}
+        assert "uptodate" in work[OID("cpu", "dst", 1)]
+
+    def test_empty_when_plan_reached(self, project):
+        db, engine = project
+        for block in ("cpu", "dsp"):
+            engine.post("check", OID(block, "src", 1), "up", arg="good")
+        engine.run()
+        assert pending_work(db, engine.blueprint) == []

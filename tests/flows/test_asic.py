@@ -1,0 +1,103 @@
+"""The larger ASIC RTL-to-GDSII flow."""
+
+import pytest
+
+from repro.flows.asic import (
+    ASIC_VIEW_ORDER,
+    build_asic_project,
+    drive_to_signoff,
+    eco_change,
+)
+from repro.metadb.oid import OID
+
+
+@pytest.fixture(scope="module")
+def project():
+    return build_asic_project(n_blocks=3)
+
+
+class TestConstruction:
+    def test_blueprint_clean(self, project):
+        assert project.blueprint.warnings == []
+
+    def test_every_block_has_full_pipeline(self, project):
+        for block in project.blocks:
+            for view in ASIC_VIEW_ORDER:
+                assert project.latest(block, view) is not None
+
+    def test_pipelines_auto_linked(self, project):
+        gdsii = project.latest("blk0", "gdsii")
+        incoming_views = {
+            link.source.view for link in project.db.incoming(gdsii.oid)
+        }
+        assert incoming_views == {"routing", "gate_netlist"}
+
+    def test_tech_file_linked_as_library(self, project):
+        netlist = project.latest("blk0", "gate_netlist")
+        sources = {link.source.view for link in project.db.incoming(netlist.oid)}
+        assert "tech_file" in sources
+
+    def test_top_uses_sub_block_rtl(self, project):
+        top_rtl = project.latest("soc", "rtl")
+        children = {
+            link.dest.block
+            for link in project.db.outgoing(top_rtl.oid)
+            if link.link_class.value == "use"
+        }
+        assert children == {"blk0", "blk1", "blk2"}
+
+
+class TestSignoff:
+    def test_signoff_completes_project(self):
+        project = build_asic_project(n_blocks=2)
+        drive_to_signoff(project)
+        status = project.status()
+        assert status.complete
+        assert project.pending() == []
+
+    def test_states_true_for_all_views_with_state(self):
+        project = build_asic_project(n_blocks=2)
+        drive_to_signoff(project)
+        for block in project.blocks:
+            for view in ("rtl", "gate_netlist", "placement", "routing", "gdsii"):
+                assert project.latest(block, view).get("state") is True
+
+
+class TestEco:
+    def test_leaf_eco_invalidates_own_pipeline(self):
+        project = build_asic_project(n_blocks=2)
+        drive_to_signoff(project)
+        result = eco_change(project, "blk0")
+        assert result["stale_before"] == 0
+        # gate_netlist, floorplan, placement, routing, gdsii
+        assert result["stale_after"] == 5
+        assert project.latest("blk1", "gdsii").get("uptodate") is True
+
+    def test_top_eco_invalidates_everything(self):
+        project = build_asic_project(n_blocks=2)
+        drive_to_signoff(project)
+        result = eco_change(project, "soc")
+        # soc's own 5 downstream views + both sub-blocks' rtl pipelines
+        # (rtl itself + 5 views each = 12) = 17
+        assert result["stale_after"] == 17
+
+    def test_eco_rtl_itself_fresh(self):
+        project = build_asic_project(n_blocks=1)
+        drive_to_signoff(project)
+        eco_change(project, "blk0")
+        new_rtl = project.latest("blk0", "rtl")
+        assert new_rtl.version == 2
+        assert new_rtl.get("uptodate") is True
+
+    def test_reverify_restores_signoff(self):
+        project = build_asic_project(n_blocks=1)
+        drive_to_signoff(project)
+        eco_change(project, "blk0")
+        # rebuild each derived view (new versions) then re-verify
+        for view in ASIC_VIEW_ORDER[2:]:
+            latest = project.latest("blk0", view)
+            project.db.create_object(OID("blk0", view, latest.version + 1))
+            project.engine.post("ckin", OID("blk0", view, latest.version + 1), "up")
+            project.engine.run()
+        drive_to_signoff(project)
+        assert [w for w in project.pending() if w.oid.block == "blk0"] == []

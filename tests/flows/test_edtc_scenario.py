@@ -1,0 +1,149 @@
+"""The section 3.4 scenario: the paper's worked example, asserted.
+
+This is the reproduction's central integration test: every claim the
+paper's narrative makes about the EDTC_example flow is checked against
+the live system.
+"""
+
+import pytest
+
+from repro.core.state import pending_work
+from repro.flows.edtc import (
+    build_edtc_project,
+    library_update_scenario,
+    run_paper_scenario,
+)
+from repro.metadb.oid import OID
+from repro.tools.design_data import standard_library
+
+
+@pytest.fixture(scope="module")
+def scenario(tmp_path_factory):
+    project = build_edtc_project(tmp_path_factory.mktemp("edtc"))
+    report = run_paper_scenario(project)
+    return project, report
+
+
+class TestScenarioSteps:
+    def test_v1_fails_simulation(self, scenario):
+        _project, report = scenario
+        step = report.find("v1 simulated")
+        assert step.observations["failed"] is True
+        assert "errors" in str(step.observations["sim_result"])
+
+    def test_v2_passes_simulation(self, scenario):
+        _project, report = scenario
+        assert report.find("v2 simulated").observations["sim_result"] == "good"
+
+    def test_synthesis_creates_cpu_and_reg(self, scenario):
+        _project, report = scenario
+        step = report.find("synthesized")
+        assert step.observations["cpu_schematic"] == "<CPU.schematic.1>"
+        assert step.observations["reg_schematic"] == "<REG.schematic.1>"
+        assert step.observations["use_links"] == 1
+
+    def test_netlister_auto_invoked_on_ckin(self, scenario):
+        """'when ckin do exec netlister "$oid" done' must have fired."""
+        _project, report = scenario
+        step = report.find("synthesized")
+        assert step.observations["netlist_auto_created"] is True
+        assert step.observations["netlist_oid"] == "<CPU.netlist.1>"
+
+    def test_nl_sim_verdict_propagates_up_to_schematic(self, scenario):
+        _project, report = scenario
+        step = report.find("netlist simulated")
+        assert step.observations["netlist_sim_result"] == "good"
+        assert step.observations["schematic_nl_sim_res"] == "good"
+
+    def test_verification_turns_states_true(self, scenario):
+        _project, report = scenario
+        step = report.find("verified")
+        assert step.observations["drc_result"] == "good"
+        assert step.observations["lvs_result"] == "is_equiv"
+        assert step.observations["layout_state"] is True
+        assert step.observations["schematic_lvs_res"] == "is_equiv"
+        assert step.observations["schematic_state"] is True
+
+    def test_change_invalidates_all_derived_views(self, scenario):
+        """The punchline: v3's ckin stales schematic, REG, netlist, layout."""
+        _project, report = scenario
+        step = report.find("v3 checked in")
+        assert step.observations["schematic_uptodate"] is False
+        assert step.observations["reg_uptodate"] is False
+        assert step.observations["netlist_uptodate"] is False
+        assert step.observations["layout_uptodate"] is False
+        assert step.observations["schematic_state"] is False
+
+    def test_hdl_model_itself_stays_up_to_date(self, scenario):
+        project, _report = scenario
+        v3 = project.db.get(OID("CPU", "HDL_model", 3))
+        assert v3.get("uptodate") is True
+
+    def test_pending_work_lists_derived_data(self, scenario):
+        project, report = scenario
+        assert report.find("v3 checked in").observations["pending"] == 5
+        oids = {item.oid for item in pending_work(project.db, project.blueprint)}
+        assert OID("CPU", "schematic", 1) in oids
+        assert OID("CPU", "layout", 1) in oids
+
+
+class TestMoveSemanticsInScenario:
+    def test_derived_link_followed_new_hdl_version(self, scenario):
+        """The HDL->schematic link must sit on HDL_model.3 after the move."""
+        project, _report = scenario
+        links = [
+            link
+            for link in project.db.links()
+            if link.source.view == "HDL_model"
+            and link.dest.view == "schematic"
+        ]
+        assert len(links) == 1
+        assert links[0].source == OID("CPU", "HDL_model", 3)
+
+    def test_event_history_recorded(self, scenario):
+        project, _report = scenario
+        names = [event.name for event in project.engine.queue.history]
+        assert "ckin" in names
+        assert "hdl_sim" in names
+        assert "lvs" in names
+
+
+class TestLibraryUpdate:
+    def test_new_library_version_invalidates_dependents(self, tmp_path):
+        """'the installation of a new version of the library will
+        automatically invalidate data which depends on it'"""
+        project = build_edtc_project(tmp_path / "edtc2")
+        project.workspace.check_in("CPU", "HDL_model", _spec())
+        project.bus.drain()
+        project.toolset.run("synthesis", "CPU")
+        schematic = project.db.latest_version("CPU", "schematic")
+        assert schematic.get("uptodate") is True
+        report = library_update_scenario(project)
+        after = report.find("after library update")
+        assert after.observations["schematic_uptodate"] is False
+        assert after.observations["netlist_uptodate"] is False
+
+    def test_library_link_moved_to_new_version(self, tmp_path):
+        project = build_edtc_project(tmp_path / "edtc3")
+        project.workspace.check_in("CPU", "HDL_model", _spec())
+        project.bus.drain()
+        project.toolset.run("synthesis", "CPU")
+        project.workspace.check_in(
+            "stdcells", "synth_lib", standard_library().to_text(), user="admin"
+        )
+        project.bus.drain()
+        lib_links = [
+            link
+            for link in project.db.links()
+            if link.source.view == "synth_lib"
+        ]
+        assert lib_links
+        assert all(
+            link.source == OID("stdcells", "synth_lib", 2) for link in lib_links
+        )
+
+
+def _spec() -> str:
+    from repro.flows.edtc import CPU_SPEC
+
+    return CPU_SPEC

@@ -1,0 +1,107 @@
+"""The paper's verbatim listing: its exact (quirky) semantics.
+
+The runtime blueprint fixes two listing bugs (DESIGN.md §5).  These tests
+pin down what the *unfixed* listing does, so the deviation stays honest:
+under the verbatim rules the HDL→schematic link does not move, so a new
+HDL version's check-in fails to invalidate the schematic — exactly the
+behaviour the paper's prose says should not happen.
+"""
+
+import pytest
+
+from repro.core.blueprint import Blueprint
+from repro.flows.edtc import (
+    CPU_SPEC,
+    EDTC_BLUEPRINT,
+    EDTC_BLUEPRINT_VERBATIM,
+    build_edtc_project,
+)
+from repro.metadb.oid import OID
+
+
+@pytest.fixture
+def verbatim_project(tmp_path):
+    return build_edtc_project(
+        tmp_path / "verbatim", blueprint_source=EDTC_BLUEPRINT_VERBATIM
+    )
+
+
+class TestVerbatimSemantics:
+    def test_hdl_link_does_not_move(self, verbatim_project):
+        """Listing: 'link_from HDL_model propagates outofdate type derived'
+        (no move).  After a new HDL version, the link stays on v1."""
+        project = verbatim_project
+        project.workspace.check_in("CPU", "HDL_model", CPU_SPEC)
+        project.bus.drain()
+        project.toolset.run("synthesis", "CPU")
+        project.workspace.check_in("CPU", "HDL_model", CPU_SPEC)
+        project.bus.drain()
+        links = [
+            link
+            for link in project.db.links()
+            if link.source.view == "HDL_model" and link.dest.view == "schematic"
+        ]
+        assert links
+        assert all(link.source.version == 1 for link in links)
+
+    def test_change_does_not_invalidate_schematic(self, verbatim_project):
+        """The consequence: the outofdate wave from HDL v2 reaches nothing
+        — this is the listing bug the prose contradicts."""
+        project = verbatim_project
+        project.workspace.check_in("CPU", "HDL_model", CPU_SPEC)
+        project.bus.drain()
+        project.toolset.run("synthesis", "CPU")
+        schematic_before = project.db.latest_version("CPU", "schematic")
+        assert schematic_before.get("uptodate") is True
+        project.workspace.check_in("CPU", "HDL_model", CPU_SPEC)
+        project.bus.drain()
+        assert (
+            project.db.latest_version("CPU", "schematic").get("uptodate") is True
+        )
+
+    def test_runtime_blueprint_fixes_it(self, tmp_path):
+        project = build_edtc_project(
+            tmp_path / "fixed", blueprint_source=EDTC_BLUEPRINT
+        )
+        project.workspace.check_in("CPU", "HDL_model", CPU_SPEC)
+        project.bus.drain()
+        project.toolset.run("synthesis", "CPU")
+        project.workspace.check_in("CPU", "HDL_model", CPU_SPEC)
+        project.bus.drain()
+        assert (
+            project.db.latest_version("CPU", "schematic").get("uptodate")
+            is False
+        )
+
+
+class TestListingStructure:
+    def test_both_sources_define_same_views(self):
+        verbatim = Blueprint.from_source(EDTC_BLUEPRINT_VERBATIM)
+        runtime = Blueprint.from_source(EDTC_BLUEPRINT)
+        assert verbatim.tracked_views() == runtime.tracked_views()
+
+    def test_runtime_adds_exactly_the_documented_rules(self):
+        verbatim = Blueprint.from_source(EDTC_BLUEPRINT_VERBATIM)
+        runtime = Blueprint.from_source(EDTC_BLUEPRINT)
+        # fix 1: move on the HDL->schematic link
+        assert not verbatim.effective("schematic").link_template_from(
+            "HDL_model"
+        ).move
+        assert runtime.effective("schematic").link_template_from(
+            "HDL_model"
+        ).move
+        # fix 2: the schematic handles lvs
+        assert not verbatim.effective("schematic").rules_for("lvs")
+        assert runtime.effective("schematic").rules_for("lvs")
+
+    def test_netlist_and_layout_links_match_paper_events(self):
+        verbatim = Blueprint.from_source(EDTC_BLUEPRINT_VERBATIM)
+        netlist_link = verbatim.effective("netlist").link_template_from(
+            "schematic"
+        )
+        assert netlist_link.propagates == frozenset({"nl_sim", "outofdate"})
+        layout_link = verbatim.effective("layout").link_template_from(
+            "schematic"
+        )
+        assert layout_link.propagates == frozenset({"lvs", "outofdate"})
+        assert layout_link.link_type == "equivalence"

@@ -1,0 +1,123 @@
+"""Synthetic project generators."""
+
+import pytest
+
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.core.propagation import reachable_set
+from repro.flows.generators import (
+    add_back_edge,
+    apply_change,
+    build_chain_project,
+    build_random_dag,
+    build_tree,
+    chain_blueprint_source,
+    hierarchy_blueprint_source,
+    make_change_trace,
+)
+from repro.metadb.database import MetaDatabase
+from repro.metadb.links import Direction
+from repro.metadb.oid import OID
+
+
+class TestChainBlueprint:
+    def test_source_parses(self):
+        bp = Blueprint.from_source(chain_blueprint_source(5))
+        assert bp.tracked_views() == [f"v{i}" for i in range(5)]
+        assert bp.warnings == []
+
+    def test_requires_positive(self):
+        with pytest.raises(ValueError):
+            chain_blueprint_source(0)
+
+    def test_chain_project_linked(self):
+        db, _engine = build_chain_project(4)
+        assert db.link_count == 3
+
+    def test_chain_propagation_depth(self):
+        db, engine = build_chain_project(6)
+        engine.post("ckin", OID("core", "v0", 1), "up")
+        engine.run()
+        stale = [obj.oid.view for obj in db.objects() if obj.get("uptodate") is False]
+        assert sorted(stale) == [f"v{i}" for i in range(1, 6)]
+
+
+class TestTree:
+    def test_size(self):
+        db = MetaDatabase()
+        bp = Blueprint.from_source(hierarchy_blueprint_source())
+        BlueprintEngine(db, bp)
+        oids = build_tree(db, depth=3, fanout=2)
+        assert len(oids) == 1 + 2 + 4
+
+    def test_hierarchy_links_annotated_by_template(self):
+        db = MetaDatabase()
+        bp = Blueprint.from_source(hierarchy_blueprint_source())
+        BlueprintEngine(db, bp)
+        build_tree(db, depth=2, fanout=3)
+        for link in db.links():
+            assert link.allows("outofdate")
+            assert link.move
+
+    def test_root_change_stales_whole_tree(self):
+        db = MetaDatabase()
+        bp = Blueprint.from_source(hierarchy_blueprint_source())
+        engine = BlueprintEngine(db, bp)
+        oids = build_tree(db, depth=4, fanout=2)
+        engine.post("ckin", oids[0], "up")
+        engine.run()
+        stale = sum(1 for obj in db.objects() if obj.get("uptodate") is False)
+        assert stale == len(oids) - 1
+
+
+class TestRandomDag:
+    def test_deterministic(self):
+        db1, db2 = MetaDatabase(), MetaDatabase()
+        build_random_dag(db1, n_nodes=20, seed=7)
+        build_random_dag(db2, n_nodes=20, seed=7)
+        assert db1.link_count == db2.link_count
+
+    def test_acyclic_by_construction(self):
+        db = MetaDatabase()
+        oids = build_random_dag(db, n_nodes=30, seed=1)
+        # reachability from any node never returns to itself
+        for oid in oids[:5]:
+            report = reachable_set(db, oid, "outofdate", Direction.DOWN)
+            assert oid not in report.reached
+
+    def test_back_edge_creates_cycle_safely(self):
+        db = MetaDatabase()
+        oids = build_random_dag(db, n_nodes=10, edge_probability=0.4, seed=2)
+        add_back_edge(db, oids, seed=3)
+        # reachability must still terminate
+        report = reachable_set(db, oids[0], "outofdate", Direction.DOWN)
+        assert report.hops >= 0
+
+
+class TestChangeTraces:
+    def test_deterministic(self):
+        lineages = [("b0", "rtl"), ("b1", "rtl"), ("b2", "rtl")]
+        first = make_change_trace(lineages, 50, seed=5)
+        second = make_change_trace(lineages, 50, seed=5)
+        assert [c.block for c in first] == [c.block for c in second]
+
+    def test_hot_skew(self):
+        lineages = [(f"b{i}", "rtl") for i in range(10)]
+        trace = make_change_trace(lineages, 500, seed=1, hot_fraction=0.2)
+        counts = {}
+        for change in trace:
+            counts[change.block] = counts.get(change.block, 0) + 1
+        hot_changes = sum(counts.get(f"b{i}", 0) for i in range(2))
+        assert hot_changes > 0.5 * len(trace)
+
+    def test_requires_lineages(self):
+        with pytest.raises(ValueError):
+            make_change_trace([], 5)
+
+    def test_apply_change_creates_versions_and_events(self):
+        db, engine = build_chain_project(3)
+        trace = make_change_trace([("core", "v0")], 4, seed=1)
+        for change in trace:
+            apply_change(db, engine, change)
+        assert db.latest_version("core", "v0").version == 5  # 1 initial + 4
+        assert engine.metrics.per_event["ckin"] == 4

@@ -1,0 +1,151 @@
+"""Cross-module integration: network → engine → tools → workspace."""
+
+import pytest
+
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.core.state import pending_work, project_status
+from repro.flows.edtc import CPU_PARTITIONS, CPU_SPEC, EDTC_BLUEPRINT
+from repro.metadb.database import MetaDatabase
+from repro.metadb.oid import OID
+from repro.metadb.persistence import load_database, save_database
+from repro.metadb.workspace import Workspace
+from repro.network.client import BlueprintClient
+from repro.network.server import ProjectServer, wait_for_port
+from repro.tools.registry import build_toolset
+
+
+class TestNetworkedToolFlow:
+    """Wrappers talking to a real TCP project server (Figure 1 complete)."""
+
+    @pytest.fixture
+    def stack(self, tmp_path):
+        db = MetaDatabase()
+        engine = BlueprintEngine(db, Blueprint.from_source(EDTC_BLUEPRINT))
+        workspace = Workspace(tmp_path / "ws", db)
+        toolset = build_toolset(
+            engine, workspace, specs={"CPU": CPU_SPEC}, partitions=CPU_PARTITIONS
+        )
+        with ProjectServer(engine) as server:
+            assert wait_for_port(server.host, server.port)
+            client = BlueprintClient(host=server.host, port=server.port)
+            yield db, workspace, toolset, client
+
+    def test_tcp_event_drives_blueprint_state(self, stack):
+        db, workspace, _toolset, client = stack
+        workspace.check_in("CPU", "HDL_model", CPU_SPEC)
+        client.post_event("hdl_sim", "CPU,HDL_model,1", "up", arg="good")
+        state = client.query("CPU,HDL_model,1")
+        assert state["sim_result"] == "good"
+        assert state["uptodate"] == "true"
+
+    def test_tool_run_visible_over_network(self, stack):
+        db, workspace, toolset, client = stack
+        workspace.check_in("CPU", "HDL_model", CPU_SPEC)
+        toolset.ctx.bus.drain()
+        toolset.run("synthesis", "CPU")
+        state = client.query("CPU,schematic,1")
+        assert "uptodate" in state
+
+
+class TestPersistenceAcrossRestart:
+    def test_project_survives_save_load(self, tmp_path):
+        # session 1: run part of the flow
+        db = MetaDatabase(name="edtc")
+        engine = BlueprintEngine(db, Blueprint.from_source(EDTC_BLUEPRINT))
+        workspace = Workspace(tmp_path / "ws", db)
+        toolset = build_toolset(
+            engine, workspace, specs={"CPU": CPU_SPEC}, partitions=CPU_PARTITIONS
+        )
+        workspace.check_in("CPU", "HDL_model", CPU_SPEC)
+        toolset.ctx.bus.drain()
+        toolset.run("synthesis", "CPU")
+        save_database(db, tmp_path / "db.json")
+
+        # session 2: reload, attach a fresh engine, keep working
+        db2, _registry = load_database(tmp_path / "db.json")
+        engine2 = BlueprintEngine(db2, Blueprint.from_source(EDTC_BLUEPRINT))
+        schematic = db2.latest_version("CPU", "schematic")
+        assert schematic is not None
+        engine2.post("nl_sim", db2.latest_version("CPU", "netlist").oid, "up", arg="good")
+        engine2.run()
+        assert db2.latest_version("CPU", "schematic").get("nl_sim_res") == "good"
+
+    def test_links_still_propagate_after_reload(self, tmp_path):
+        db = MetaDatabase()
+        engine = BlueprintEngine(db, Blueprint.from_source(EDTC_BLUEPRINT))
+        workspace = Workspace(tmp_path / "ws", db)
+        toolset = build_toolset(
+            engine, workspace, specs={"CPU": CPU_SPEC}, partitions=CPU_PARTITIONS
+        )
+        workspace.check_in("CPU", "HDL_model", CPU_SPEC)
+        toolset.ctx.bus.drain()
+        toolset.run("synthesis", "CPU")
+        save_database(db, tmp_path / "db.json")
+
+        db2, _ = load_database(tmp_path / "db.json")
+        engine2 = BlueprintEngine(db2, Blueprint.from_source(EDTC_BLUEPRINT))
+        hdl = db2.latest_version("CPU", "HDL_model")
+        engine2.post("ckin", hdl.oid, "up")
+        engine2.run()
+        assert db2.latest_version("CPU", "schematic").get("uptodate") is False
+
+
+class TestMultiUserScenario:
+    def test_two_designers_one_project(self, tmp_path):
+        """Two designers working different blocks do not interfere."""
+        db = MetaDatabase()
+        spec_dsp = CPU_SPEC.replace("CPU", "DSP")
+        engine = BlueprintEngine(db, Blueprint.from_source(EDTC_BLUEPRINT))
+        workspace = Workspace(tmp_path / "ws", db)
+        toolset = build_toolset(
+            engine,
+            workspace,
+            specs={"CPU": CPU_SPEC, "DSP": spec_dsp},
+            partitions={},
+        )
+        workspace.check_in("CPU", "HDL_model", CPU_SPEC, user="yves")
+        workspace.check_in("DSP", "HDL_model", spec_dsp, user="marc")
+        toolset.ctx.bus.drain()
+        toolset.run("synthesis", "CPU")
+        toolset.run("synthesis", "DSP")
+        # yves changes CPU; DSP must stay green
+        workspace.check_in("CPU", "HDL_model", CPU_SPEC, user="yves")
+        toolset.ctx.bus.drain()
+        assert db.latest_version("CPU", "schematic").get("uptodate") is False
+        assert db.latest_version("DSP", "schematic").get("uptodate") is True
+
+    def test_checkout_conflict_between_users(self, tmp_path):
+        db = MetaDatabase()
+        BlueprintEngine(db, Blueprint.from_source(EDTC_BLUEPRINT))
+        workspace = Workspace(tmp_path / "ws", db)
+        obj = workspace.check_in("CPU", "HDL_model", CPU_SPEC, user="yves")
+        workspace.check_out(obj.oid, user="yves")
+        from repro.metadb.errors import WorkspaceError
+
+        with pytest.raises(WorkspaceError):
+            workspace.check_out(obj.oid, user="marc")
+
+
+class TestStatusQueriesEndToEnd:
+    def test_status_tracks_full_flow(self, tmp_path):
+        db = MetaDatabase()
+        blueprint = Blueprint.from_source(EDTC_BLUEPRINT)
+        engine = BlueprintEngine(db, blueprint)
+        workspace = Workspace(tmp_path / "ws", db)
+        toolset = build_toolset(
+            engine, workspace, specs={"CPU": CPU_SPEC}, partitions=CPU_PARTITIONS
+        )
+        workspace.check_in("CPU", "HDL_model", CPU_SPEC)
+        toolset.ctx.bus.drain()
+        toolset.run("synthesis", "CPU")
+        toolset.run("nl_sim", "CPU")
+        toolset.run("layout", "CPU")
+        toolset.run("drc", "CPU")
+        toolset.run("lvs", "CPU")
+        status = project_status(db, blueprint)
+        assert status.views["schematic"].state_ok >= 1
+        assert status.views["layout"].state_ok == 1
+        # only REG's schematic lacks verification events; CPU is done
+        pending = {w.oid.block for w in pending_work(db, blueprint)}
+        assert "CPU" not in pending

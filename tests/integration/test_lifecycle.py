@@ -1,0 +1,112 @@
+"""A full project lifecycle: phases, journal, task board, dashboard.
+
+One continuous story exercising most of the public API together, the way
+a real project would: bring-up under a loosened blueprint, the switch to
+sign-off, verification, an ECO, and the audit artifacts at the end.
+"""
+
+import pytest
+
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.core.journal import Journal, attach_journal, replay, state_fingerprint
+from repro.core.lint import Severity, lint_blueprint
+from repro.core.policy import PhasePolicy, ProjectPhase, loosen_blueprint
+from repro.core.state import pending_work
+from repro.flows.generators import apply_change, chain_blueprint_source
+from repro.flows.generators import Change
+from repro.metadb.database import MetaDatabase
+from repro.metadb.oid import OID
+from repro.tasks.model import DesignTask, TaskBoard, TaskState
+from repro.viz.html import render_dashboard
+
+CHAIN = 4
+VIEWS = [f"v{i}" for i in range(CHAIN)]
+
+BLUEPRINT_SOURCE = chain_blueprint_source(CHAIN) .replace(
+    "view v3\n  link_from v2 move propagates outofdate type derived\nendview",
+    """view v3
+  property signoff default bad
+  let state = ($signoff == good) and ($uptodate == true)
+  link_from v2 move propagates outofdate type derived
+  when verify do signoff = $arg done
+endview""",
+)
+
+
+@pytest.fixture
+def lifecycle():
+    strict = Blueprint.from_source(BLUEPRINT_SOURCE)
+    loose = loosen_blueprint(strict, block_events={"outofdate"})
+    db = MetaDatabase(name="lifecycle")
+    engine = BlueprintEngine(db, loose)
+    journal = attach_journal(engine, Journal())
+    phases = (
+        PhasePolicy()
+        .add_phase(ProjectPhase("bringup", loose))
+        .add_phase(ProjectPhase("signoff", strict))
+    )
+    return strict, loose, db, engine, journal, phases
+
+
+def test_full_lifecycle(lifecycle):
+    strict, loose, db, engine, journal, phases = lifecycle
+
+    # --- lint gate before anything runs
+    findings = lint_blueprint(strict)
+    assert not [f for f in findings if f.severity is Severity.ERROR]
+
+    # --- bring-up: data lands, churn is cheap (loosened)
+    for view in VIEWS:
+        db.create_object(OID("core", view, 1))
+    for _ in range(3):
+        apply_change(db, engine, Change("core", "v0", user="yves"))
+    assert all(obj.get("uptodate") is not False for obj in db.objects())
+
+    # --- the phase switch to sign-off
+    phases.switch_to("signoff", engine, db)
+    assert engine.blueprint is strict
+
+    # --- a real change now invalidates downstream
+    apply_change(db, engine, Change("core", "v0", user="marc"))
+    stale = [obj.oid.view for obj in db.objects() if obj.get("uptodate") is False]
+    assert set(stale) == {"v1", "v2", "v3"}
+
+    # --- task board reflects live design state
+    board = TaskBoard(db)
+    board.add(DesignTask.parse("tapeout", "v3", "$state == true", assignee="s"))
+    assert board.status_of("tapeout").state is TaskState.IN_PROGRESS
+
+    # --- rebuild + verify: new versions, then the verification event
+    for view in VIEWS[1:]:
+        latest = db.latest_version("core", view)
+        db.create_object(OID("core", view, latest.version + 1))
+        engine.post("ckin", OID("core", view, latest.version + 1), "up")
+        engine.run()
+    engine.post("verify", db.latest_version("core", "v3").oid, "up", arg="good")
+    engine.run()
+    assert board.status_of("tapeout").state is TaskState.DONE
+    assert pending_work(db, engine.blueprint) == []
+
+    # --- audit artifacts: replay must reproduce, dashboard must render
+    # what-if replay under the bring-up blueprint still works
+    rebuilt, _ = replay(journal, strict)
+    # the journalled history includes the loosened phase's events; the
+    # strict replay may invalidate more than reality saw — what matters
+    # is that replay is deterministic:
+    again, _ = replay(journal, strict)
+    assert state_fingerprint(rebuilt) == state_fingerprint(again)
+
+    html_text = render_dashboard(db, engine.blueprint, engine)
+    assert "nothing pending" in html_text
+
+
+def test_lifecycle_dashboard_shows_pending_during_eco(lifecycle):
+    _strict, _loose, db, engine, _journal, phases = lifecycle
+    for view in VIEWS:
+        db.create_object(OID("core", view, 1))
+    phases.switch_to("signoff", engine, db)
+    apply_change(db, engine, Change("core", "v0", user="eco"))
+    html_text = render_dashboard(db, engine.blueprint, engine)
+    assert 'class="stale"' in html_text
+    assert "core.v1.1" in html_text

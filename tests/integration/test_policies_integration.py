@@ -1,0 +1,151 @@
+"""Integration: policies, phases and baselines over shared workloads."""
+
+import pytest
+
+from repro.baselines.manual import run_manual_comparison
+from repro.baselines.nelsis import ActivityFlowManager
+from repro.baselines.ulysses import GoalDrivenScheduler
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.core.policy import (
+    PermissionPolicy,
+    PhasePolicy,
+    ProjectPhase,
+    loosen_blueprint,
+)
+from repro.flows.generators import (
+    apply_change,
+    build_chain_project,
+    chain_blueprint_source,
+    make_change_trace,
+)
+from repro.metadb.database import MetaDatabase
+from repro.metadb.oid import OID
+
+VIEWS = [f"v{i}" for i in range(5)]
+
+
+class TestLooseningEndToEnd:
+    def test_same_trace_less_invalidation(self):
+        strict_db, strict_engine = build_chain_project(5)
+        loose_db, loose_engine = build_chain_project(5)
+        loose_engine.swap_blueprint(
+            loosen_blueprint(loose_engine.blueprint, block_events={"outofdate"})
+        )
+        from repro.core.policy import apply_blueprint_to_links
+
+        apply_blueprint_to_links(loose_engine.blueprint, loose_db)
+
+        trace = make_change_trace([("core", "v0")], 8, seed=3)
+        for change in trace:
+            apply_change(strict_db, strict_engine, change)
+            apply_change(loose_db, loose_engine, change)
+
+        strict_stale = sum(
+            1 for obj in strict_db.objects() if obj.get("uptodate") is False
+        )
+        loose_stale = sum(
+            1 for obj in loose_db.objects() if obj.get("uptodate") is False
+        )
+        assert strict_stale > 0
+        assert loose_stale == 0
+        assert (
+            loose_engine.metrics.propagation_hops
+            < strict_engine.metrics.propagation_hops
+        )
+
+    def test_phase_switch_mid_project(self):
+        db, engine = build_chain_project(5)
+        strict = engine.blueprint
+        loose = loosen_blueprint(strict, block_events={"outofdate"})
+        phases = (
+            PhasePolicy()
+            .add_phase(ProjectPhase("bringup", loose))
+            .add_phase(ProjectPhase("signoff", strict))
+        )
+        phases.switch_to("bringup", engine, db)
+        apply_change(db, engine, make_change_trace([("core", "v0")], 1, seed=1).changes[0])
+        assert sum(1 for o in db.objects() if o.get("uptodate") is False) == 0
+
+        phases.switch_to("signoff", engine, db)
+        apply_change(db, engine, make_change_trace([("core", "v0")], 1, seed=2).changes[0])
+        assert sum(1 for o in db.objects() if o.get("uptodate") is False) == 4
+
+
+class TestObserverVersusActivity:
+    """The E3 comparison in miniature: one change, three control models."""
+
+    def test_damocles_is_non_obstructive(self):
+        db, engine = build_chain_project(5)
+        # the designer's only action: check the new version in; zero
+        # synchronous framework interactions, tracking still exact
+        change = make_change_trace([("core", "v0")], 1, seed=1).changes[0]
+        apply_change(db, engine, change)
+        stale = {obj.oid.view for obj in db.objects() if obj.get("uptodate") is False}
+        assert stale == {"v1", "v2", "v3", "v4"}
+
+    def test_nelsis_requires_blocking_interactions(self):
+        manager = ActivityFlowManager().declare_chain(VIEWS)
+        interactions = manager.run_chain_for_change("core", VIEWS)
+        assert interactions == len(VIEWS)
+        assert manager.log.blocking_interactions == len(VIEWS)
+
+    def test_ulysses_eager_runs_redundantly(self):
+        scheduler = GoalDrivenScheduler().register_chain(VIEWS)
+        scheduler.source_change("core", "v0")
+        scheduler.achieve("core", VIEWS[-1])
+        scheduler.achieve("core", VIEWS[-1])  # goal re-stated, nothing changed
+        assert scheduler.redundant_runs == len(VIEWS) - 1
+
+    def test_manual_tracking_loses_information(self):
+        db, _engine = build_chain_project(6)
+        accuracy = run_manual_comparison(
+            db,
+            [OID("core", "v0", 1)],
+            attention=0.4,
+            seed=11,
+        )
+        assert accuracy.true_stale == 5
+        assert accuracy.missed > 0  # the tracking system exists for a reason
+
+
+class TestPermissionPolicyIntegration:
+    def test_permission_enforced_through_scheduler(self):
+        """exec rules refuse to run tools on stale inputs (section 3.3)."""
+        from repro.core.scheduler import ToolScheduler
+
+        source = """\
+blueprint p
+view default
+  property uptodate default true
+  when ckin do uptodate = true; post outofdate down done
+  when outofdate do uptodate = false done
+endview
+view sch
+endview
+view net
+  link_from sch move propagates outofdate
+  when run_sim do exec simulator "$oid" done
+endview
+endblueprint
+"""
+        db = MetaDatabase()
+        engine = BlueprintEngine(db, Blueprint.from_source(source))
+        policy = PermissionPolicy().require("simulator", "$uptodate == true")
+        scheduler = ToolScheduler(db=db, policy=policy)
+        runs = []
+        scheduler.register("simulator", lambda request: runs.append(request.oid))
+        engine.executor = scheduler
+
+        db.create_object(OID("cpu", "sch", 1))
+        db.create_object(OID("cpu", "net", 1))
+        engine.post("run_sim", "cpu,net,1", "up")
+        engine.run()
+        assert runs == [OID("cpu", "net", 1)]  # granted: everything fresh
+
+        db.create_object(OID("cpu", "sch", 2))
+        engine.post("ckin", "cpu,sch,2", "up")
+        engine.post("run_sim", "cpu,net,1", "up")
+        engine.run()
+        assert len(runs) == 1  # refused: netlist went stale
+        assert scheduler.refused_runs()

@@ -1,0 +1,178 @@
+"""Configurations: lightweight snapshots of OIDs and links."""
+
+import pytest
+
+from repro.metadb.configurations import (
+    Configuration,
+    ConfigurationRegistry,
+    all_links,
+    use_links_only,
+)
+from repro.metadb.database import MetaDatabase
+from repro.metadb.errors import ConfigurationError
+from repro.metadb.links import Direction, LinkClass
+from repro.metadb.oid import OID
+
+
+@pytest.fixture
+def db():
+    database = MetaDatabase()
+    # a small hierarchy: top uses a and b; b derives into c
+    for name in ("top", "a", "b"):
+        database.create_object(OID(name, "sch", 1))
+    database.create_object(OID("c", "net", 1))
+    database.add_link(OID("top", "sch", 1), OID("a", "sch", 1), LinkClass.USE)
+    database.add_link(OID("top", "sch", 1), OID("b", "sch", 1), LinkClass.USE)
+    database.add_link(OID("b", "sch", 1), OID("c", "net", 1), LinkClass.DERIVE)
+    return database
+
+
+class TestFromOids:
+    def test_members_and_internal_links(self, db):
+        config = Configuration.from_oids(
+            db, "q", [OID("top", "sch", 1), OID("a", "sch", 1)]
+        )
+        assert len(config) == 2
+        assert len(config.link_ids) == 1  # only the top->a use link is internal
+
+    def test_without_internal_links(self, db):
+        config = Configuration.from_oids(
+            db,
+            "q",
+            [OID("top", "sch", 1), OID("a", "sch", 1)],
+            include_internal_links=False,
+        )
+        assert config.link_ids == frozenset()
+
+    def test_unknown_member_rejected(self, db):
+        with pytest.raises(ConfigurationError):
+            Configuration.from_oids(db, "q", [OID("zz", "sch", 1)])
+
+
+class TestFromHierarchy:
+    def test_use_links_only_by_default(self, db):
+        config = Configuration.from_hierarchy(db, "h", OID("top", "sch", 1))
+        assert OID("a", "sch", 1) in config
+        assert OID("b", "sch", 1) in config
+        assert OID("c", "net", 1) not in config  # derive link not followed
+
+    def test_all_links_rule(self, db):
+        config = Configuration.from_hierarchy(
+            db, "h", OID("top", "sch", 1), rule=all_links
+        )
+        assert OID("c", "net", 1) in config
+
+    def test_custom_rule(self, db):
+        config = Configuration.from_hierarchy(
+            db,
+            "h",
+            OID("b", "sch", 1),
+            rule=lambda link, here: link.link_class is LinkClass.DERIVE,
+        )
+        assert set(config) == {OID("b", "sch", 1), OID("c", "net", 1)}
+
+    def test_direction_up(self, db):
+        config = Configuration.from_hierarchy(
+            db, "h", OID("c", "net", 1), rule=all_links, direction=Direction.UP
+        )
+        assert OID("b", "sch", 1) in config
+        assert OID("top", "sch", 1) not in config or True  # up through use too
+        # up from c: c <- b (derive); b <- top (use)
+        assert OID("top", "sch", 1) in config
+
+    def test_unknown_root_rejected(self, db):
+        with pytest.raises(ConfigurationError):
+            Configuration.from_hierarchy(db, "h", OID("zz", "sch", 1))
+
+
+class TestSnapshot:
+    def test_snapshot_covers_everything(self, db):
+        config = Configuration.snapshot(db, "all")
+        assert len(config) == db.object_count
+        assert len(config.link_ids) == db.link_count
+
+    def test_snapshot_clock(self, db):
+        config = Configuration.snapshot(db, "all")
+        db.create_object(OID("later", "sch", 1))
+        newer = Configuration.snapshot(db, "all2")
+        assert newer.created_clock > config.created_clock
+
+
+class TestMaterializeAndStaleness:
+    def test_materialize_sorted(self, db):
+        config = Configuration.snapshot(db, "all")
+        objects = config.materialize(db)
+        oids = [obj.oid for obj in objects]
+        assert oids == sorted(oids)
+
+    def test_materialize_stale_raises(self, db):
+        config = Configuration.snapshot(db, "all")
+        db.remove_object(OID("a", "sch", 1))
+        assert config.is_stale(db)
+        with pytest.raises(ConfigurationError):
+            config.materialize(db)
+
+    def test_fresh_not_stale(self, db):
+        assert not Configuration.snapshot(db, "all").is_stale(db)
+
+    def test_stale_via_removed_link(self, db):
+        config = Configuration.snapshot(db, "all")
+        link = next(iter(db.links()))
+        db.remove_link(link.link_id)
+        assert config.is_stale(db)
+
+
+class TestSetAlgebra:
+    def test_union(self, db):
+        left = Configuration.from_oids(db, "l", [OID("a", "sch", 1)])
+        right = Configuration.from_oids(db, "r", [OID("b", "sch", 1)])
+        union = left.union(right, "u")
+        assert set(union) == {OID("a", "sch", 1), OID("b", "sch", 1)}
+
+    def test_intersection(self, db):
+        left = Configuration.from_oids(
+            db, "l", [OID("a", "sch", 1), OID("b", "sch", 1)]
+        )
+        right = Configuration.from_oids(db, "r", [OID("b", "sch", 1)])
+        assert set(left.intersection(right, "i")) == {OID("b", "sch", 1)}
+
+    def test_diff(self, db):
+        before = Configuration.snapshot(db, "before")
+        db.create_object(OID("new", "sch", 1))
+        after = Configuration.snapshot(db, "after")
+        delta = before.diff(after)
+        assert delta["added"] == frozenset({OID("new", "sch", 1)})
+        assert delta["removed"] == frozenset()
+
+
+class TestRegistry:
+    def test_save_get_delete(self, db):
+        registry = ConfigurationRegistry(db)
+        config = Configuration.snapshot(db, "s1")
+        registry.save(config)
+        assert registry.get("s1") is config
+        assert "s1" in registry
+        registry.delete("s1")
+        assert "s1" not in registry
+
+    def test_duplicate_save_rejected(self, db):
+        registry = ConfigurationRegistry(db)
+        registry.save(Configuration.snapshot(db, "s1"))
+        with pytest.raises(ConfigurationError):
+            registry.save(Configuration.snapshot(db, "s1"))
+
+    def test_replace_allows_overwrite(self, db):
+        registry = ConfigurationRegistry(db)
+        registry.save(Configuration.snapshot(db, "s1"))
+        registry.replace(Configuration.snapshot(db, "s1"))
+        assert len(registry) == 1
+
+    def test_unknown_get_raises(self, db):
+        with pytest.raises(ConfigurationError):
+            ConfigurationRegistry(db).get("nope")
+
+    def test_names_sorted(self, db):
+        registry = ConfigurationRegistry(db)
+        registry.save(Configuration.snapshot(db, "zz"))
+        registry.save(Configuration.snapshot(db, "aa"))
+        assert registry.names() == ["aa", "zz"]

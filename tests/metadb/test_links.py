@@ -1,0 +1,129 @@
+"""Link semantics: classes, directions, PROPAGATE control."""
+
+import pytest
+
+from repro.metadb.links import Direction, Link, LinkClass
+from repro.metadb.oid import OID
+
+
+def make_link(**overrides):
+    defaults = dict(
+        link_id=1,
+        source=OID("cpu", "HDL_model", 1),
+        dest=OID("cpu", "schematic", 1),
+        link_class=LinkClass.DERIVE,
+        propagates={"outofdate"},
+        link_type="derived",
+    )
+    defaults.update(overrides)
+    return Link(**defaults)
+
+
+class TestDirection:
+    def test_parse(self):
+        assert Direction.parse("up") is Direction.UP
+        assert Direction.parse(" DOWN ") is Direction.DOWN
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Direction.parse("sideways")
+
+    def test_reverse(self):
+        assert Direction.UP.reverse() is Direction.DOWN
+        assert Direction.DOWN.reverse() is Direction.UP
+
+    def test_str(self):
+        assert str(Direction.UP) == "up"
+
+
+class TestLinkInvariants:
+    def test_use_link_requires_same_view(self):
+        with pytest.raises(ValueError):
+            Link(
+                link_id=1,
+                source=OID("cpu", "SCHEMA", 4),
+                dest=OID("reg", "verilog", 2),
+                link_class=LinkClass.USE,
+            )
+
+    def test_use_link_same_view_ok(self):
+        link = Link(
+            link_id=1,
+            source=OID("cpu", "SCHEMA", 4),
+            dest=OID("reg", "SCHEMA", 2),
+            link_class=LinkClass.USE,
+        )
+        assert link.link_class is LinkClass.USE
+
+    def test_propagate_mirrored_in_properties(self):
+        link = make_link(propagates={"b_event", "a_event"})
+        assert link.properties.get("PROPAGATE") == "a_event,b_event"
+
+    def test_type_mirrored_in_properties(self):
+        assert make_link().properties.get("TYPE") == "derived"
+
+
+class TestPropagateControl:
+    def test_allows(self):
+        link = make_link()
+        assert link.allows("outofdate")
+        assert not link.allows("lvs")
+
+    def test_allow_adds(self):
+        link = make_link()
+        link.allow("lvs")
+        assert link.allows("lvs")
+        assert "lvs" in link.properties.get("PROPAGATE")
+
+    def test_disallow_removes(self):
+        link = make_link()
+        link.disallow("outofdate")
+        assert not link.allows("outofdate")
+
+    def test_disallow_missing_is_noop(self):
+        link = make_link()
+        link.disallow("never_there")
+        assert link.allows("outofdate")
+
+
+class TestEndpoints:
+    def test_down_goes_source_to_dest(self):
+        link = make_link()
+        assert (
+            link.endpoint_toward(Direction.DOWN, link.source) == link.dest
+        )
+
+    def test_up_goes_dest_to_source(self):
+        link = make_link()
+        assert link.endpoint_toward(Direction.UP, link.dest) == link.source
+
+    def test_wrong_way_returns_none(self):
+        link = make_link()
+        assert link.endpoint_toward(Direction.DOWN, link.dest) is None
+        assert link.endpoint_toward(Direction.UP, link.source) is None
+
+    def test_other_end(self):
+        link = make_link()
+        assert link.other_end(link.source) == link.dest
+        assert link.other_end(link.dest) == link.source
+
+    def test_other_end_rejects_stranger(self):
+        link = make_link()
+        with pytest.raises(ValueError):
+            link.other_end(OID("dsp", "layout", 1))
+
+    def test_touches(self):
+        link = make_link()
+        assert link.touches(link.source)
+        assert link.touches(link.dest)
+        assert not link.touches(OID("dsp", "layout", 1))
+
+
+class TestDescribe:
+    def test_describe_mentions_everything(self):
+        text = make_link(move=True).describe()
+        assert "cpu.HDL_model.1" in text
+        assert "cpu.schematic.1" in text
+        assert "derived" in text
+        assert "outofdate" in text
+        assert "move" in text

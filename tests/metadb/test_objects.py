@@ -1,0 +1,57 @@
+"""MetaObject basics."""
+
+from repro.metadb.objects import MetaObject
+from repro.metadb.oid import OID
+
+
+def make(block="cpu", view="sch", version=3) -> MetaObject:
+    return MetaObject(oid=OID(block, view, version))
+
+
+class TestFields:
+    def test_oid_accessors(self):
+        obj = make()
+        assert obj.block == "cpu"
+        assert obj.view == "sch"
+        assert obj.version == 3
+
+    def test_fresh_object_has_no_properties(self):
+        assert len(make().properties) == 0
+
+    def test_not_checked_out_initially(self):
+        assert make().checked_out_by is None
+
+
+class TestProperties:
+    def test_set_get_has(self):
+        obj = make()
+        assert not obj.has("DRC")
+        obj.set("DRC", "ok")
+        assert obj.has("DRC")
+        assert obj.get("DRC") == "ok"
+
+    def test_get_default(self):
+        assert make().get("missing", "dflt") == "dflt"
+
+    def test_set_coerces_booleans(self):
+        obj = make()
+        obj.set("uptodate", "true")
+        assert obj.get("uptodate") is True
+
+    def test_state_summary_is_snapshot(self):
+        obj = make()
+        obj.set("a", 1)
+        summary = obj.state_summary()
+        obj.set("a", 2)
+        assert summary == {"a": 1}
+
+
+class TestRendering:
+    def test_str_shows_oid_and_properties(self):
+        obj = make()
+        obj.set("uptodate", True)
+        obj.set("DRC", "ok")
+        text = str(obj)
+        assert "cpu.sch.3" in text
+        assert "DRC=ok" in text
+        assert "uptodate=true" in text

@@ -1,0 +1,126 @@
+"""OID triplet semantics and parsing."""
+
+import pytest
+
+from repro.metadb.errors import InvalidOIDError
+from repro.metadb.oid import OID
+
+
+class TestConstruction:
+    def test_triplet_fields(self):
+        oid = OID("cpu", "SCHEMA", 4)
+        assert oid.block == "cpu"
+        assert oid.view == "SCHEMA"
+        assert oid.version == 4
+
+    def test_versions_start_at_one(self):
+        with pytest.raises(InvalidOIDError):
+            OID("cpu", "SCHEMA", 0)
+
+    def test_negative_version_rejected(self):
+        with pytest.raises(InvalidOIDError):
+            OID("cpu", "SCHEMA", -1)
+
+    def test_bool_version_rejected(self):
+        with pytest.raises(InvalidOIDError):
+            OID("cpu", "SCHEMA", True)
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(InvalidOIDError):
+            OID("", "SCHEMA", 1)
+
+    def test_block_with_comma_rejected(self):
+        with pytest.raises(InvalidOIDError):
+            OID("a,b", "SCHEMA", 1)
+
+    def test_view_with_spaces_rejected(self):
+        with pytest.raises(InvalidOIDError):
+            OID("cpu", "a view", 1)
+
+    def test_equality_is_value_based(self):
+        assert OID("cpu", "SCHEMA", 4) == OID("cpu", "SCHEMA", 4)
+        assert OID("cpu", "SCHEMA", 4) != OID("cpu", "SCHEMA", 5)
+
+    def test_hashable(self):
+        oids = {OID("a", "v", 1), OID("a", "v", 1), OID("a", "v", 2)}
+        assert len(oids) == 2
+
+    def test_ordering_groups_lineages(self):
+        scrambled = [
+            OID("b", "v", 1),
+            OID("a", "v", 2),
+            OID("a", "v", 1),
+            OID("a", "u", 9),
+        ]
+        ordered = sorted(scrambled)
+        assert ordered == [
+            OID("a", "u", 9),
+            OID("a", "v", 1),
+            OID("a", "v", 2),
+            OID("b", "v", 1),
+        ]
+
+
+class TestFormatting:
+    def test_wire_format_matches_paper(self):
+        assert OID("reg", "verilog", 4).wire() == "reg,verilog,4"
+
+    def test_dotted_format_matches_paper(self):
+        assert OID("CPU", "HDL_model", 1).dotted() == "CPU.HDL_model.1"
+
+    def test_str_is_bracketed_dotted(self):
+        assert str(OID("CPU", "HDL_model", 1)) == "<CPU.HDL_model.1>"
+
+
+class TestParsing:
+    def test_wire_form(self):
+        assert OID.parse("reg,verilog,4") == OID("reg", "verilog", 4)
+
+    def test_wire_form_with_spaces(self):
+        assert OID.parse(" reg , verilog , 4 ") == OID("reg", "verilog", 4)
+
+    def test_dotted_form(self):
+        assert OID.parse("CPU.HDL_model.1") == OID("CPU", "HDL_model", 1)
+
+    def test_bracketed_form(self):
+        assert OID.parse("<CPU.HDL_model.1>") == OID("CPU", "HDL_model", 1)
+
+    def test_names_with_dots_rejected(self):
+        """Dots would make the dotted display form ambiguous."""
+        with pytest.raises(InvalidOIDError):
+            OID("chip.core", "netlist", 3)
+        with pytest.raises(InvalidOIDError):
+            OID.parse("chip.core.alu.netlist.3")
+
+    def test_round_trip_wire(self):
+        oid = OID("alu", "GDSII", 12)
+        assert OID.parse(oid.wire()) == oid
+
+    def test_round_trip_dotted(self):
+        oid = OID("alu", "GDSII", 12)
+        assert OID.parse(oid.dotted()) == oid
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "justoneword", "a,b", "a,b,c,d", "a,b,notanumber", "a.b", 42],
+    )
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(InvalidOIDError):
+            OID.parse(bad)
+
+
+class TestLineage:
+    def test_lineage_pair(self):
+        assert OID("cpu", "netlist", 3).lineage == ("cpu", "netlist")
+
+    def test_with_version(self):
+        assert OID("cpu", "netlist", 3).with_version(7) == OID("cpu", "netlist", 7)
+
+    def test_successor(self):
+        assert OID("cpu", "netlist", 3).successor() == OID("cpu", "netlist", 4)
+
+    def test_same_lineage(self):
+        a = OID("cpu", "netlist", 1)
+        assert a.is_same_lineage(OID("cpu", "netlist", 9))
+        assert not a.is_same_lineage(OID("cpu", "layout", 1))
+        assert not a.is_same_lineage(OID("dsp", "netlist", 1))

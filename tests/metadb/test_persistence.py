@@ -1,0 +1,117 @@
+"""JSON persistence round-trips."""
+
+import json
+
+import pytest
+
+from repro.metadb.configurations import Configuration, ConfigurationRegistry
+from repro.metadb.database import MetaDatabase
+from repro.metadb.errors import PersistenceError
+from repro.metadb.links import LinkClass
+from repro.metadb.oid import OID
+from repro.metadb.persistence import (
+    database_from_dict,
+    database_to_dict,
+    load_database,
+    save_database,
+)
+
+
+@pytest.fixture
+def populated():
+    db = MetaDatabase(name="proj")
+    a = db.create_object(OID("cpu", "hdl", 1), {"sim": "good", "uptodate": True})
+    b = db.create_object(OID("cpu", "sch", 1), {"uptodate": False})
+    db.create_object(OID("cpu", "hdl", 2))
+    db.add_link(
+        a.oid, b.oid, LinkClass.DERIVE,
+        propagates=["outofdate"], link_type="derived", move=True,
+    )
+    registry = ConfigurationRegistry(db)
+    registry.save(Configuration.snapshot(db, "snap"))
+    return db, registry
+
+
+class TestRoundTrip:
+    def test_objects_survive(self, populated, tmp_path):
+        db, registry = populated
+        path = save_database(db, tmp_path / "db.json", registry)
+        loaded, _ = load_database(path)
+        assert loaded.object_count == db.object_count
+        obj = loaded.get(OID("cpu", "hdl", 1))
+        assert obj.get("sim") == "good"
+        assert obj.get("uptodate") is True
+
+    def test_links_survive(self, populated, tmp_path):
+        db, registry = populated
+        loaded, _ = load_database(save_database(db, tmp_path / "db.json", registry))
+        links = list(loaded.links())
+        assert len(links) == 1
+        link = links[0]
+        assert link.source == OID("cpu", "hdl", 1)
+        assert link.allows("outofdate")
+        assert link.link_type == "derived"
+        assert link.move is True
+
+    def test_configurations_survive(self, populated, tmp_path):
+        db, registry = populated
+        _, loaded_registry = load_database(
+            save_database(db, tmp_path / "db.json", registry)
+        )
+        snap = loaded_registry.get("snap")
+        assert len(snap) == 3
+        assert len(snap.link_ids) == 1
+
+    def test_versions_index_rebuilt(self, populated, tmp_path):
+        db, registry = populated
+        loaded, _ = load_database(save_database(db, tmp_path / "db.json"))
+        assert loaded.versions_of("cpu", "hdl") == [1, 2]
+        assert loaded.latest_version("cpu", "hdl").version == 2
+
+    def test_load_does_not_fire_hooks(self, populated, tmp_path):
+        db, _ = populated
+        path = save_database(db, tmp_path / "db.json")
+        # loading constructs its own db; patch a hook into the fresh one
+        # by round-tripping manually
+        data = json.loads(path.read_text())
+        loaded, _ = database_from_dict(data)
+        # the proof is in the property values: hooks would have reset them
+        assert loaded.get(OID("cpu", "sch", 1)).get("uptodate") is False
+
+    def test_double_round_trip_stable(self, populated, tmp_path):
+        db, registry = populated
+        first = database_to_dict(db, registry)
+        loaded, loaded_registry = database_from_dict(first)
+        second = database_to_dict(loaded, loaded_registry)
+        assert first == second
+
+    def test_integrity_after_load(self, populated, tmp_path):
+        db, _ = populated
+        loaded, _ = load_database(save_database(db, tmp_path / "db.json"))
+        assert loaded.check_integrity() == []
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_database(tmp_path / "absent.json")
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{ not json")
+        with pytest.raises(PersistenceError):
+            load_database(path)
+
+    def test_wrong_format_version(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"format": 99, "objects": [], "links": []}))
+        with pytest.raises(PersistenceError):
+            load_database(path)
+
+    def test_not_an_object(self):
+        with pytest.raises(PersistenceError):
+            database_from_dict([1, 2, 3])
+
+    def test_missing_fields(self):
+        with pytest.raises(PersistenceError):
+            database_from_dict({"format": 1, "name": "x"})

@@ -1,0 +1,107 @@
+"""Designer queries over the meta-database."""
+
+import pytest
+
+from repro.metadb.database import MetaDatabase
+from repro.metadb.oid import OID
+from repro.metadb.query import (
+    Query,
+    objects_failing_state,
+    property_histogram,
+    stale_objects,
+    view_census,
+)
+
+
+@pytest.fixture
+def db():
+    database = MetaDatabase()
+    for block, view, version, props in [
+        ("cpu", "sch", 1, {"uptodate": False, "state": False}),
+        ("cpu", "sch", 2, {"uptodate": True, "state": True}),
+        ("cpu", "net", 1, {"uptodate": False}),
+        ("dsp", "sch", 1, {"uptodate": True, "state": False}),
+        ("dsp", "net", 1, {"uptodate": True, "state": True}),
+    ]:
+        database.create_object(OID(block, view, version), props)
+    return database
+
+
+class TestFluentQuery:
+    def test_view_filter(self, db):
+        assert Query(db).view("sch").count() == 3
+
+    def test_block_filter(self, db):
+        assert Query(db).block("dsp").count() == 2
+
+    def test_property_filter(self, db):
+        assert Query(db).where_property("uptodate", True).count() == 3
+
+    def test_property_filter_coerces(self, db):
+        assert Query(db).where_property("uptodate", "true").count() == 3
+
+    def test_property_not_filter(self, db):
+        assert Query(db).where_property_not("uptodate", True).count() == 2
+
+    def test_has_property(self, db):
+        assert Query(db).has_property("state").count() == 4
+
+    def test_version_at_least(self, db):
+        assert Query(db).version_at_least(2).count() == 1
+
+    def test_latest_only(self, db):
+        latest = Query(db).latest_only().select()
+        assert {obj.oid for obj in latest} == {
+            OID("cpu", "sch", 2),
+            OID("cpu", "net", 1),
+            OID("dsp", "sch", 1),
+            OID("dsp", "net", 1),
+        }
+
+    def test_chained_filters(self, db):
+        result = (
+            Query(db)
+            .view("sch")
+            .where_property("uptodate", True)
+            .latest_only()
+            .oids()
+        )
+        assert result == [OID("cpu", "sch", 2), OID("dsp", "sch", 1)]
+
+    def test_custom_predicate(self, db):
+        assert Query(db).where(lambda obj: obj.version > 1).count() == 1
+
+    def test_results_sorted(self, db):
+        oids = Query(db).oids()
+        assert oids == sorted(oids)
+
+    def test_first_and_exists(self, db):
+        assert Query(db).view("net").exists()
+        assert Query(db).view("gds").first() is None
+        assert Query(db).view("sch").first().oid == OID("cpu", "sch", 1)
+
+    def test_checked_out_filter(self, db):
+        db.get(OID("cpu", "sch", 2)).checked_out_by = "yves"
+        assert Query(db).checked_out().oids() == [OID("cpu", "sch", 2)]
+
+
+class TestCannedQueries:
+    def test_stale_objects(self, db):
+        stale = stale_objects(db)
+        assert {obj.oid for obj in stale} == {OID("cpu", "net", 1)}
+
+    def test_objects_failing_state(self, db):
+        failing = {obj.oid for obj in objects_failing_state(db)}
+        # cpu.net.1 has no state at all; dsp.sch.1 has state False
+        assert failing == {OID("cpu", "net", 1), OID("dsp", "sch", 1)}
+
+    def test_property_histogram_latest(self, db):
+        histogram = property_histogram(db, "uptodate")
+        assert histogram == {True: 3, False: 1}
+
+    def test_property_histogram_all_versions(self, db):
+        histogram = property_histogram(db, "uptodate", latest_only=False)
+        assert histogram == {True: 3, False: 2}
+
+    def test_view_census(self, db):
+        assert view_census(db) == {"net": 2, "sch": 3}

@@ -1,0 +1,150 @@
+"""Version inheritance mechanics: Figure 2 (properties) and Figure 3
+(move links)."""
+
+import pytest
+
+from repro.metadb.database import MetaDatabase
+from repro.metadb.links import LinkClass
+from repro.metadb.oid import OID
+from repro.metadb.versions import (
+    InheritMode,
+    PropertySpec,
+    VersionHistory,
+    create_version,
+    inherit_property,
+    next_version_oid,
+    shift_move_links,
+)
+
+
+@pytest.fixture
+def db():
+    return MetaDatabase()
+
+
+class TestInheritMode:
+    def test_parse(self):
+        assert InheritMode.parse("copy") is InheritMode.COPY
+        assert InheritMode.parse("MOVE") is InheritMode.MOVE
+        assert InheritMode.parse(None) is InheritMode.NONE
+
+    def test_parse_rejects(self):
+        with pytest.raises(ValueError):
+            InheritMode.parse("borrow")
+
+
+class TestInheritProperty:
+    """Figure 2: 'property DRC default bad copy'."""
+
+    def test_first_version_gets_default(self, db):
+        obj = db.create_object(OID("alu", "GDSII", 1))
+        inherit_property(PropertySpec("DRC", "bad", InheritMode.COPY), obj, None)
+        assert obj.get("DRC") == "bad"
+
+    def test_copy_duplicates_value(self, db):
+        old = db.create_object(OID("alu", "GDSII", 5))
+        old.set("DRC", "ok")
+        new = db.create_object(OID("alu", "GDSII", 6))
+        inherit_property(PropertySpec("DRC", "bad", InheritMode.COPY), new, old)
+        assert new.get("DRC") == "ok"
+        assert old.get("DRC") == "ok"  # the old version keeps its value
+
+    def test_move_transfers_value(self, db):
+        old = db.create_object(OID("alu", "GDSII", 5))
+        old.set("DRC", "ok")
+        new = db.create_object(OID("alu", "GDSII", 6))
+        inherit_property(PropertySpec("DRC", "bad", InheritMode.MOVE), new, old)
+        assert new.get("DRC") == "ok"
+        assert old.get("DRC") == "bad"  # the old version reverts to default
+
+    def test_none_redefaults(self, db):
+        old = db.create_object(OID("alu", "GDSII", 5))
+        old.set("DRC", "ok")
+        new = db.create_object(OID("alu", "GDSII", 6))
+        inherit_property(PropertySpec("DRC", "bad", InheritMode.NONE), new, old)
+        assert new.get("DRC") == "bad"
+
+    def test_copy_falls_back_to_default_when_absent(self, db):
+        old = db.create_object(OID("alu", "GDSII", 5))  # never had DRC set
+        new = db.create_object(OID("alu", "GDSII", 6))
+        inherit_property(PropertySpec("DRC", "bad", InheritMode.COPY), new, old)
+        assert new.get("DRC") == "bad"
+
+
+class TestShiftMoveLinks:
+    """Figure 3 and the REG.schematic.2 example of section 3.4."""
+
+    def test_move_link_follows_new_dest_version(self, db):
+        """<cpu.sch.1> -> <reg.sch.1> shifts to <cpu.sch.1> -> <reg.sch.2>."""
+        cpu = db.create_object(OID("cpu", "schematic", 1))
+        reg1 = db.create_object(OID("reg", "schematic", 1))
+        link = db.add_link(cpu.oid, reg1.oid, LinkClass.USE, move=True)
+        reg2 = db.create_object(OID("reg", "schematic", 2))
+        shifted = shift_move_links(db, reg1.oid, reg2.oid)
+        assert shifted == [link.link_id]
+        assert link.source == cpu.oid
+        assert link.dest == reg2.oid
+
+    def test_move_link_follows_new_source_version(self, db):
+        """NetList -> GDSII derive link moves when the source reversions."""
+        nl1 = db.create_object(OID("alu", "NetList", 8))
+        gds = db.create_object(OID("alu", "GDSII", 5))
+        link = db.add_link(
+            nl1.oid, gds.oid, LinkClass.DERIVE, move=True, link_type="derive_from"
+        )
+        nl2 = db.create_object(OID("alu", "NetList", 9))
+        shift_move_links(db, nl1.oid, nl2.oid)
+        assert link.source == nl2.oid
+        assert link.dest == gds.oid
+
+    def test_static_links_stay(self, db):
+        a1 = db.create_object(OID("a", "v", 1))
+        b = db.create_object(OID("b", "w", 1))
+        link = db.add_link(a1.oid, b.oid, move=False)
+        a2 = db.create_object(OID("a", "v", 2))
+        assert shift_move_links(db, a1.oid, a2.oid) == []
+        assert link.source == a1.oid
+
+    def test_mixed_links_only_move_flagged(self, db):
+        a1 = db.create_object(OID("a", "v", 1))
+        b = db.create_object(OID("b", "w", 1))
+        c = db.create_object(OID("c", "w", 1))
+        moving = db.add_link(a1.oid, b.oid, move=True)
+        static = db.add_link(a1.oid, c.oid, move=False)
+        a2 = db.create_object(OID("a", "v", 2))
+        shifted = shift_move_links(db, a1.oid, a2.oid)
+        assert shifted == [moving.link_id]
+        assert moving.source == a2.oid
+        assert static.source == a1.oid
+
+
+class TestVersionCreation:
+    def test_next_version_oid_first(self, db):
+        assert next_version_oid(db, "a", "v") == OID("a", "v", 1)
+
+    def test_next_version_oid_increments(self, db):
+        db.create_object(OID("a", "v", 3))
+        assert next_version_oid(db, "a", "v") == OID("a", "v", 4)
+
+    def test_create_version_fires_hooks(self, db):
+        seen = []
+        db.on_object_created(lambda obj: seen.append(obj.oid))
+        create_version(db, "a", "v")
+        create_version(db, "a", "v", {"p": 1})
+        assert seen == [OID("a", "v", 1), OID("a", "v", 2)]
+        assert db.get(OID("a", "v", 2)).get("p") == 1
+
+
+class TestVersionHistory:
+    def test_property_trail(self, db):
+        for version, value in ((1, "bad"), (2, "good"), (3, "bad")):
+            obj = db.create_object(OID("a", "v", version))
+            obj.set("q", value)
+        history = VersionHistory(db, "a", "v")
+        assert len(history) == 3
+        assert history.latest().version == 3
+        assert history.property_trail("q") == [
+            (1, "bad"),
+            (2, "good"),
+            (3, "bad"),
+        ]

@@ -1,0 +1,134 @@
+"""Workspaces: file-backed check-in/check-out transactions."""
+
+import pytest
+
+from repro.metadb.database import MetaDatabase
+from repro.metadb.errors import UnknownOIDError, WorkspaceError
+from repro.metadb.oid import OID
+from repro.metadb.workspace import Workspace
+
+
+@pytest.fixture
+def db():
+    return MetaDatabase()
+
+
+@pytest.fixture
+def ws(tmp_path, db):
+    return Workspace(tmp_path / "ws", db)
+
+
+class TestCheckIn:
+    def test_creates_version_and_file(self, ws, db):
+        obj = ws.check_in("cpu", "hdl", "module cpu\n")
+        assert obj.oid == OID("cpu", "hdl", 1)
+        assert ws.read(obj.oid) == "module cpu\n"
+
+    def test_second_checkin_increments_version(self, ws):
+        ws.check_in("cpu", "hdl", "v1")
+        obj = ws.check_in("cpu", "hdl", "v2")
+        assert obj.oid.version == 2
+        assert ws.read(obj.oid) == "v2"
+        assert ws.read(OID("cpu", "hdl", 1)) == "v1"
+
+    def test_multi_file_checkin(self, ws):
+        obj = ws.check_in(
+            "cpu", "layout", {"top.gds": "rects", "notes.txt": "hi"}
+        )
+        assert ws.files_of(obj.oid) == ["notes.txt", "top.gds"]
+        assert ws.read(obj.oid, "notes.txt") == "hi"
+
+    def test_empty_checkin_rejected(self, ws):
+        with pytest.raises(WorkspaceError):
+            ws.check_in("cpu", "hdl", {})
+
+    def test_checkin_properties(self, ws, db):
+        obj = ws.check_in("cpu", "hdl", "x", properties={"owner": "yves"})
+        assert obj.get("owner") == "yves"
+
+    def test_checkin_fires_db_hooks(self, ws, db):
+        seen = []
+        db.on_object_created(lambda obj: seen.append(obj.oid))
+        ws.check_in("cpu", "hdl", "x")
+        assert seen == [OID("cpu", "hdl", 1)]
+
+    def test_hook_can_read_data(self, ws, db):
+        """Blueprint hooks must see the design file already on disk."""
+        contents = []
+        db.on_object_created(lambda obj: contents.append(ws.read(obj.oid)))
+        ws.check_in("cpu", "hdl", "payload")
+        assert contents == ["payload"]
+
+
+class TestCheckOutRelease:
+    def test_check_out_returns_directory(self, ws):
+        obj = ws.check_in("cpu", "hdl", "x")
+        path = ws.check_out(obj.oid, user="yves")
+        assert path.is_dir()
+        assert obj.checked_out_by == "yves"
+
+    def test_conflicting_check_out_refused(self, ws):
+        obj = ws.check_in("cpu", "hdl", "x")
+        ws.check_out(obj.oid, user="yves")
+        with pytest.raises(WorkspaceError):
+            ws.check_out(obj.oid, user="marc")
+
+    def test_same_user_can_recheck_out(self, ws):
+        obj = ws.check_in("cpu", "hdl", "x")
+        ws.check_out(obj.oid, user="yves")
+        ws.check_out(obj.oid, user="yves")  # idempotent for the holder
+
+    def test_release(self, ws, db):
+        obj = ws.check_in("cpu", "hdl", "x")
+        ws.check_out(obj.oid, user="yves")
+        ws.release(obj.oid, user="yves")
+        assert obj.checked_out_by is None
+
+    def test_release_by_non_holder_refused(self, ws):
+        obj = ws.check_in("cpu", "hdl", "x")
+        ws.check_out(obj.oid, user="yves")
+        with pytest.raises(WorkspaceError):
+            ws.release(obj.oid, user="marc")
+
+    def test_check_out_unknown_oid(self, ws):
+        with pytest.raises(UnknownOIDError):
+            ws.check_out(OID("zz", "hdl", 1))
+
+
+class TestReadAndDelete:
+    def test_read_missing_file(self, ws):
+        obj = ws.check_in("cpu", "hdl", "x")
+        with pytest.raises(WorkspaceError):
+            ws.read(obj.oid, "nope.txt")
+
+    def test_read_accepts_string_oid(self, ws):
+        ws.check_in("cpu", "hdl", "x")
+        assert ws.read("cpu,hdl,1") == "x"
+
+    def test_delete_version(self, ws, db):
+        obj = ws.check_in("cpu", "hdl", "x")
+        ws.delete_version(obj.oid)
+        assert db.find(obj.oid) is None
+        assert not ws.path_of(obj.oid).exists()
+
+    def test_files_of_unknown_dir(self, ws, db):
+        db.create_object(OID("ghost", "hdl", 1))
+        with pytest.raises(WorkspaceError):
+            ws.files_of(OID("ghost", "hdl", 1))
+
+
+class TestObservers:
+    def test_ckin_notification(self, ws):
+        seen = []
+        ws.subscribe(lambda kind, oid, user: seen.append((kind, oid, user)))
+        ws.check_in("cpu", "hdl", "x", user="yves")
+        assert seen == [("ckin", OID("cpu", "hdl", 1), "yves")]
+
+    def test_full_transaction_stream(self, ws):
+        seen = []
+        ws.subscribe(lambda kind, oid, user: seen.append(kind))
+        obj = ws.check_in("cpu", "hdl", "x", user="yves")
+        ws.check_out(obj.oid, user="yves")
+        ws.release(obj.oid, user="yves")
+        ws.delete_version(obj.oid, user="yves")
+        assert seen == ["ckin", "ckout", "release", "delete"]

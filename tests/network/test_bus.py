@@ -1,0 +1,76 @@
+"""The in-process event bus."""
+
+import pytest
+
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.metadb.database import MetaDatabase
+from repro.metadb.oid import OID
+from repro.network.bus import EventBus
+
+SOURCE = """\
+blueprint bus
+view v
+  property last default none
+  when seen do last = $arg done
+endview
+endblueprint
+"""
+
+
+@pytest.fixture
+def db():
+    return MetaDatabase()
+
+
+@pytest.fixture
+def bus(db):
+    engine = BlueprintEngine(db, Blueprint.from_source(SOURCE))
+    return EventBus(engine)
+
+
+class TestProgrammaticPosting:
+    def test_post_processes_immediately(self, db, bus):
+        obj = db.create_object(OID("a", "v", 1))
+        bus.post("seen", obj.oid, "up", arg="x")
+        assert obj.get("last") == "x"
+
+    def test_deferred_mode(self, db):
+        engine = BlueprintEngine(db, Blueprint.from_source(SOURCE))
+        bus = EventBus(engine, process_after_post=False)
+        obj = db.create_object(OID("a", "v", 1))
+        bus.post("seen", obj.oid, "up", arg="x")
+        assert obj.get("last") == "none"
+        assert bus.drain() == 1
+        assert obj.get("last") == "x"
+
+
+class TestLineProtocol:
+    def test_post_line_ok(self, db, bus):
+        obj = db.create_object(OID("a", "v", 1))
+        response = bus.handle_line('postEvent seen up a,v,1 "hello"')
+        assert response == "OK 1"
+        assert obj.get("last") == "hello"
+
+    def test_bad_line_err(self, bus):
+        response = bus.handle_line("postEvent broken")
+        assert response.startswith("ERR")
+        assert bus.errors
+
+    def test_query_line(self, db, bus):
+        db.create_object(OID("a", "v", 1), {"last": "none"})
+        assert bus.handle_line("query a,v,1") == "OK last=none"
+
+    def test_query_unknown(self, bus):
+        assert bus.handle_line("query zz,v,1").startswith("ERR")
+
+    def test_ping(self, bus):
+        assert bus.handle_line("ping") == "PONG"
+
+    def test_quit(self, bus):
+        assert bus.handle_line("quit") == "BYE"
+
+    def test_lines_counted(self, bus):
+        bus.handle_line("ping")
+        bus.handle_line("ping")
+        assert bus.lines_seen == 2

@@ -1,0 +1,124 @@
+"""The postEvent wire protocol."""
+
+import pytest
+
+from repro.core.events import EventMessage
+from repro.metadb.links import Direction
+from repro.metadb.oid import OID
+from repro.network.protocol import (
+    ProtocolError,
+    err_response,
+    format_post_event,
+    format_query_response,
+    ok_response,
+    parse_command,
+    parse_post_event,
+)
+
+
+class TestParsePostEvent:
+    def test_paper_example(self):
+        event = parse_post_event('postEvent ckin up reg,verilog,4 "logic sim passed"')
+        assert event.name == "ckin"
+        assert event.direction is Direction.UP
+        assert event.target == OID("reg", "verilog", 4)
+        assert event.arg == "logic sim passed"
+
+    def test_without_arg(self):
+        event = parse_post_event("postEvent outofdate down cpu,sch,1")
+        assert event.arg == ""
+
+    def test_with_user(self):
+        event = parse_post_event('postEvent ckin up cpu,sch,1 "msg" "yves"')
+        assert event.user == "yves"
+
+    def test_empty_arg_with_user(self):
+        event = parse_post_event('postEvent ckin up cpu,sch,1 "" "yves"')
+        assert event.arg == ""
+        assert event.user == "yves"
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "",
+            "postEvent",
+            "postEvent ckin",
+            "postEvent ckin up",
+            "postEvent ckin sideways cpu,sch,1",
+            "postEvent ckin up not-an-oid",
+            "postEvent ckin up cpu,sch,1 arg1 arg2 arg3",
+            'postEvent ckin up cpu,sch,1 "unterminated',
+            "notpostEvent ckin up cpu,sch,1",
+        ],
+    )
+    def test_rejects_malformed(self, line):
+        with pytest.raises(ProtocolError):
+            parse_post_event(line)
+
+
+class TestFormatPostEvent:
+    def test_round_trip(self):
+        event = EventMessage(
+            name="hdl_sim",
+            direction=Direction.UP,
+            target=OID("CPU", "HDL_model", 2),
+            arg="4 errors",
+            user="salma",
+        )
+        again = parse_post_event(format_post_event(event))
+        assert again.name == event.name
+        assert again.direction is event.direction
+        assert again.target == event.target
+        assert again.arg == event.arg
+        assert again.user == event.user
+
+    def test_plain_event_format(self):
+        event = EventMessage(
+            name="ckin", direction=Direction.UP, target=OID("reg", "verilog", 4)
+        )
+        assert format_post_event(event) == "postEvent ckin up reg,verilog,4"
+
+    def test_quotes_escaped(self):
+        event = EventMessage(
+            name="note",
+            direction=Direction.DOWN,
+            target=OID("a", "v", 1),
+            arg='say "hi"',
+        )
+        assert parse_post_event(format_post_event(event)).arg == 'say "hi"'
+
+
+class TestParseCommand:
+    def test_post(self):
+        command = parse_command("postEvent ckin up cpu,sch,1")
+        assert command.kind == "post"
+        assert command.event.name == "ckin"
+
+    def test_query(self):
+        command = parse_command("query cpu,sch,1")
+        assert command.kind == "query"
+        assert command.oid == OID("cpu", "sch", 1)
+
+    def test_ping_quit(self):
+        assert parse_command("ping").kind == "ping"
+        assert parse_command("quit").kind == "quit"
+
+    @pytest.mark.parametrize(
+        "line", ["", "   ", "frobnicate", "query", "query a b"]
+    )
+    def test_rejects(self, line):
+        with pytest.raises(ProtocolError):
+            parse_command(line)
+
+
+class TestResponses:
+    def test_ok(self):
+        assert ok_response("7") == "OK 7"
+        assert ok_response() == "OK"
+
+    def test_err_single_line(self):
+        assert err_response("bad\nthing") == "ERR bad thing"
+
+    def test_query_response_sorted_and_typed(self):
+        text = format_query_response({"b": True, "a": "ok", "c": 3})
+        assert text == "OK a=ok b=true c=3"

@@ -1,0 +1,117 @@
+"""The TCP project server and its client (localhost sockets)."""
+
+import socket
+
+import pytest
+
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.metadb.database import MetaDatabase
+from repro.metadb.oid import OID
+from repro.network.client import BlueprintClient, ClientError
+from repro.network.server import ProjectServer, wait_for_port
+
+SOURCE = """\
+blueprint net
+view v
+  property last default none
+  when seen do last = $arg done
+endview
+endblueprint
+"""
+
+
+@pytest.fixture
+def project():
+    db = MetaDatabase()
+    engine = BlueprintEngine(db, Blueprint.from_source(SOURCE))
+    db.create_object(OID("a", "v", 1))
+    return db, engine
+
+
+@pytest.fixture
+def server(project):
+    _db, engine = project
+    with ProjectServer(engine) as running:
+        assert wait_for_port(running.host, running.port)
+        yield running
+
+
+@pytest.fixture
+def client(server):
+    return BlueprintClient(host=server.host, port=server.port)
+
+
+class TestServerLifecycle:
+    def test_picks_free_port(self, server):
+        assert server.port > 0
+
+    def test_double_start_rejected(self, project):
+        _db, engine = project
+        with ProjectServer(engine) as running:
+            with pytest.raises(RuntimeError):
+                running.start()
+
+    def test_stop_is_idempotent(self, project):
+        _db, engine = project
+        server = ProjectServer(engine).start()
+        server.stop()
+        server.stop()
+
+
+class TestClientOperations:
+    def test_ping(self, client):
+        assert client.ping() is True
+
+    def test_post_event_updates_state(self, project, client):
+        db, _engine = project
+        seq = client.post_event("seen", "a,v,1", "up", arg="from afar")
+        assert seq == 1
+        assert db.get(OID("a", "v", 1)).get("last") == "from afar"
+
+    def test_query(self, client):
+        client.post_event("seen", "a,v,1", "up", arg="x")
+        assert client.query("a,v,1") == {"last": "x"}
+
+    def test_query_unknown_raises(self, client):
+        with pytest.raises(ClientError):
+            client.query("zz,v,1")
+
+    def test_bad_event_name_raises(self, client):
+        with pytest.raises(Exception):
+            client.post_event("two words", "a,v,1", "up")
+
+    def test_sequence_numbers_increase(self, client):
+        first = client.post_event("seen", "a,v,1", "up")
+        second = client.post_event("seen", "a,v,1", "up")
+        assert second == first + 1
+
+    def test_connection_refused(self):
+        client = BlueprintClient(host="127.0.0.1", port=1, timeout=0.2)
+        with pytest.raises(ClientError):
+            client.ping()
+
+
+class TestRawSocket:
+    def test_raw_postevent_line(self, project, server):
+        db, _engine = project
+        with socket.create_connection((server.host, server.port), timeout=2) as conn:
+            conn.sendall(b'postEvent seen up a,v,1 "raw"\n')
+            response = conn.makefile().readline().strip()
+        assert response == "OK 1"
+        assert db.get(OID("a", "v", 1)).get("last") == "raw"
+
+    def test_multiple_commands_one_connection(self, server):
+        with socket.create_connection((server.host, server.port), timeout=2) as conn:
+            file = conn.makefile()
+            conn.sendall(b"ping\n")
+            assert file.readline().strip() == "PONG"
+            conn.sendall(b"query a,v,1\n")
+            assert file.readline().strip().startswith("OK")
+            conn.sendall(b"quit\n")
+            assert file.readline().strip() == "BYE"
+
+    def test_garbage_gets_err(self, server):
+        with socket.create_connection((server.host, server.port), timeout=2) as conn:
+            conn.sendall(b"what is this\n")
+            assert conn.makefile().readline().startswith("ERR")

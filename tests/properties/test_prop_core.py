@@ -1,0 +1,168 @@
+"""Property-based tests: OIDs, queues, expressions.
+
+These pin down the invariants the rest of the system leans on: identifier
+round-trips, strict FIFO ordering, and total (never-crashing) expression
+evaluation over arbitrary property environments.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.events import EventMessage, EventQueue
+from repro.core.expressions import (
+    And,
+    Compare,
+    Expression,
+    Literal,
+    MappingEnvironment,
+    Not,
+    Or,
+    VarRef,
+    truthy,
+)
+from repro.metadb.links import Direction
+from repro.metadb.oid import OID
+
+names = st.from_regex(r"[A-Za-z0-9_][A-Za-z0-9_\-]{0,10}", fullmatch=True)
+versions = st.integers(min_value=1, max_value=10_000)
+
+
+@st.composite
+def oids(draw):
+    return OID(draw(names), draw(names), draw(versions))
+
+
+class TestOidProperties:
+    @given(oids())
+    def test_wire_round_trip(self, oid):
+        assert OID.parse(oid.wire()) == oid
+
+    @given(oids())
+    def test_str_round_trip(self, oid):
+        assert OID.parse(str(oid)) == oid
+
+    @given(oids(), versions)
+    def test_with_version_preserves_lineage(self, oid, version):
+        other = oid.with_version(version)
+        assert other.is_same_lineage(oid)
+        assert other.version == version
+
+    @given(st.lists(oids(), min_size=2, max_size=20))
+    def test_sort_groups_lineages_contiguously(self, oid_list):
+        ordered = sorted(set(oid_list))
+        seen_lineages = []
+        for oid in ordered:
+            if not seen_lineages or seen_lineages[-1] != oid.lineage:
+                seen_lineages.append(oid.lineage)
+        # each lineage appears exactly once in the seen sequence
+        assert len(seen_lineages) == len(set(seen_lineages))
+
+
+event_names = st.from_regex(r"[a-z_][a-z0-9_]{0,8}", fullmatch=True)
+
+
+class TestQueueProperties:
+    @given(st.lists(event_names, max_size=50))
+    def test_fifo_order_always(self, posted_names):
+        queue = EventQueue()
+        target = OID("b", "v", 1)
+        for name in posted_names:
+            queue.post(
+                EventMessage(name=name, direction=Direction.UP, target=target)
+            )
+        drained = [queue.pop().name for _ in range(len(queue))]
+        assert drained == posted_names
+
+    @given(st.lists(event_names, min_size=1, max_size=50))
+    def test_seq_strictly_increasing(self, posted_names):
+        queue = EventQueue()
+        target = OID("b", "v", 1)
+        seqs = [
+            queue.post(
+                EventMessage(name=name, direction=Direction.UP, target=target)
+            ).seq
+            for name in posted_names
+        ]
+        assert all(b > a for a, b in zip(seqs, seqs[1:]))
+
+    @given(st.lists(event_names, max_size=60), st.integers(1, 10))
+    def test_interleaved_post_pop_preserves_order(self, posted_names, chunk):
+        queue = EventQueue()
+        target = OID("b", "v", 1)
+        drained = []
+        pending = 0
+        for index, name in enumerate(posted_names):
+            queue.post(
+                EventMessage(name=name, direction=Direction.UP, target=target)
+            )
+            pending += 1
+            if index % chunk == 0:
+                drained.append(queue.pop().name)
+                pending -= 1
+        while queue:
+            drained.append(queue.pop().name)
+        assert drained == posted_names
+
+
+# -- expression generator ----------------------------------------------------
+
+values = st.one_of(
+    st.booleans(),
+    st.integers(-100, 100),
+    st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True),
+)
+var_names = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True)
+
+
+@st.composite
+def expressions(draw, depth=3):
+    if depth <= 0:
+        return draw(
+            st.one_of(
+                st.builds(Literal, values),
+                st.builds(VarRef, var_names),
+            )
+        )
+    kind = draw(st.integers(0, 4))
+    if kind == 0:
+        return draw(expressions(depth=0))
+    child = expressions(depth=depth - 1)
+    if kind == 1:
+        return Not(draw(child))
+    if kind == 2:
+        return And(tuple(draw(st.lists(child, min_size=2, max_size=3))))
+    if kind == 3:
+        return Or(tuple(draw(st.lists(child, min_size=2, max_size=3))))
+    op = draw(st.sampled_from(["==", "!=", "<", "<=", ">", ">="]))
+    return Compare(op, draw(child), draw(child))
+
+
+environments = st.dictionaries(var_names, values, max_size=6)
+
+
+class TestExpressionProperties:
+    @settings(max_examples=200)
+    @given(expressions(), environments)
+    def test_evaluation_is_total(self, expr, env_values):
+        """No expression/environment pair may crash the evaluator."""
+        result = expr.evaluate(MappingEnvironment(env_values))
+        assert isinstance(result, (bool, int, float, str))
+
+    @settings(max_examples=200)
+    @given(expressions(), environments)
+    def test_print_parse_round_trip_preserves_meaning(self, expr, env_values):
+        env = MappingEnvironment(env_values)
+        reparsed = Expression.parse(expr.to_source())
+        assert truthy(reparsed.evaluate(env)) == truthy(expr.evaluate(env))
+
+    @settings(max_examples=100)
+    @given(expressions(), environments)
+    def test_double_negation(self, expr, env_values):
+        env = MappingEnvironment(env_values)
+        assert truthy(Not(Not(expr)).evaluate(env)) == truthy(expr.evaluate(env))
+
+    @settings(max_examples=100)
+    @given(expressions())
+    def test_variables_subset_of_source_dollars(self, expr):
+        source = expr.to_source()
+        for name in expr.variables():
+            assert f"${name}" in source

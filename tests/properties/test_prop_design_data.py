@@ -1,0 +1,116 @@
+"""Property-based tests: design-data transformations preserve function.
+
+The pipeline invariant behind every simulated tool: for any generated HDL
+model, synthesis and netlisting never change the boolean function, layout
+generation yields DRC-clean placements at sane spacing, and LVS accepts
+exactly the layouts generated from the netlist being compared.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.tools.design_data import (
+    compare_functional,
+    drc_check,
+    flatten,
+    generate_layout,
+    lvs_compare,
+    mutate_hdl,
+    parse_design,
+    random_hdl,
+    synthesize,
+)
+
+seeds = st.integers(0, 10_000)
+sizes = st.tuples(
+    st.integers(1, 5),   # inputs
+    st.integers(1, 3),   # outputs
+    st.integers(1, 4),   # depth
+)
+
+
+def model_for(seed, size):
+    n_inputs, n_outputs, depth = size
+    return random_hdl(
+        "m", n_inputs=n_inputs, n_outputs=n_outputs, depth=depth, seed=seed
+    )
+
+
+def all_vectors(inputs):
+    for bits in itertools.product([False, True], repeat=len(inputs)):
+        yield dict(zip(inputs, bits))
+
+
+class TestSynthesisPreservesFunction:
+    @settings(max_examples=60, deadline=None)
+    @given(seeds, sizes)
+    def test_synthesized_schematic_equivalent(self, seed, size):
+        model = model_for(seed, size)
+        schematic = synthesize(model)
+        for vector in all_vectors(model.inputs):
+            assert schematic.evaluate(vector) == model.evaluate(vector)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds, sizes)
+    def test_flatten_of_flat_schematic_is_identity_function(self, seed, size):
+        model = model_for(seed, size)
+        schematic = synthesize(model)
+        netlist = flatten(schematic, lambda name: None)
+        for vector in all_vectors(model.inputs):
+            assert netlist.evaluate(vector) == model.evaluate(vector)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds, sizes)
+    def test_text_round_trip_preserves_function(self, seed, size):
+        model = model_for(seed, size)
+        again = parse_design(model.to_text())
+        for vector in all_vectors(model.inputs):
+            assert again.evaluate(vector) == model.evaluate(vector)
+
+
+class TestMutation:
+    @settings(max_examples=60, deadline=None)
+    @given(seeds, seeds, sizes)
+    def test_mutants_always_differ(self, seed, mutation_seed, size):
+        model = model_for(seed, size)
+        mutant = mutate_hdl(model, seed=mutation_seed)
+        errors, _total = compare_functional(model, mutant)
+        assert errors > 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds, sizes)
+    def test_self_comparison_clean(self, seed, size):
+        model = model_for(seed, size)
+        errors, total = compare_functional(model, model)
+        assert errors == 0
+        assert total == 2 ** len(model.inputs)
+
+
+class TestLayoutProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(seeds, sizes, st.integers(2, 6))
+    def test_generated_layout_is_drc_clean(self, seed, size, spacing):
+        model = model_for(seed, size)
+        netlist = flatten(synthesize(model), lambda name: None)
+        layout = generate_layout(netlist, spacing=spacing)
+        assert drc_check(layout, min_spacing=min(spacing, 2)) == []
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds, sizes)
+    def test_lvs_accepts_own_layout(self, seed, size):
+        model = model_for(seed, size)
+        netlist = flatten(synthesize(model), lambda name: None)
+        layout = generate_layout(netlist)
+        ok, message = lvs_compare(netlist, layout)
+        assert ok and message == "is_equiv"
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds, sizes, st.integers(1, 3))
+    def test_violations_knob_always_caught(self, seed, size, violations):
+        model = model_for(seed, size)
+        netlist = flatten(synthesize(model), lambda name: None)
+        if len(netlist.gates) < 2:
+            return  # a single cell cannot violate spacing
+        layout = generate_layout(netlist, violations=violations)
+        assert drc_check(layout, min_spacing=2)

@@ -1,0 +1,91 @@
+"""Property-based tests: journal replay determinism and workspace
+versioning invariants over random histories."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.core.journal import Journal, attach_journal, replay, state_fingerprint
+from repro.flows.generators import chain_blueprint_source
+from repro.metadb.database import MetaDatabase
+from repro.metadb.oid import OID
+
+CHAIN = 4
+
+#: One random history step: (kind, view index, arg-ish payload).
+steps = st.lists(
+    st.tuples(
+        st.sampled_from(["ckin", "verify", "new_version"]),
+        st.integers(0, CHAIN - 1),
+        st.from_regex(r"[a-z]{1,6}", fullmatch=True),
+    ),
+    max_size=25,
+)
+
+def run_history(history) -> tuple[Blueprint, MetaDatabase, Journal]:
+    blueprint = Blueprint.from_source(chain_blueprint_source(CHAIN))
+    db = MetaDatabase()
+    engine = BlueprintEngine(db, blueprint, trace_limit=0)
+    journal = attach_journal(engine, Journal())
+    for index in range(CHAIN):
+        db.create_object(OID("core", f"v{index}", 1))
+    for kind, view_index, payload in history:
+        view = f"v{view_index}"
+        latest = db.latest_version("core", view)
+        if kind == "new_version":
+            db.create_object(OID("core", view, latest.version + 1))
+        elif kind == "ckin":
+            engine.post("ckin", latest.oid, "up", user=payload)
+            engine.run()
+        else:  # verify: an arbitrary designer event
+            engine.post("verify", latest.oid, "up", arg=payload)
+            engine.run()
+    return blueprint, db, journal
+
+
+class TestReplayProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(steps)
+    def test_replay_matches_original(self, history):
+        blueprint, db, journal = run_history(history)
+        rebuilt, _ = replay(journal, blueprint)
+        assert state_fingerprint(rebuilt) == state_fingerprint(db)
+
+    @settings(max_examples=15, deadline=None)
+    @given(steps)
+    def test_replay_idempotent(self, history):
+        blueprint, _db, journal = run_history(history)
+        first, _ = replay(journal, blueprint)
+        second, _ = replay(journal, blueprint)
+        assert state_fingerprint(first) == state_fingerprint(second)
+
+    @settings(max_examples=15, deadline=None)
+    @given(steps)
+    def test_journal_disk_round_trip(self, tmp_path_factory, history):
+        blueprint, db, journal = run_history(history)
+        path = journal.save(
+            tmp_path_factory.mktemp("journals") / "events.jsonl"
+        )
+        rebuilt, _ = replay(Journal.load(path), blueprint)
+        assert state_fingerprint(rebuilt) == state_fingerprint(db)
+
+
+class TestWorkspaceVersioningProperties:
+    contents = st.lists(
+        st.from_regex(r"[a-z0-9 ]{1,12}", fullmatch=True), min_size=1, max_size=12
+    )
+
+    @settings(max_examples=40, deadline=None)
+    @given(contents)
+    def test_versions_are_append_only_and_readable(self, tmp_path_factory, texts):
+        from repro.metadb.workspace import Workspace
+
+        db = MetaDatabase()
+        ws = Workspace(tmp_path_factory.mktemp("ws"), db)
+        for index, text in enumerate(texts, start=1):
+            obj = ws.check_in("blk", "hdl", text)
+            assert obj.version == index
+        # every historical version remains readable, unchanged
+        for index, text in enumerate(texts, start=1):
+            assert ws.read(OID("blk", "hdl", index)) == text
+        assert db.versions_of("blk", "hdl") == list(range(1, len(texts) + 1))

@@ -1,0 +1,167 @@
+"""Property-based tests: propagation and version inheritance invariants.
+
+The central safety property: on *arbitrary* link graphs — including
+cyclic ones — an engine wave terminates and delivers a given event name
+to each OID at most once, and the set of OIDs it touches equals pure
+graph reachability.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.core.propagation import reachable_set
+from repro.metadb.database import MetaDatabase
+from repro.metadb.errors import DuplicateLinkError
+from repro.metadb.links import Direction, LinkClass
+from repro.metadb.oid import OID
+from repro.metadb.versions import (
+    InheritMode,
+    PropertySpec,
+    inherit_property,
+    shift_move_links,
+)
+
+COUNTING_BLUEPRINT = """\
+blueprint counting
+view v
+  property hits default 0
+  when mark do hits = $arg done
+endview
+endblueprint
+"""
+
+
+@st.composite
+def link_graphs(draw):
+    """A random directed graph over n nodes (cycles allowed)."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    edge_count = draw(st.integers(min_value=0, max_value=min(n * 3, 25)))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1), st.integers(0, n - 1)
+            ).filter(lambda e: e[0] != e[1]),
+            min_size=0,
+            max_size=edge_count,
+        )
+    )
+    return n, edges
+
+
+def build(n, edges):
+    db = MetaDatabase()
+    oids = [db.create_object(OID(f"n{i}", "v", 1)).oid for i in range(n)]
+    for source, dest in edges:
+        try:
+            db.add_link(
+                oids[source], oids[dest], LinkClass.DERIVE, propagates=["mark"]
+            )
+        except DuplicateLinkError:
+            pass
+    return db, oids
+
+
+class TestWaveProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(link_graphs(), st.integers(0, 11))
+    def test_wave_terminates_and_visits_once(self, graph, origin_index):
+        n, edges = graph
+        origin_index %= n
+        db, oids = build(n, edges)
+        engine = BlueprintEngine(db, Blueprint.from_source(COUNTING_BLUEPRINT))
+        engine.post("mark", oids[origin_index], "down", arg="x")
+        engine.run()
+        # termination is implied by returning; delivery uniqueness:
+        assert engine.metrics.deliveries <= n
+
+    @settings(max_examples=60, deadline=None)
+    @given(link_graphs(), st.integers(0, 11))
+    def test_wave_matches_reachability(self, graph, origin_index):
+        n, edges = graph
+        origin_index %= n
+        db, oids = build(n, edges)
+        engine = BlueprintEngine(db, Blueprint.from_source(COUNTING_BLUEPRINT))
+        origin = oids[origin_index]
+        expected = reachable_set(db, origin, "mark", Direction.DOWN).reached
+        engine.post("mark", origin, "down", arg="x")
+        engine.run()
+        touched = {
+            oid
+            for oid in oids
+            if db.get(oid).get("hits") == "x"
+        }
+        assert touched == expected | {origin}
+
+    @settings(max_examples=40, deadline=None)
+    @given(link_graphs(), st.integers(0, 11))
+    def test_up_down_reachability_are_duals(self, graph, origin_index):
+        n, edges = graph
+        origin_index %= n
+        db, oids = build(n, edges)
+        origin = oids[origin_index]
+        down = reachable_set(db, origin, "mark", Direction.DOWN).reached
+        # dual check: origin must be UP-reachable from everything it
+        # DOWN-reaches
+        for reached in down:
+            back = reachable_set(db, reached, "mark", Direction.UP).reached
+            assert origin in back
+
+
+class TestInheritanceProperties:
+    property_values = st.one_of(
+        st.booleans(),
+        st.integers(-50, 50),
+        st.from_regex(r"[a-z][a-z0-9 ]{0,8}", fullmatch=True),
+    )
+
+    @settings(max_examples=100)
+    @given(
+        property_values,
+        property_values,
+        st.sampled_from(list(InheritMode)),
+    )
+    def test_inheritance_mode_contract(self, default, old_value, mode):
+        db = MetaDatabase()
+        old = db.create_object(OID("b", "v", 1))
+        old.set("p", old_value)
+        new = db.create_object(OID("b", "v", 2))
+        spec = PropertySpec("p", default, mode)
+        inherit_property(spec, new, old)
+        if mode is InheritMode.NONE:
+            assert new.get("p") == spec.default
+            assert old.get("p") == old.properties.get("p")
+        elif mode is InheritMode.COPY:
+            assert new.get("p") == old.get("p")
+        else:  # MOVE
+            assert old.get("p") == spec.default
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(st.booleans(), min_size=1, max_size=10),
+    )
+    def test_move_links_conserved(self, move_flags):
+        """Shifting never creates or destroys links, and every move link
+        ends attached to the new version."""
+        db = MetaDatabase()
+        old = db.create_object(OID("x", "v", 1)).oid
+        others = [
+            db.create_object(OID(f"o{i}", "w", 1)).oid
+            for i in range(len(move_flags))
+        ]
+        for index, (other, move) in enumerate(zip(others, move_flags)):
+            if index % 2 == 0:
+                db.add_link(old, other, LinkClass.DERIVE, move=move)
+            else:
+                db.add_link(other, old, LinkClass.DERIVE, move=move)
+        new = db.create_object(OID("x", "v", 2)).oid
+        before = db.link_count
+        shifted = shift_move_links(db, old, new)
+        assert db.link_count == before
+        assert len(shifted) == sum(move_flags)
+        for link in db.links():
+            if link.move:
+                assert link.touches(new)
+            else:
+                assert link.touches(old)
+        assert db.check_integrity() == []

@@ -1,0 +1,106 @@
+"""Design tasks: data-derived work items with dependencies."""
+
+import pytest
+
+from repro.metadb.database import MetaDatabase
+from repro.metadb.oid import OID
+from repro.tasks.model import DesignTask, TaskBoard, TaskState
+
+
+@pytest.fixture
+def db():
+    database = MetaDatabase()
+    database.create_object(OID("cpu", "rtl", 1), {"state": True})
+    database.create_object(OID("dsp", "rtl", 1), {"state": False})
+    database.create_object(OID("cpu", "netlist", 1), {"state": False})
+    return database
+
+
+@pytest.fixture
+def board(db):
+    board = TaskBoard(db)
+    board.add(DesignTask.parse("rtl_done", "rtl", "$state == true"))
+    board.add(
+        DesignTask.parse(
+            "netlist_done", "netlist", "$state == true", depends_on=("rtl_done",)
+        )
+    )
+    return board
+
+
+class TestTaskEvaluation:
+    def test_in_progress_lists_failing(self, board):
+        status = board.status_of("rtl_done")
+        assert status.state is TaskState.IN_PROGRESS
+        assert status.failing == ("dsp.rtl.1",)
+        assert status.scope_size == 2
+
+    def test_done_when_all_pass(self, db, board):
+        db.get(OID("dsp", "rtl", 1)).set("state", True)
+        assert board.status_of("rtl_done").state is TaskState.DONE
+
+    def test_blocked_until_dependency_done(self, board):
+        assert board.status_of("netlist_done").state is TaskState.BLOCKED
+
+    def test_unblocks_when_dependency_completes(self, db, board):
+        db.get(OID("dsp", "rtl", 1)).set("state", True)
+        assert board.status_of("netlist_done").state is TaskState.IN_PROGRESS
+
+    def test_waiting_when_no_data(self, db):
+        board = TaskBoard(db)
+        board.add(DesignTask.parse("layout_done", "layout", "$state == true"))
+        assert board.status_of("layout_done").state is TaskState.WAITING
+
+    def test_block_scoped_task(self, db):
+        board = TaskBoard(db)
+        board.add(
+            DesignTask.parse("cpu_rtl", "rtl", "$state == true", block="cpu")
+        )
+        assert board.status_of("cpu_rtl").state is TaskState.DONE
+
+    def test_latest_version_only(self, db):
+        board = TaskBoard(db)
+        board.add(DesignTask.parse("rtl_done", "rtl", "$state == true"))
+        db.create_object(OID("dsp", "rtl", 2), {"state": True})
+        db.create_object(OID("cpu", "rtl", 2), {"state": True})
+        assert board.status_of("rtl_done").state is TaskState.DONE
+
+
+class TestBoardMechanics:
+    def test_duplicate_task_rejected(self, board):
+        with pytest.raises(ValueError):
+            board.add(DesignTask.parse("rtl_done", "rtl", "true"))
+
+    def test_unknown_dependency_rejected(self, db):
+        board = TaskBoard(db)
+        with pytest.raises(ValueError):
+            board.add(
+                DesignTask.parse("x", "rtl", "true", depends_on=("ghost",))
+            )
+
+    def test_statuses_sorted_by_name(self, board):
+        names = [status.task.name for status in board.statuses()]
+        assert names == sorted(names)
+
+    def test_done_fraction(self, db, board):
+        assert board.done_fraction() == 0.0
+        db.get(OID("dsp", "rtl", 1)).set("state", True)
+        assert board.done_fraction() == 0.5
+        db.get(OID("cpu", "netlist", 1)).set("state", True)
+        assert board.done_fraction() == 1.0
+
+    def test_empty_board_fraction(self, db):
+        assert TaskBoard(db).done_fraction() == 1.0
+
+    def test_report_renders(self, board):
+        text = board.report()
+        assert "rtl_done" in text
+        assert "blocked" in text
+
+    def test_goal_met_requires_scope(self, db):
+        task = DesignTask.parse("t", "ghost_view", "true")
+        assert task.goal_met(db) is False
+
+    def test_goal_uses_property_values(self, db):
+        task = DesignTask.parse("t", "rtl", "$state == true", block="cpu")
+        assert task.goal_met(db) is True

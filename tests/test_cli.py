@@ -1,0 +1,142 @@
+"""The damocles command-line front end."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.core.journal import Journal, attach_journal
+from repro.flows.edtc import EDTC_BLUEPRINT
+from repro.flows.generators import chain_blueprint_source
+from repro.metadb.database import MetaDatabase
+from repro.metadb.oid import OID
+from repro.metadb.persistence import save_database
+
+
+@pytest.fixture
+def blueprint_file(tmp_path):
+    path = tmp_path / "flow.bp"
+    path.write_text(EDTC_BLUEPRINT)
+    return str(path)
+
+
+@pytest.fixture
+def database_file(tmp_path):
+    blueprint = Blueprint.from_source(chain_blueprint_source(3))
+    db = MetaDatabase(name="cli")
+    engine = BlueprintEngine(db, blueprint)
+    for index in range(3):
+        db.create_object(OID("core", f"v{index}", 1))
+    db.create_object(OID("core", "v0", 2))
+    engine.post("ckin", OID("core", "v0", 2), "up")
+    engine.run()
+    path = tmp_path / "db.json"
+    save_database(db, path)
+    chain_path = tmp_path / "chain.bp"
+    chain_path.write_text(chain_blueprint_source(3))
+    return str(path), str(chain_path)
+
+
+class TestCheck:
+    def test_clean_blueprint(self, blueprint_file, capsys):
+        assert main(["check", blueprint_file]) == 0
+        out = capsys.readouterr().out
+        assert "EDTC_example" in out
+        assert "0 error(s)" in out
+
+    def test_syntax_error_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.bp"
+        bad.write_text("view oops property broken")
+        assert main(["check", str(bad)]) == 1
+        assert "syntax error" in capsys.readouterr().out
+
+    def test_lint_findings_printed(self, tmp_path, capsys):
+        path = tmp_path / "warn.bp"
+        path.write_text(
+            "blueprint w view a when go do post ghost down done endview "
+            "endblueprint"
+        )
+        main(["check", str(path)])
+        assert "BP010" in capsys.readouterr().out
+
+
+class TestFormat:
+    def test_stdout(self, blueprint_file, capsys):
+        assert main(["format", blueprint_file]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("blueprint EDTC_example")
+
+    def test_in_place(self, tmp_path, capsys):
+        path = tmp_path / "messy.bp"
+        path.write_text("view   a   property p default   x endview")
+        assert main(["format", str(path), "--in-place"]) == 0
+        assert "property p default x" in path.read_text()
+
+    def test_format_bad_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.bp"
+        path.write_text("when done view")
+        assert main(["format", str(path)]) == 1
+
+
+class TestViewsAndDot:
+    def test_views(self, blueprint_file, capsys):
+        assert main(["views", blueprint_file]) == 0
+        assert "[schematic]" in capsys.readouterr().out
+
+    def test_dot(self, blueprint_file, capsys):
+        assert main(["dot", blueprint_file]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+
+class TestDatabaseCommands:
+    def test_status(self, database_file, capsys):
+        db_path, bp_path = database_file
+        assert main(["status", db_path, bp_path]) == 0
+        assert "up_to_date" in capsys.readouterr().out
+
+    def test_pending_nonzero_when_work_exists(self, database_file, capsys):
+        db_path, bp_path = database_file
+        assert main(["pending", db_path, bp_path]) == 1
+        assert "core.v1.1" in capsys.readouterr().out
+
+    def test_query(self, database_file, capsys):
+        db_path, _bp_path = database_file
+        assert main(["query", db_path, "core,v1,1"]) == 0
+        assert "uptodate = false" in capsys.readouterr().out
+
+    def test_query_unknown(self, database_file, capsys):
+        db_path, _bp_path = database_file
+        assert main(["query", db_path, "zz,v,1"]) == 1
+
+    def test_dashboard(self, database_file, tmp_path, capsys):
+        db_path, bp_path = database_file
+        out = tmp_path / "dash.html"
+        assert main(["dashboard", db_path, bp_path, str(out)]) == 0
+        assert out.exists()
+
+
+class TestReplayCommand:
+    def test_replay_rebuilds_database(self, tmp_path, capsys):
+        blueprint_source = chain_blueprint_source(3)
+        bp_path = tmp_path / "chain.bp"
+        bp_path.write_text(blueprint_source)
+
+        blueprint = Blueprint.from_source(blueprint_source)
+        db = MetaDatabase()
+        engine = BlueprintEngine(db, blueprint)
+        journal = attach_journal(engine, Journal())
+        for index in range(3):
+            db.create_object(OID("core", f"v{index}", 1))
+        engine.post("ckin", OID("core", "v0", 1), "up")
+        engine.run()
+        journal_path = journal.save(tmp_path / "events.jsonl")
+
+        out_path = tmp_path / "rebuilt.json"
+        assert main(
+            ["replay", str(journal_path), str(bp_path), str(out_path)]
+        ) == 0
+        from repro.metadb.persistence import load_database
+
+        rebuilt, _ = load_database(out_path)
+        assert rebuilt.object_count == 3
+        assert rebuilt.get(OID("core", "v1", 1)).get("uptodate") is False

@@ -1,0 +1,135 @@
+"""The simulated EDA tool set."""
+
+import pytest
+
+from repro.tools.design_data import parse_design, standard_library
+from repro.tools.simulated import (
+    DrcTool,
+    HdlSimulator,
+    LayoutGenerator,
+    LvsTool,
+    Netlister,
+    NetlistSimulator,
+    Synthesizer,
+)
+
+SPEC = """\
+hdl CPU
+input a b c d
+output y z
+assign y = (a & b) | (~c & d)
+assign z = (a ^ d) & b
+end
+"""
+
+BUGGY = """\
+hdl CPU
+input a b c d
+output y z
+assign y = (a & b) & (~c & d)
+assign z = (a ^ d) & b
+end
+"""
+
+
+class TestHdlSimulator:
+    def test_good_model(self):
+        result = HdlSimulator().run(SPEC, SPEC)
+        assert result.ok
+        assert result.message == "good"
+
+    def test_buggy_model_counts_errors(self):
+        result = HdlSimulator().run(BUGGY, SPEC)
+        assert not result.ok
+        assert result.message.endswith("errors")
+        assert int(result.message.split()[0]) > 0
+
+    def test_rejects_non_hdl(self):
+        from repro.tools.design_data import DesignDataError
+
+        with pytest.raises(DesignDataError):
+            HdlSimulator().run("layout L\ncell g A 0 0 1 1\nend\n", SPEC)
+
+
+class TestSynthesizer:
+    def test_flat(self):
+        result = Synthesizer().run(SPEC)
+        assert result.ok
+        assert set(result.outputs) == {"CPU"}
+        schematic = parse_design(result.outputs["CPU"])
+        assert schematic.gates
+
+    def test_hierarchical(self):
+        result = Synthesizer().run(SPEC, partitions={"z": "REG"})
+        assert result.ok
+        assert set(result.outputs) == {"CPU", "REG"}
+        assert "use REG" in result.outputs["CPU"]
+
+    def test_with_library(self):
+        result = Synthesizer().run(SPEC, standard_library().to_text())
+        assert result.ok
+
+    def test_poor_library_fails_cleanly(self):
+        poor = "library poor\ngate AND 2\nend\n"
+        result = Synthesizer().run(SPEC, poor)
+        assert not result.ok
+        assert "no" in result.message
+
+
+class TestNetlisterAndSim:
+    def make_netlist_text(self) -> str:
+        synth = Synthesizer().run(SPEC, partitions={"z": "REG"})
+        schematics = {
+            name: parse_design(text) for name, text in synth.outputs.items()
+        }
+        result = Netlister().run(
+            synth.outputs["CPU"], lambda name: schematics[name]
+        )
+        assert result.ok
+        return result.outputs["CPU"]
+
+    def test_netlist_is_flat_and_correct(self):
+        netlist_text = self.make_netlist_text()
+        result = NetlistSimulator().run(netlist_text, SPEC)
+        assert result.ok
+        assert result.message == "good"
+
+    def test_netlist_sim_detects_wrong_spec(self):
+        netlist_text = self.make_netlist_text()
+        result = NetlistSimulator().run(netlist_text, BUGGY)
+        assert not result.ok
+
+
+class TestBackEnd:
+    def make_layout_text(self, violations: int = 0) -> tuple[str, str]:
+        netlist_text = TestNetlisterAndSim().make_netlist_text()
+        layout = LayoutGenerator(violations=violations).run(netlist_text)
+        assert layout.ok
+        return netlist_text, layout.outputs["CPU"]
+
+    def test_clean_layout_drc_good(self):
+        _netlist, layout_text = self.make_layout_text()
+        result = DrcTool().run(layout_text)
+        assert result.ok
+        assert result.message == "good"
+
+    def test_broken_layout_drc_reports_violations(self):
+        _netlist, layout_text = self.make_layout_text(violations=3)
+        result = DrcTool().run(layout_text)
+        assert not result.ok
+        assert "violations" in result.message
+
+    def test_lvs_equivalent(self):
+        netlist_text, layout_text = self.make_layout_text()
+        result = LvsTool().run(netlist_text, layout_text)
+        assert result.ok
+        assert result.message == "is_equiv"
+
+    def test_lvs_mismatch(self):
+        netlist_text, layout_text = self.make_layout_text()
+        # drop one cell line from the layout
+        lines = layout_text.splitlines()
+        broken = "\n".join(lines[:1] + lines[2:]) + "\n"
+        result = LvsTool().run(netlist_text, broken)
+        assert not result.ok
+        assert result.message.startswith("not_equiv")

@@ -1,0 +1,129 @@
+"""Wrapper programs: workspace I/O, permission checks, event posting."""
+
+import pytest
+
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.core.policy import PermissionPolicy
+from repro.flows.edtc import CPU_PARTITIONS, CPU_SPEC, EDTC_BLUEPRINT
+from repro.metadb.database import MetaDatabase
+from repro.metadb.oid import OID
+from repro.metadb.workspace import Workspace
+from repro.network.bus import EventBus
+from repro.tools.registry import build_toolset, connect_workspace
+from repro.tools.wrappers import WrapperError
+
+
+@pytest.fixture
+def project(tmp_path):
+    db = MetaDatabase()
+    engine = BlueprintEngine(db, Blueprint.from_source(EDTC_BLUEPRINT))
+    workspace = Workspace(tmp_path / "ws", db)
+    toolset = build_toolset(
+        engine,
+        workspace,
+        specs={"CPU": CPU_SPEC},
+        partitions=CPU_PARTITIONS,
+    )
+    return db, engine, workspace, toolset
+
+
+class TestConnectWorkspace:
+    def test_checkin_posts_ckin_event(self, tmp_path):
+        db = MetaDatabase()
+        engine = BlueprintEngine(db, Blueprint.from_source(EDTC_BLUEPRINT))
+        workspace = Workspace(tmp_path / "ws", db)
+        bus = EventBus(engine)
+        connect_workspace(workspace, bus)
+        workspace.check_in("CPU", "HDL_model", CPU_SPEC, user="yves")
+        assert engine.metrics.per_event.get("ckin") == 1
+        obj = db.get(OID("CPU", "HDL_model", 1))
+        assert obj.get("uptodate") is True
+
+
+class TestHdlSimWrapper:
+    def test_posts_verdict(self, project):
+        db, engine, workspace, toolset = project
+        workspace.check_in("CPU", "HDL_model", CPU_SPEC)
+        toolset.ctx.bus.drain()
+        result = toolset.run("hdl_sim", "CPU")
+        assert result.ok
+        obj = db.get(OID("CPU", "HDL_model", 1))
+        assert obj.get("sim_result") == "good"
+
+    def test_missing_data_raises(self, project):
+        _db, _engine, _workspace, toolset = project
+        with pytest.raises(WrapperError):
+            toolset.wrapper("hdl_sim").run_block("CPU")
+
+    def test_missing_spec_raises(self, project):
+        db, _engine, workspace, toolset = project
+        workspace.check_in("GPU", "HDL_model", CPU_SPEC.replace("CPU", "GPU"))
+        with pytest.raises(WrapperError):
+            toolset.wrapper("hdl_sim").run_block("GPU")
+
+
+class TestSynthesisWrapper:
+    def test_creates_hierarchy(self, project):
+        db, engine, workspace, toolset = project
+        workspace.check_in("CPU", "HDL_model", CPU_SPEC)
+        toolset.ctx.bus.drain()
+        result = toolset.run("synthesis", "CPU")
+        assert result.ok
+        assert db.latest_version("CPU", "schematic") is not None
+        assert db.latest_version("REG", "schematic") is not None
+        use_links = [
+            link for link in db.links() if link.link_class.value == "use"
+        ]
+        assert len(use_links) == 1
+        assert use_links[0].source.block == "CPU"
+        assert use_links[0].allows("outofdate")  # template annotated it
+
+    def test_exec_rule_auto_netlists(self, project):
+        """Checking in a schematic triggers 'exec netlister "$oid"'."""
+        db, engine, workspace, toolset = project
+        workspace.check_in("CPU", "HDL_model", CPU_SPEC)
+        toolset.ctx.bus.drain()
+        toolset.run("synthesis", "CPU")
+        assert db.latest_version("CPU", "netlist") is not None
+
+
+class TestFullChainWithPolicy:
+    def test_permission_refusal_blocks_wrapper(self, tmp_path):
+        db = MetaDatabase()
+        engine = BlueprintEngine(db, Blueprint.from_source(EDTC_BLUEPRINT))
+        workspace = Workspace(tmp_path / "ws", db)
+        policy = PermissionPolicy().require(
+            "nl_sim", "$uptodate == true", view="netlist"
+        )
+        toolset = build_toolset(
+            engine,
+            workspace,
+            specs={"CPU": CPU_SPEC},
+            partitions=CPU_PARTITIONS,
+            policy=policy,
+        )
+        workspace.check_in("CPU", "HDL_model", CPU_SPEC)
+        toolset.ctx.bus.drain()
+        toolset.run("synthesis", "CPU")
+        # make the netlist stale: a new HDL version posts outofdate
+        workspace.check_in("CPU", "HDL_model", CPU_SPEC)
+        toolset.ctx.bus.drain()
+        netlist = db.latest_version("CPU", "netlist")
+        assert netlist.get("uptodate") is False
+        with pytest.raises(WrapperError):
+            toolset.wrapper("nl_sim").run_block("CPU")
+
+    def test_verification_chain(self, project):
+        db, engine, workspace, toolset = project
+        workspace.check_in("CPU", "HDL_model", CPU_SPEC)
+        toolset.ctx.bus.drain()
+        toolset.run("synthesis", "CPU")
+        toolset.run("nl_sim", "CPU")
+        toolset.run("layout", "CPU")
+        toolset.run("drc", "CPU")
+        toolset.run("lvs", "CPU")
+        schematic = db.latest_version("CPU", "schematic")
+        layout = db.latest_version("CPU", "layout")
+        assert schematic.get("state") is True
+        assert layout.get("state") is True

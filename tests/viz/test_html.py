@@ -1,0 +1,73 @@
+"""The HTML dashboard renderer."""
+
+import pytest
+
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.flows.generators import chain_blueprint_source
+from repro.metadb.database import MetaDatabase
+from repro.metadb.oid import OID
+from repro.viz.html import render_dashboard, write_dashboard
+
+
+@pytest.fixture
+def project():
+    blueprint = Blueprint.from_source(chain_blueprint_source(3))
+    db = MetaDatabase(name="dash")
+    engine = BlueprintEngine(db, blueprint)
+    for index in range(3):
+        db.create_object(OID("core", f"v{index}", 1))
+    return db, blueprint, engine
+
+
+class TestRendering:
+    def test_document_shape(self, project):
+        db, blueprint, engine = project
+        html_text = render_dashboard(db, blueprint, engine)
+        assert html_text.startswith("<!DOCTYPE html>")
+        assert html_text.rstrip().endswith("</html>")
+        assert "View health" in html_text
+
+    def test_views_listed(self, project):
+        db, blueprint, _engine = project
+        html_text = render_dashboard(db, blueprint)
+        for view in blueprint.tracked_views():
+            assert view in html_text
+
+    def test_clean_project_shows_nothing_pending(self, project):
+        db, blueprint, _engine = project
+        assert "nothing pending" in render_dashboard(db, blueprint)
+
+    def test_stale_objects_listed_and_highlighted(self, project):
+        db, blueprint, engine = project
+        db.create_object(OID("core", "v0", 2))
+        engine.post("ckin", OID("core", "v0", 2), "up")
+        engine.run()
+        html_text = render_dashboard(db, blueprint)
+        assert "core.v1.1" in html_text
+        assert 'class="stale"' in html_text
+
+    def test_escaping(self, project):
+        db, blueprint, _engine = project
+        html_text = render_dashboard(db, blueprint, title="<script>alert(1)</script>")
+        assert "<script>" not in html_text
+        assert "&lt;script&gt;" in html_text
+
+    def test_notifications_section(self, project):
+        db, blueprint, engine = project
+        engine.notifications.append("yves: check core.v1.1")
+        html_text = render_dashboard(db, blueprint, engine)
+        assert "Notifications" in html_text
+        assert "yves: check core.v1.1" in html_text
+
+    def test_no_notifications_section_when_empty(self, project):
+        db, blueprint, engine = project
+        assert "Notifications" not in render_dashboard(db, blueprint, engine)
+
+
+class TestWriting:
+    def test_write_creates_parents(self, project, tmp_path):
+        db, blueprint, _engine = project
+        path = write_dashboard(db, blueprint, tmp_path / "deep" / "dash.html")
+        assert path.exists()
+        assert "<!DOCTYPE html>" in path.read_text()

@@ -1,0 +1,99 @@
+"""Flow and state renderings (DOT + ASCII)."""
+
+import pytest
+
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.core.state import project_status
+from repro.flows.edtc import EDTC_BLUEPRINT
+from repro.metadb.database import MetaDatabase
+from repro.metadb.links import LinkClass
+from repro.metadb.oid import OID
+from repro.viz.ascii_flow import (
+    EDTC_CLASSIC_EDGES,
+    render_classic,
+    render_flow,
+    render_pending,
+    render_status,
+)
+from repro.viz.dot import blueprint_to_dot, database_to_dot
+
+
+@pytest.fixture
+def blueprint():
+    return Blueprint.from_source(EDTC_BLUEPRINT)
+
+
+@pytest.fixture
+def db(blueprint):
+    database = MetaDatabase(name="viz")
+    BlueprintEngine(database, blueprint)
+    database.create_object(OID("CPU", "HDL_model", 1))
+    database.create_object(OID("CPU", "schematic", 1))
+    database.create_object(OID("REG", "schematic", 1))
+    database.add_link(
+        OID("CPU", "schematic", 1), OID("REG", "schematic", 1), LinkClass.USE
+    )
+    return database
+
+
+class TestDot:
+    def test_blueprint_dot_structure(self, blueprint):
+        dot = blueprint_to_dot(blueprint)
+        assert dot.startswith('digraph "EDTC_example"')
+        assert '"HDL_model" -> "schematic"' in dot
+        assert "outofdate" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_blueprint_dot_self_loop_for_hierarchy(self, blueprint):
+        dot = blueprint_to_dot(blueprint)
+        assert '"schematic" -> "schematic"' in dot
+
+    def test_database_dot_latest_only(self, db):
+        db.create_object(OID("CPU", "HDL_model", 2))
+        dot = database_to_dot(db)
+        assert "CPU.HDL_model.2" in dot
+        assert "CPU.HDL_model.1" not in dot
+
+    def test_database_dot_all_versions(self, db):
+        db.create_object(OID("CPU", "HDL_model", 2))
+        dot = database_to_dot(db, latest_only=False)
+        assert "CPU.HDL_model.1" in dot
+
+    def test_database_dot_highlights_stale(self, db):
+        db.get(OID("REG", "schematic", 1)).set("uptodate", False)
+        dot = database_to_dot(db)
+        assert "color=red" in dot
+
+    def test_database_dot_use_links_dashed(self, db):
+        dot = database_to_dot(db)
+        assert "style=dashed" in dot
+
+
+class TestAsciiFlow:
+    def test_render_flow_mentions_views_and_links(self, blueprint):
+        text = render_flow(blueprint)
+        assert "[schematic]" in text
+        assert "<- HDL_model" in text
+        assert "hierarchy" in text
+        assert "let state" in text
+
+    def test_render_classic_figure4(self):
+        text = render_classic(EDTC_CLASSIC_EDGES)
+        assert "netlister" in text
+        assert "--[synthesis]-->" in text
+
+    def test_render_status_table(self, db, blueprint):
+        text = render_status(project_status(db, blueprint))
+        assert "schematic" in text
+        assert "up_to_date" in text
+
+    def test_render_pending_empty(self, blueprint):
+        empty_db = MetaDatabase()
+        text = render_pending(empty_db, blueprint)
+        assert "nothing pending" in text
+
+    def test_render_pending_lists_failures(self, db, blueprint):
+        db.get(OID("CPU", "schematic", 1)).set("uptodate", False)
+        text = render_pending(db, blueprint)
+        assert "CPU.schematic.1" in text
