@@ -53,6 +53,41 @@ def test_e5_stale_query_scaling(benchmark, n_blocks, report_printer):
     report_printer(report)
 
 
+@pytest.mark.parametrize("n_blocks", [2_000])
+def test_e5_stale_query_scan_baseline(benchmark, n_blocks):
+    """The seed's scan implementation, kept runnable for comparison.
+
+    ``select(force_scan=True)`` bypasses every secondary index; comparing
+    its timings against ``test_e5_stale_query_scaling`` is the headline
+    indexed-vs-scan measurement, and the equality assertion is the
+    byte-identical-results acceptance check at benchmark scale.
+    """
+    db, _engine = build(n_blocks)
+    query = Query(db).where_property("uptodate", False).latest_only()
+    scanned = benchmark(lambda: query.select(force_scan=True))
+    assert scanned == stale_objects(db)
+
+
+def test_e5_planner_selects_index(report_printer):
+    """The planner prefers the most selective index and reports it."""
+    db, _engine = build(200)
+    narrow = Query(db).view("v0").block("b3")
+    plan = narrow.explain()
+    assert plan.strategy == "index"
+    assert plan.index == "block=b3"
+    broad = Query(db).where(lambda obj: obj.version > 1)
+    assert broad.explain().strategy == "scan"
+    report = ExperimentReport("E5d", "query planner")
+    report.add_table(
+        ["query", "plan"],
+        [
+            ("view=v0 and block=b3", plan.describe()),
+            ("opaque predicate", broad.explain().describe()),
+        ],
+    )
+    report_printer(report)
+
+
 @pytest.mark.parametrize("n_blocks", [20, 200])
 def test_e5_pending_work_query(benchmark, n_blocks):
     db, engine = build(n_blocks)

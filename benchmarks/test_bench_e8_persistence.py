@@ -62,3 +62,58 @@ def test_e8_round_trip_fixed_point():
     loaded, registry = database_from_dict(first)
     assert database_to_dict(loaded, registry)["objects"] == first["objects"]
     assert database_to_dict(loaded, registry)["links"] == first["links"]
+
+
+@pytest.mark.parametrize("n_blocks", [20, 200])
+def test_e8_sqlite_save_scaling(benchmark, n_blocks, tmp_path, report_printer):
+    db = build(n_blocks)
+    path = tmp_path / "db.sqlite"
+    benchmark(save_database, db, path)
+    report = ExperimentReport("E8b", "sqlite persistence")
+    report.add_table(
+        ["objects", "links", "file bytes"],
+        [(db.object_count, db.link_count, path.stat().st_size)],
+    )
+    report_printer(report)
+
+
+@pytest.mark.parametrize("n_blocks", [20, 200])
+def test_e8_sqlite_load_scaling(benchmark, n_blocks, tmp_path):
+    db = build(n_blocks)
+    path = save_database(db, tmp_path / "db.sqlite")
+    loaded, _registry = benchmark(load_database, path)
+    assert loaded.object_count == db.object_count
+    assert loaded.check_integrity() == []
+
+
+@pytest.mark.parametrize("n_blocks", [200])
+def test_e8_sqlite_partial_load(benchmark, n_blocks, tmp_path, report_printer):
+    """Partial load materialises one view out of five: the win sharding
+    builds on — load cost follows the window, not the database."""
+    from repro.metadb.sqlite_store import SqliteBackend
+
+    db = build(n_blocks)
+    path = save_database(db, tmp_path / "db.sqlite")
+    backend = SqliteBackend()
+    partial, _registry = benchmark(lambda: backend.load_partial(path, views={"v0"}))
+    assert partial.object_count == n_blocks
+    assert partial.check_integrity() == []
+    report = ExperimentReport("E8c", "sqlite partial load")
+    report.add_table(
+        ["full objects", "window objects"],
+        [(db.object_count, partial.object_count)],
+    )
+    report_printer(report)
+
+
+def test_e8_cross_backend_round_trip(tmp_path):
+    """A database saved by the JSON backend survives SQLite and returns
+    unchanged (the cross-backend equivalence acceptance criterion)."""
+    db = build(50)
+    json_path = save_database(db, tmp_path / "db.json")
+    from_json, json_registry = load_database(json_path)
+    sqlite_path = save_database(from_json, tmp_path / "db.sqlite", json_registry)
+    from_sqlite, sqlite_registry = load_database(sqlite_path)
+    assert database_to_dict(from_sqlite, sqlite_registry) == database_to_dict(
+        from_json, json_registry
+    )

@@ -12,6 +12,12 @@ plus the modern conveniences (lint, dashboards, journals)::
     damocles query DB.json BLOCK,VIEW,VER  # one OID's properties
     damocles dashboard DB.json FLOW.bp OUT.html
     damocles replay JOURNAL.jsonl FLOW.bp OUT-DB.json
+    damocles convert DB.json DB.sqlite   # cross-backend conversion
+
+Database paths dispatch on suffix: ``.json`` uses the JSON backend,
+``.sqlite`` / ``.sqlite3`` / ``.db`` the SQLite backend (persisted
+indexes, partial load); ``--backend`` overrides the guess wherever a
+database is read or written.
 
 Every subcommand is a plain function taking parsed args and returning an
 exit code, so tests drive them directly.
@@ -35,6 +41,11 @@ from repro.metadb.persistence import load_database, save_database
 
 def _load_blueprint(path: str) -> Blueprint:
     return Blueprint.from_file(path)
+
+
+def _load_db(args: argparse.Namespace):
+    """Load the database named by *args*, honouring ``--backend``."""
+    return load_database(args.database, backend=getattr(args, "backend", None))
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -92,7 +103,7 @@ def cmd_status(args: argparse.Namespace) -> int:
     """Print the per-view health table of a saved database."""
     from repro.viz.ascii_flow import render_status
 
-    db, _registry = load_database(args.database)
+    db, _registry = _load_db(args)
     blueprint = _load_blueprint(args.blueprint)
     print(render_status(project_status(db, blueprint)))
     return 0
@@ -103,7 +114,7 @@ def cmd_pending(args: argparse.Namespace) -> int:
     from repro.core.state import pending_work
     from repro.viz.ascii_flow import render_pending
 
-    db, _registry = load_database(args.database)
+    db, _registry = _load_db(args)
     blueprint = _load_blueprint(args.blueprint)
     print(render_pending(db, blueprint))
     return 1 if pending_work(db, blueprint) else 0
@@ -113,7 +124,7 @@ def cmd_query(args: argparse.Namespace) -> int:
     """Print one OID's design state."""
     from repro.metadb.properties import value_to_text
 
-    db, _registry = load_database(args.database)
+    db, _registry = _load_db(args)
     obj = db.find(OID.parse(args.oid))
     if obj is None:
         print(f"unknown OID {args.oid}")
@@ -128,7 +139,7 @@ def cmd_find(args: argparse.Namespace) -> int:
     from repro.core.expressions import ExpressionError
     from repro.core.state import find_objects
 
-    db, _registry = load_database(args.database)
+    db, _registry = _load_db(args)
     try:
         matches = find_objects(
             db, args.expression, latest_only=not args.all_versions
@@ -146,7 +157,7 @@ def cmd_dashboard(args: argparse.Namespace) -> int:
     """Write the HTML dashboard for a saved database."""
     from repro.viz.html import write_dashboard
 
-    db, _registry = load_database(args.database)
+    db, _registry = _load_db(args)
     blueprint = _load_blueprint(args.blueprint)
     path = write_dashboard(db, blueprint, args.output)
     print(f"wrote {path}")
@@ -160,12 +171,34 @@ def cmd_replay(args: argparse.Namespace) -> int:
     journal = Journal.load(args.journal)
     blueprint = _load_blueprint(args.blueprint)
     db, _engine = replay(journal, blueprint)
-    save_database(db, args.output)
+    save_database(db, args.output, backend=getattr(args, "backend", None))
     print(
         f"replayed {len(journal)} entries -> {db.object_count} objects, "
         f"{db.link_count} links -> {args.output}"
     )
     return 0
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    """Convert a saved database between persistence backends."""
+    db, registry = load_database(args.database, backend=args.from_backend)
+    save_database(db, args.output, registry, backend=args.to_backend)
+    print(
+        f"converted {args.database} -> {args.output} "
+        f"({db.object_count} objects, {db.link_count} links)"
+    )
+    return 0
+
+
+def _add_backend_option(subparser: argparse.ArgumentParser) -> None:
+    from repro.metadb.persistence import backend_names
+
+    subparser.add_argument(
+        "--backend",
+        choices=backend_names(),
+        default=None,
+        help="persistence backend (default: guessed from the path suffix)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -225,14 +258,41 @@ def build_parser() -> argparse.ArgumentParser:
     replay_cmd.add_argument("journal")
     replay_cmd.add_argument("blueprint")
     replay_cmd.add_argument("output")
+    _add_backend_option(replay_cmd)
     replay_cmd.set_defaults(func=cmd_replay)
+
+    convert = subparsers.add_parser(
+        "convert", help="convert a database between persistence backends"
+    )
+    convert.add_argument("database")
+    convert.add_argument("output")
+    from repro.metadb.persistence import backend_names
+
+    convert.add_argument(
+        "--from-backend", choices=backend_names(), default=None,
+        help="source backend (default: guessed from the path suffix)",
+    )
+    convert.add_argument(
+        "--to-backend", choices=backend_names(), default=None,
+        help="destination backend (default: guessed from the path suffix)",
+    )
+    convert.set_defaults(func=cmd_convert)
+
+    for database_command in (status, pending, query, find, dashboard):
+        _add_backend_option(database_command)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.metadb.errors import PersistenceError
+
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except PersistenceError as exc:
+        print(f"error: {exc}")
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -63,11 +63,17 @@ from repro.core.policy import (
 )
 from repro.core.propagation import (
     PropagationReport,
+    currently_stale,
     impacted_by_change,
     propagation_targets,
     reachable_set,
 )
-from repro.core.rules import EffectiveView, LinkTemplate, UseLinkTemplate
+from repro.core.rules import (
+    EffectiveView,
+    LinkTemplate,
+    RuleDispatch,
+    UseLinkTemplate,
+)
 from repro.core.scheduler import SchedulerError, ToolRun, ToolScheduler
 from repro.core.state import (
     PendingWork,
@@ -124,11 +130,13 @@ __all__ = [
     "apply_blueprint_to_links",
     "loosen_blueprint",
     "PropagationReport",
+    "currently_stale",
     "impacted_by_change",
     "propagation_targets",
     "reachable_set",
     "EffectiveView",
     "LinkTemplate",
+    "RuleDispatch",
     "UseLinkTemplate",
     "SchedulerError",
     "ToolRun",

@@ -78,6 +78,9 @@ class Blueprint:
                         f"view {view.name}: link_from references untracked "
                         f"view {template.from_view!r}"
                     )
+            # Compile the per-(view, event) dispatch tables up front so the
+            # engine never re-partitions rule lists on the delivery path.
+            view.compile_dispatch()
         return cls(
             name=decl.name, views=views, declaration=decl, warnings=warnings
         )

@@ -28,6 +28,7 @@ Design decisions documented in DESIGN.md:
 
 from __future__ import annotations
 
+import shlex
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
@@ -35,12 +36,7 @@ from typing import Callable
 from repro.core.blueprint import Blueprint
 from repro.core.events import EventMessage, EventQueue
 from repro.core.expressions import Value, interpolate
-from repro.core.lang.ast import (
-    AssignAction,
-    ExecAction,
-    NotifyAction,
-    PostAction,
-)
+from repro.core.lang.ast import ExecAction, PostAction
 from repro.metadb.database import MetaDatabase
 from repro.metadb.links import Direction
 from repro.metadb.objects import MetaObject
@@ -61,7 +57,12 @@ class ExecRequest:
     event: EventMessage
 
     def command_line(self) -> str:
-        return " ".join([self.script] + [f'"{a}"' if " " in a else a for a in self.args])
+        """The request as a copy-pasteable shell line.
+
+        Arguments are escaped with :func:`shlex.quote`, so embedded
+        quotes, backslashes and whitespace survive a real shell.
+        """
+        return " ".join(shlex.quote(token) for token in [self.script, *self.args])
 
 
 #: Executor signature: run the wrapper, return anything (recorded).
@@ -194,6 +195,27 @@ class BlueprintEngine:
         self._trace_seq = 0
         self._running = False
         self._attach_hooks()
+
+    @classmethod
+    def from_saved(
+        cls,
+        path,
+        blueprint: Blueprint,
+        *,
+        backend: str | None = None,
+        **kwargs,
+    ) -> "BlueprintEngine":
+        """An engine over a previously persisted meta-database.
+
+        *path* dispatches on suffix to the JSON or SQLite backend unless
+        *backend* names one; the loaded database arrives fully indexed,
+        so the engine's hot paths (adjacency, stale set) are warm from
+        the first event.
+        """
+        from repro.metadb.persistence import load_database
+
+        db, _registry = load_database(path, backend=backend)
+        return cls(db, blueprint, **kwargs)
 
     # ------------------------------------------------------------------
     # hooks / blueprint swapping
@@ -360,19 +382,19 @@ class BlueprintEngine:
             return []
         self._record("deliver", target, event.name, event.arg)
         env = EvalEnvironment(self, obj, event)
-        rules = view.rules_for(event.name)
-        self.metrics.rules_fired += len(rules)
+        # The dispatch table pre-partitions the matching rules' actions into
+        # the three phases, so no per-delivery isinstance scan over rules.
+        dispatch = view.dispatch(event.name)
+        self.metrics.rules_fired += len(dispatch.rules)
 
         # step 1: assign actions of every matching rule
-        for rule in rules:
-            for action in rule.actions:
-                if isinstance(action, AssignAction):
-                    value = action.value.evaluate(env)
-                    obj.set(action.name, value)
-                    self.metrics.assigns += 1
-                    self._record(
-                        "assign", target, event.name, f"{action.name} = {value!r}"
-                    )
+        for action in dispatch.assigns:
+            value = action.value.evaluate(env)
+            obj.set(action.name, value)
+            self.metrics.assigns += 1
+            self._record(
+                "assign", target, event.name, f"{action.name} = {value!r}"
+            )
 
         # step 2: re-evaluate all continuous assignments of the OID
         for let_name, expr in obj.continuous.items():
@@ -382,24 +404,21 @@ class BlueprintEngine:
             self._record("let", target, event.name, f"{let_name} = {value!r}")
 
         # step 3: invoke scripts (exec and notify are both script-phase)
-        for rule in rules:
-            for action in rule.actions:
-                if isinstance(action, ExecAction):
-                    self._execute(action, obj, event, env)
-                elif isinstance(action, NotifyAction):
-                    message = interpolate(action.message, env)
-                    self.notifications.append(message)
-                    self.metrics.notifies += 1
-                    self._record("notify", target, event.name, message)
-                    if self.notifier is not None:
-                        self.notifier(message)
+        for action in dispatch.scripts:
+            if isinstance(action, ExecAction):
+                self._execute(action, obj, event, env)
+            else:
+                message = interpolate(action.message, env)
+                self.notifications.append(message)
+                self.metrics.notifies += 1
+                self._record("notify", target, event.name, message)
+                if self.notifier is not None:
+                    self.notifier(message)
 
         # step 4: post new events
         new_deliveries: list[_Delivery] = []
-        for rule in rules:
-            for action in rule.actions:
-                if isinstance(action, PostAction):
-                    new_deliveries.extend(self._post_action(action, obj, event, env))
+        for action in dispatch.posts:
+            new_deliveries.extend(self._post_action(action, obj, event, env))
         return new_deliveries
 
     def _execute(

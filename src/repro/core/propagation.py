@@ -28,7 +28,10 @@ def propagation_targets(
     """The single-hop (link, next-OID) pairs an event takes from *oid*.
 
     A link qualifies when its ``PROPAGATE`` list contains *event_name*
-    and its orientation matches *direction* as seen from *oid*.
+    and its orientation matches *direction* as seen from *oid*.  The
+    endpoint pairs come from the database's adjacency cache, so repeated
+    hops over the same OID (every wave, every reachability analysis) do
+    not re-walk the link store.
     """
     return [
         (link, other)
@@ -89,5 +92,22 @@ def reachable_set(
 
 
 def impacted_by_change(db: MetaDatabase, origin: OID, event_name: str = "outofdate") -> frozenset[OID]:
-    """The classic impact query: which data a change at *origin* stales."""
+    """The classic impact query: which data a change at *origin* stales.
+
+    This is the *predictive* form — graph reachability, no rule
+    execution.  For what is stale *right now*, after waves actually ran,
+    use :func:`currently_stale`.
+    """
     return reachable_set(db, origin, event_name, Direction.DOWN).reached
+
+
+def currently_stale(db: MetaDatabase) -> frozenset[OID]:
+    """The OIDs stale right now, in O(result).
+
+    Reads the incrementally maintained stale set: every ``uptodate``
+    flip the engine performs while processing a wave (assign actions,
+    continuous assignments) updates the set through the property
+    observer channel, so this is accurate even between waves of a
+    half-drained queue — no scan, no re-evaluation.
+    """
+    return db.stale_set()

@@ -18,7 +18,11 @@ from dataclasses import dataclass, field
 
 from repro.core.expressions import Expression
 from repro.core.lang.ast import (
+    AssignAction,
+    ExecAction,
     LinkDecl,
+    NotifyAction,
+    PostAction,
     PropertyDecl,
     UseLinkDecl,
     ViewDecl,
@@ -69,6 +73,50 @@ class UseLinkTemplate:
         return UseLinkDecl(propagates=tuple(sorted(self.propagates)), move=self.move)
 
 
+@dataclass(frozen=True)
+class RuleDispatch:
+    """The pre-partitioned actions one (view, event) delivery executes.
+
+    The engine's per-delivery algorithm runs the matching rules' actions
+    in three phases (assign, script, post).  The seed engine re-walked the
+    rule list three times per delivery, isinstance-checking every action;
+    the dispatch table does that partition once per (view, event) pair and
+    the engine just iterates the phase tuples.  Tuple order preserves the
+    original (rule, action) order, so execution semantics are unchanged.
+    """
+
+    event: str
+    rules: tuple[WhenRule, ...]
+    assigns: tuple[AssignAction, ...]
+    scripts: tuple[ExecAction | NotifyAction, ...]
+    posts: tuple[PostAction, ...]
+
+    @classmethod
+    def compile(cls, event: str, rules: tuple[WhenRule, ...]) -> "RuleDispatch":
+        assigns: list[AssignAction] = []
+        scripts: list[ExecAction | NotifyAction] = []
+        posts: list[PostAction] = []
+        for rule in rules:
+            for action in rule.actions:
+                if isinstance(action, AssignAction):
+                    assigns.append(action)
+                elif isinstance(action, (ExecAction, NotifyAction)):
+                    scripts.append(action)
+                elif isinstance(action, PostAction):
+                    posts.append(action)
+        return cls(
+            event=event,
+            rules=rules,
+            assigns=tuple(assigns),
+            scripts=tuple(scripts),
+            posts=tuple(posts),
+        )
+
+
+#: The dispatch for an event no rule handles (shared, immutable).
+EMPTY_DISPATCH = RuleDispatch(event="", rules=(), assigns=(), scripts=(), posts=())
+
+
 @dataclass
 class EffectiveView:
     """One tracked view with the default view's declarations merged in.
@@ -77,6 +125,13 @@ class EffectiveView:
     first, then the view's own rules, each preserving file order — so the
     paper's ``when ckin do uptodate = true; post outofdate down done``
     (default) runs before a view's specific ``when ckin`` rules.
+
+    ``dispatch`` answers the engine's per-delivery lookup from a compiled
+    per-event table; :meth:`compile_dispatch` pre-builds it for every
+    declared event (blueprint compilation calls it), and unseen events
+    compile-and-cache on first delivery.  The ``rules`` mapping must not
+    be mutated after compilation — blueprint transforms (loosening, phase
+    switches) rebuild from the AST, which re-compiles.
     """
 
     name: str
@@ -85,9 +140,28 @@ class EffectiveView:
     link_templates: list[LinkTemplate] = field(default_factory=list)
     use_link: UseLinkTemplate | None = None
     rules: dict[str, list[WhenRule]] = field(default_factory=dict)
+    _dispatch: dict[str, RuleDispatch] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def rules_for(self, event_name: str) -> list[WhenRule]:
         return self.rules.get(event_name, [])
+
+    def dispatch(self, event_name: str) -> RuleDispatch:
+        """The compiled dispatch entry for *event_name* (cached)."""
+        entry = self._dispatch.get(event_name)
+        if entry is None:
+            rules = tuple(self.rules.get(event_name, ()))
+            entry = (
+                RuleDispatch.compile(event_name, rules) if rules else EMPTY_DISPATCH
+            )
+            self._dispatch[event_name] = entry
+        return entry
+
+    def compile_dispatch(self) -> None:
+        """Pre-build the dispatch table for every declared event."""
+        for event_name in self.rules:
+            self.dispatch(event_name)
 
     def events_handled(self) -> set[str]:
         return set(self.rules)

@@ -105,11 +105,18 @@ endblueprint
 #:
 #: The paper's model propagates ``outofdate`` *down* only: a sub-block
 #: change never stales its parent's derived data, although the parent's
-#: netlist physically contains the sub-block.  This variant adds two
-#: rules to the rtl view: a check-in also posts ``outofdate`` *up* (so
-#: ancestors hear about it), and any rtl receiving ``outofdate`` re-posts
-#: it *down* (so the ancestor's own pipeline invalidates).  The engine's
-#: per-wave visited set keeps the bounce terminating.
+#: netlist physically contains the sub-block.  This variant routes a
+#: dedicated ``child_changed`` event *up* the use-link hierarchy on every
+#: rtl check-in; an rtl receiving it marks itself stale and re-posts
+#: ``outofdate`` *down* so its own pipeline invalidates.  The event must
+#: be distinct from ``outofdate``: an earlier draft posted ``outofdate up``,
+#: which also crossed the spec→rtl derive link (whose PROPAGATE list
+#: legitimately carries ``outofdate`` for downward travel) and staled the
+#: block's *spec* — making even a top-level ECO differ from the paper's
+#: semantics.  Restricting the upward event to use links confines the fix
+#: to hierarchy, so a top-level ECO (no ancestors) behaves identically
+#: under both blueprints.  The engine's per-wave visited set keeps the
+#: up/down bounce terminating.
 ASIC_BLUEPRINT_BIDIRECTIONAL = ASIC_BLUEPRINT.replace(
     """view rtl
   property lint_result default bad
@@ -125,11 +132,11 @@ endview""",
   property sim_result default bad
   let state = ($lint_result == good) and ($sim_result == good) and ($uptodate == true)
   link_from spec move propagates outofdate type derive_from
-  use_link move propagates outofdate
+  use_link move propagates child_changed, outofdate
   when lint do lint_result = $arg done
   when rtl_sim do sim_result = $arg done
-  when ckin do post outofdate up done
-  when outofdate do post outofdate down done
+  when ckin do post child_changed up done
+  when child_changed do uptodate = false; post outofdate down done
 endview""",
 )
 

@@ -21,7 +21,8 @@ from repro.metadb.configurations import (
     all_links,
     use_links_only,
 )
-from repro.metadb.database import MetaDatabase
+from repro.metadb.database import MetaDatabase, TransactionError
+from repro.metadb.indexes import IndexRegistry
 from repro.metadb.errors import (
     ConfigurationError,
     DuplicateLinkError,
@@ -46,14 +47,20 @@ from repro.metadb.links import (
 from repro.metadb.objects import MetaObject
 from repro.metadb.oid import OID
 from repro.metadb.persistence import (
+    JsonBackend,
+    PersistenceBackend,
+    backend_for_path,
     database_from_dict,
     database_to_dict,
+    get_backend,
     load_database,
+    register_backend,
     save_database,
 )
 from repro.metadb.properties import PropertyBag, PropertyChange, coerce_value, value_to_text
 from repro.metadb.query import (
     Query,
+    QueryPlan,
     objects_failing_state,
     property_histogram,
     stale_objects,
@@ -85,11 +92,14 @@ __all__ = [
     "DEPEND_ON",
     "DERIVE_FROM",
     "MetaDatabase",
+    "TransactionError",
+    "IndexRegistry",
     "Configuration",
     "ConfigurationRegistry",
     "use_links_only",
     "all_links",
     "Query",
+    "QueryPlan",
     "stale_objects",
     "objects_failing_state",
     "property_histogram",
@@ -106,6 +116,11 @@ __all__ = [
     "database_from_dict",
     "save_database",
     "load_database",
+    "PersistenceBackend",
+    "JsonBackend",
+    "get_backend",
+    "register_backend",
+    "backend_for_path",
     "MetaDBError",
     "InvalidOIDError",
     "UnknownOIDError",

@@ -9,30 +9,44 @@ DAMOCLES is an *observer* system: design activities mutate the database
 (create objects, create links) and interested parties — the project
 BluePrint above all — subscribe to creation hooks to apply template rules.
 The database itself enforces only structural integrity.
+
+Every mutation also maintains the secondary indexes of
+:class:`~repro.metadb.indexes.IndexRegistry` (by block, by view, by
+property value, latest-version, the incremental stale set and the link
+adjacency cache), and mutations performed inside :meth:`MetaDatabase.
+transaction` are undone — indexes included — when the block raises.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
 
 from repro.metadb.errors import (
     DuplicateLinkError,
     DuplicateOIDError,
+    MetaDBError,
     UnknownLinkError,
     UnknownOIDError,
 )
+from repro.metadb.indexes import DEFAULT_STALE_PROPERTY, IndexRegistry
 from repro.metadb.links import Direction, Link, LinkClass
 from repro.metadb.objects import MetaObject
 from repro.metadb.oid import OID
+from repro.metadb.properties import PropertyChange
 
 ObjectHook = Callable[[MetaObject], None]
 LinkHook = Callable[[Link], None]
 
 
+class TransactionError(MetaDBError):
+    """Raised for invalid transaction usage (e.g. nesting)."""
+
+
 @dataclass
 class MetaDatabase:
-    """In-memory meta-database with endpoint and lineage indexes.
+    """In-memory meta-database with endpoint, lineage and secondary indexes.
 
     The database assigns a monotonically increasing sequence number to
     every created object and link; the sequence doubles as a logical
@@ -40,6 +54,7 @@ class MetaDatabase:
     """
 
     name: str = "project"
+    stale_property: str = DEFAULT_STALE_PROPERTY
     _objects: dict[OID, MetaObject] = field(default_factory=dict)
     _links: dict[int, Link] = field(default_factory=dict)
     _outgoing: dict[OID, set[int]] = field(default_factory=dict)
@@ -49,6 +64,16 @@ class MetaDatabase:
     _next_link_id: int = 1
     object_hooks: list[ObjectHook] = field(default_factory=list)
     link_hooks: list[LinkHook] = field(default_factory=list)
+    _indexes: IndexRegistry = field(init=False, repr=False)
+    _bag_observers: dict[OID, Callable[[PropertyChange], None]] = field(
+        init=False, repr=False, default_factory=dict
+    )
+    _txn_log: list[Callable[[], None]] | None = field(
+        init=False, repr=False, default=None
+    )
+
+    def __post_init__(self) -> None:
+        self._indexes = IndexRegistry(stale_property=self.stale_property)
 
     # ------------------------------------------------------------------
     # sequence / clock
@@ -62,6 +87,86 @@ class MetaDatabase:
     def _tick(self) -> int:
         self._seq += 1
         return self._seq
+
+    # ------------------------------------------------------------------
+    # indexes
+    # ------------------------------------------------------------------
+
+    @property
+    def indexes(self) -> IndexRegistry:
+        """The secondary-index registry (read-only for callers)."""
+        return self._indexes
+
+    def stale_set(self) -> frozenset[OID]:
+        """The incrementally maintained stale set: latest versions whose
+        stale property (``uptodate`` by default) equals ``False``."""
+        return frozenset(self._indexes.stale)
+
+    def _index_object(self, obj: MetaObject) -> None:
+        versions = self._lineages[obj.oid.lineage]
+        self._indexes.object_added(obj, versions[-1])
+        oid = obj.oid
+
+        def on_change(change: PropertyChange, _obj: MetaObject = obj) -> None:
+            if self._txn_log is not None:
+                self._txn_log.append(self._property_undo(_obj, change))
+            self._indexes.property_changed(_obj, change)
+
+        obj.properties.subscribe(on_change)
+        self._bag_observers[oid] = on_change
+
+    def _unindex_object(self, obj: MetaObject) -> None:
+        observer = self._bag_observers.pop(obj.oid, None)
+        if observer is not None:
+            obj.properties.unsubscribe(observer)
+        versions = self._lineages.get(obj.oid.lineage)
+        new_latest = None
+        if versions:
+            new_latest = self._objects[obj.oid.with_version(versions[-1])]
+        self._indexes.object_removed(obj, new_latest)
+
+    def _property_undo(
+        self, obj: MetaObject, change: PropertyChange
+    ) -> Callable[[], None]:
+        def undo() -> None:
+            if change.old is None:
+                if change.name in obj.properties:
+                    obj.properties.delete(change.name)
+            else:
+                obj.properties.set(change.name, change.old)
+
+        return undo
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def transaction(self) -> Iterator["MetaDatabase"]:
+        """Group mutations; roll them all back if the block raises.
+
+        Rollback replays inverse operations through the normal mutators,
+        so every secondary index stays consistent.  The logical clock and
+        link-id counter are *not* rewound (they are monotonic by design).
+        Transactions do not nest.
+        """
+        if self._txn_log is not None:
+            raise TransactionError("transactions do not nest")
+        self._txn_log = []
+        try:
+            yield self
+        except BaseException:
+            log = self._txn_log
+            self._txn_log = None  # undo operations must not log themselves
+            for undo in reversed(log):
+                undo()
+            raise
+        finally:
+            self._txn_log = None
+
+    def _log_undo(self, undo: Callable[[], None]) -> None:
+        if self._txn_log is not None:
+            self._txn_log.append(undo)
 
     # ------------------------------------------------------------------
     # objects
@@ -94,6 +199,8 @@ class MetaDatabase:
             versions.sort()
         else:
             versions.append(oid.version)
+        self._index_object(obj)
+        self._log_undo(lambda: self.remove_object(oid))
         if fire_hooks:
             for hook in list(self.object_hooks):
                 hook(obj)
@@ -122,12 +229,26 @@ class MetaDatabase:
         ):
             if link_id in self._links:
                 self.remove_link(link_id)
+        obj = self._objects[oid]
         del self._objects[oid]
         versions = self._lineages.get(oid.lineage)
         if versions is not None:
             versions.remove(oid.version)
             if not versions:
                 del self._lineages[oid.lineage]
+        self._unindex_object(obj)
+        self._log_undo(lambda: self._restore_object(obj))
+
+    def _restore_object(self, obj: MetaObject) -> None:
+        """Re-insert a removed object instance (transaction rollback)."""
+        oid = obj.oid
+        if oid in self._objects:
+            raise DuplicateOIDError(oid)
+        self._objects[oid] = obj
+        versions = self._lineages.setdefault(oid.lineage, [])
+        versions.append(oid.version)
+        versions.sort()
+        self._index_object(obj)
 
     def objects(self) -> Iterator[MetaObject]:
         return iter(self._objects.values())
@@ -156,10 +277,10 @@ class MetaDatabase:
 
     def latest_version(self, block: str, view: str) -> MetaObject | None:
         """The highest-numbered version of (block, view), if any."""
-        versions = self._lineages.get((block, view))
-        if not versions:
+        latest = self._indexes.latest.get((block, view))
+        if latest is None:
             return None
-        return self._objects[OID(block, view, versions[-1])]
+        return self._objects[latest]
 
     def previous_version(self, oid: OID) -> MetaObject | None:
         """The newest version of *oid*'s lineage older than *oid*."""
@@ -174,11 +295,11 @@ class MetaDatabase:
 
     def blocks_of_view(self, view: str) -> list[str]:
         """All block names that have at least one version in *view*."""
-        return sorted({b for (b, v) in self._lineages if v == view})
+        return sorted({oid.block for oid in self._indexes.by_view.get(view, ())})
 
     def views_of_block(self, block: str) -> list[str]:
         """All view types that block has at least one version in."""
-        return sorted({v for (b, v) in self._lineages if b == block})
+        return sorted({oid.view for oid in self._indexes.by_block.get(block, ())})
 
     # ------------------------------------------------------------------
     # links
@@ -228,6 +349,8 @@ class MetaDatabase:
         self._links[link.link_id] = link
         self._outgoing.setdefault(source, set()).add(link.link_id)
         self._incoming.setdefault(dest, set()).add(link.link_id)
+        self._indexes.link_touched(source, dest)
+        self._log_undo(lambda: self.remove_link(link.link_id))
         if fire_hooks:
             for hook in list(self.link_hooks):
                 hook(link)
@@ -244,6 +367,15 @@ class MetaDatabase:
         self._outgoing.get(link.source, set()).discard(link_id)
         self._incoming.get(link.dest, set()).discard(link_id)
         del self._links[link_id]
+        self._indexes.link_touched(link.source, link.dest)
+        self._log_undo(lambda: self._restore_link(link))
+
+    def _restore_link(self, link: Link) -> None:
+        """Re-insert a removed link instance (transaction rollback)."""
+        self._links[link.link_id] = link
+        self._outgoing.setdefault(link.source, set()).add(link.link_id)
+        self._incoming.setdefault(link.dest, set()).add(link.link_id)
+        self._indexes.link_touched(link.source, link.dest)
 
     def links(self) -> Iterator[Link]:
         return iter(self._links.values())
@@ -261,13 +393,20 @@ class MetaDatabase:
         return [self._links[i] for i in sorted(self._incoming.get(oid, ()))]
 
     def neighbours(self, oid: OID, direction: Direction) -> list[tuple[Link, OID]]:
-        """(link, other-end) pairs reachable one hop *direction*-ward."""
-        result: list[tuple[Link, OID]] = []
-        for link in self.links_of(oid):
-            other = link.endpoint_toward(direction, oid)
-            if other is not None:
-                result.append((link, other))
-        return result
+        """(link, other-end) pairs reachable one hop *direction*-ward.
+
+        The hottest lookup of the propagation engine: answered from the
+        adjacency cache, which link mutations invalidate per endpoint.
+        """
+        cached = self._indexes.adjacency(oid, direction)
+        if cached is None:
+            pairs = []
+            for link in self.links_of(oid):
+                other = link.endpoint_toward(direction, oid)
+                if other is not None:
+                    pairs.append((link, other))
+            cached = self._indexes.cache_adjacency(oid, direction, pairs)
+        return list(cached)
 
     def retarget_link(
         self, link_id: int, *, source: OID | None = None, dest: OID | None = None
@@ -285,12 +424,17 @@ class MetaDatabase:
             raise UnknownOIDError(new_source)
         if new_dest not in self._objects:
             raise UnknownOIDError(new_dest)
+        old_source, old_dest = link.source, link.dest
         self._outgoing.get(link.source, set()).discard(link_id)
         self._incoming.get(link.dest, set()).discard(link_id)
         link.source = new_source
         link.dest = new_dest
         self._outgoing.setdefault(new_source, set()).add(link_id)
         self._incoming.setdefault(new_dest, set()).add(link_id)
+        self._indexes.link_touched(old_source, old_dest, new_source, new_dest)
+        self._log_undo(
+            lambda: self.retarget_link(link_id, source=old_source, dest=old_dest)
+        )
         return link
 
     # ------------------------------------------------------------------
@@ -325,6 +469,7 @@ class MetaDatabase:
             "derive_links": sum(
                 1 for l in self._links.values() if l.link_class is LinkClass.DERIVE
             ),
+            "stale": len(self._indexes.stale),
             "clock": self._seq,
         }
 
@@ -356,4 +501,5 @@ class MetaDatabase:
                     problems.append(
                         f"lineage {block}.{view} lists missing version {version}"
                     )
+        problems.extend(self._indexes.check_against(self._objects, self._lineages))
         return problems

@@ -90,6 +90,14 @@ class Link:
     ``TYPE`` annotation; :attr:`move` records whether the blueprint
     template declared the link with the ``move`` keyword, in which case
     new versions of an endpoint steal the link from the old version.
+
+    Endpoints must only be changed through
+    :meth:`~repro.metadb.database.MetaDatabase.retarget_link`, which
+    invalidates the adjacency index entries of the four OIDs involved;
+    assigning :attr:`source` / :attr:`dest` directly would leave the
+    engine propagating along stale cached neighbours.  The PROPAGATE
+    list, by contrast, is deliberately *not* cached anywhere — policy
+    loosening mutates it in place and takes effect immediately.
     """
 
     link_id: int

@@ -54,12 +54,20 @@ class MetaObject:
         return self.oid.version
 
     # -- property convenience ------------------------------------------------
+    #
+    # All mutations route through the PropertyBag so the observer the
+    # database installs keeps the property-value index and the stale set
+    # in sync; never poke ``properties.values`` directly.
 
     def get(self, name: str, default: Value | None = None) -> Value | None:
         return self.properties.get(name, default)
 
     def set(self, name: str, value: object) -> None:
         self.properties.set(name, value)
+
+    def delete(self, name: str) -> None:
+        """Remove property *name* (KeyError if absent)."""
+        self.properties.delete(name)
 
     def has(self, name: str) -> bool:
         return name in self.properties

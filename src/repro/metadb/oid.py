@@ -60,6 +60,16 @@ class OID:
     def __str__(self) -> str:
         return f"<{self.dotted()}>"
 
+    def sort_key(self) -> tuple[str, str, int]:
+        """The (block, view, version) tuple this OID orders by.
+
+        Sorting large result lists with ``key=lambda o: o.sort_key()``
+        is several times faster than relying on the dataclass-generated
+        comparison (which rebuilds tuples per comparison, not per item);
+        the ordering is identical.
+        """
+        return (self.block, self.view, self.version)
+
     # -- relations -------------------------------------------------------
 
     @property

@@ -1,15 +1,27 @@
-"""JSON persistence for the meta-database.
+"""Persistence for the meta-database: backend protocol + JSON backend.
 
 The 1995 DAMOCLES server kept its meta-database in a proprietary store;
-we persist to a single documented JSON file so projects survive process
-restarts and so test fixtures can be version-controlled.  The format is
-versioned; loading an unknown version fails loudly rather than guessing.
+we persist through a small backend protocol so projects can pick the
+store that fits their scale:
+
+* :class:`JsonBackend` — a single documented JSON file; human-diffable,
+  version-controllable test fixtures (the original seed format);
+* :class:`~repro.metadb.sqlite_store.SqliteBackend` — a SQLite database
+  that also persists the secondary indexes (as SQL indexes over a
+  properties table) and supports *partial load* of selected blocks/views.
+
+``save_database`` / ``load_database`` stay the one-call entry points:
+they dispatch on the path suffix (``.json`` → JSON; ``.sqlite`` /
+``.sqlite3`` / ``.db`` → SQLite) unless an explicit ``backend=`` name is
+given.  The JSON format is versioned; loading an unknown version fails
+loudly rather than guessing.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Callable, Protocol, runtime_checkable
 
 from repro.metadb.configurations import Configuration, ConfigurationRegistry
 from repro.metadb.database import MetaDatabase
@@ -25,7 +37,7 @@ def database_to_dict(
 ) -> dict:
     """Serialise *db* (and optionally its configurations) to plain data."""
     objects = []
-    for obj in sorted(db.objects(), key=lambda o: o.oid):
+    for obj in sorted(db.objects(), key=lambda o: o.oid.sort_key()):
         objects.append(
             {
                 "oid": obj.oid.wire(),
@@ -76,7 +88,8 @@ def database_from_dict(
 
     Creation hooks do **not** fire during a load: the stored state already
     reflects every template application, so re-firing would double-apply
-    blueprint rules.
+    blueprint rules.  Secondary indexes rebuild as a side effect of the
+    normal mutators, so a loaded database is fully indexed.
     """
     if not isinstance(data, dict):
         raise PersistenceError("database file must contain a JSON object")
@@ -129,26 +142,134 @@ def database_from_dict(
     return db, registry
 
 
+# ---------------------------------------------------------------------------
+# backend protocol
+# ---------------------------------------------------------------------------
+
+
+@runtime_checkable
+class PersistenceBackend(Protocol):
+    """What a meta-database store must provide.
+
+    Backends are stateless: ``save`` writes everything, ``load`` rebuilds
+    a fully indexed in-memory database.  Backends with richer capability
+    (partial load, persisted indexes) expose it as extra methods; the
+    protocol is the lowest common denominator the CLI and workspace rely
+    on.
+    """
+
+    name: str
+    suffixes: tuple[str, ...]
+
+    def save(
+        self,
+        db: MetaDatabase,
+        path: Path | str,
+        registry: ConfigurationRegistry | None = None,
+    ) -> Path: ...
+
+    def load(
+        self, path: Path | str
+    ) -> tuple[MetaDatabase, ConfigurationRegistry]: ...
+
+
+class JsonBackend:
+    """The single-JSON-file store (the original seed format)."""
+
+    name = "json"
+    suffixes = (".json",)
+
+    def save(
+        self,
+        db: MetaDatabase,
+        path: Path | str,
+        registry: ConfigurationRegistry | None = None,
+    ) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = database_to_dict(db, registry)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        return path
+
+    def load(self, path: Path | str) -> tuple[MetaDatabase, ConfigurationRegistry]:
+        path = Path(path)
+        if not path.exists():
+            raise PersistenceError(f"no database file at {path}")
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise PersistenceError(f"corrupt database file {path}: {exc}") from exc
+        return database_from_dict(data)
+
+
+def _sqlite_backend() -> PersistenceBackend:
+    from repro.metadb.sqlite_store import SqliteBackend
+
+    return SqliteBackend()
+
+
+_BACKEND_FACTORIES: dict[str, Callable[[], PersistenceBackend]] = {
+    "json": JsonBackend,
+    "sqlite": _sqlite_backend,
+}
+
+
+def register_backend(name: str, factory: Callable[[], PersistenceBackend]) -> None:
+    """Register a custom backend under *name* (overrides allowed)."""
+    _BACKEND_FACTORIES[name] = factory
+
+
+def backend_names() -> list[str]:
+    return sorted(_BACKEND_FACTORIES)
+
+
+def get_backend(name: str) -> PersistenceBackend:
+    """Instantiate the backend registered under *name*."""
+    try:
+        factory = _BACKEND_FACTORIES[name]
+    except KeyError:
+        raise PersistenceError(
+            f"unknown persistence backend {name!r} "
+            f"(available: {', '.join(backend_names())})"
+        ) from None
+    return factory()
+
+
+def backend_for_path(path: Path | str) -> PersistenceBackend:
+    """Pick a backend by matching the path suffix against each registered
+    backend's declared ``suffixes`` (default: JSON)."""
+    suffix = Path(path).suffix.lower()
+    for factory in _BACKEND_FACTORIES.values():
+        backend = factory()
+        if suffix in getattr(backend, "suffixes", ()):
+            return backend
+    return get_backend("json")
+
+
+# ---------------------------------------------------------------------------
+# one-call entry points
+# ---------------------------------------------------------------------------
+
+
 def save_database(
     db: MetaDatabase,
     path: Path | str,
     registry: ConfigurationRegistry | None = None,
+    *,
+    backend: str | None = None,
 ) -> Path:
-    """Write *db* to *path* as JSON; returns the path written."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    payload = database_to_dict(db, registry)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
-    return path
+    """Write *db* to *path*; returns the path written.
+
+    The store format follows the path suffix unless *backend* names one
+    explicitly.
+    """
+    chosen = get_backend(backend) if backend else backend_for_path(path)
+    return chosen.save(db, path, registry)
 
 
-def load_database(path: Path | str) -> tuple[MetaDatabase, ConfigurationRegistry]:
+def load_database(
+    path: Path | str, *, backend: str | None = None
+) -> tuple[MetaDatabase, ConfigurationRegistry]:
     """Load a database previously written by :func:`save_database`."""
-    path = Path(path)
-    if not path.exists():
-        raise PersistenceError(f"no database file at {path}")
-    try:
-        data = json.loads(path.read_text())
-    except json.JSONDecodeError as exc:
-        raise PersistenceError(f"corrupt database file {path}: {exc}") from exc
-    return database_from_dict(data)
+    chosen = get_backend(backend) if backend else backend_for_path(path)
+    return chosen.load(path)

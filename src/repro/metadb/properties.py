@@ -71,7 +71,12 @@ class PropertyBag:
     The bag records every mutation in :attr:`history` (bounded by
     *history_limit* to keep long-running projects cheap) and can notify
     observers — the BluePrint engine registers one to re-evaluate
-    continuous assignments when properties change out-of-band.
+    continuous assignments when properties change out-of-band, and the
+    meta-database installs one per object to maintain the property-value
+    index and the incremental stale set (and, inside a transaction, the
+    undo log).  The observer channel is therefore load-bearing: every
+    mutation must go through :meth:`set` / :meth:`delete` / :meth:`update`
+    so no index ever misses a change.
     """
 
     values: dict[str, Value] = field(default_factory=dict)

@@ -7,6 +7,16 @@ before reaching a planned state in the project." (paper, section 1)
 The query interface is a small fluent builder over the database plus a few
 canned volume queries whose results are typically stored in configurations
 (section 2).
+
+Execution goes through a small planner: structured filters (``view``,
+``block``, ``where_property``) are recorded alongside their predicates,
+and ``select`` starts from the most selective secondary index available
+(:mod:`repro.metadb.indexes`) before applying every predicate to the
+survivors.  Opaque ``where`` predicates cannot be indexed and fall back
+to the latest-version set or a full scan.  Whatever the plan, results are
+identical to the scan path — the planner only changes the candidate set,
+never the filter semantics — and ``select(force_scan=True)`` bypasses the
+indexes entirely for equivalence testing.
 """
 
 from __future__ import annotations
@@ -20,6 +30,28 @@ from repro.metadb.oid import OID
 from repro.metadb.properties import Value, coerce_value
 
 Predicate = Callable[[MetaObject], bool]
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The execution strategy ``select`` chose (see :meth:`Query.explain`).
+
+    ``strategy`` is one of:
+
+    * ``"index"`` — candidates came from the named secondary index;
+    * ``"latest"`` — candidates are the latest-version set (no usable
+      index, but ``latest_only`` bounds the scan to one OID per lineage);
+    * ``"scan"`` — full object scan.
+    """
+
+    strategy: str
+    index: str | None = None
+    candidates: int | None = None
+
+    def describe(self) -> str:
+        if self.strategy == "index":
+            return f"index {self.index} ({self.candidates} candidates)"
+        return self.strategy
 
 
 @dataclass
@@ -38,25 +70,36 @@ class Query:
     db: MetaDatabase
     _predicates: list[Predicate] = field(default_factory=list)
     _latest_only: bool = False
+    _views: list[str] = field(default_factory=list)
+    _blocks: list[str] = field(default_factory=list)
+    _property_eqs: list[tuple[str, Value]] = field(default_factory=list)
 
     # -- filters ------------------------------------------------------------
 
     def where(self, predicate: Predicate) -> "Query":
-        """Add an arbitrary predicate over meta objects."""
+        """Add an arbitrary predicate over meta objects (never indexed)."""
         self._predicates.append(predicate)
         return self
 
     def view(self, view: str) -> "Query":
-        """Keep only objects of the given view type."""
+        """Keep only objects of the given view type (index-accelerated)."""
+        self._views.append(view)
         return self.where(lambda obj: obj.view == view)
 
     def block(self, block: str) -> "Query":
-        """Keep only objects of the given block."""
+        """Keep only objects of the given block (index-accelerated)."""
+        self._blocks.append(block)
         return self.where(lambda obj: obj.block == block)
 
     def where_property(self, name: str, value: object) -> "Query":
-        """Keep objects whose property *name* equals *value* (coerced)."""
+        """Keep objects whose property *name* equals *value* (coerced).
+
+        Equality filters are index-accelerated through the property-value
+        index; the predicate is still applied, so results match the scan
+        path exactly.
+        """
         wanted = coerce_value(value)
+        self._property_eqs.append((name, wanted))
         return self.where(lambda obj: obj.get(name) == wanted)
 
     def where_property_not(self, name: str, value: object) -> "Query":
@@ -77,13 +120,76 @@ class Query:
         self._latest_only = True
         return self
 
+    # -- planning ------------------------------------------------------------
+
+    def _index_options(self) -> list[tuple[str, set[OID]]]:
+        """Candidate sets the secondary indexes can answer, labelled."""
+        indexes = self.db.indexes
+        options: list[tuple[str, set[OID]]] = []
+        for view in self._views:
+            options.append((f"view={view}", indexes.by_view.get(view, set())))
+        for block in self._blocks:
+            options.append((f"block={block}", indexes.by_block.get(block, set())))
+        for name, value in self._property_eqs:
+            options.append(
+                (f"property {name}={value!r}", indexes.property_bucket(name, value))
+            )
+        return options
+
+    def _plan(self) -> tuple[QueryPlan, Iterable[MetaObject]]:
+        """Pick the most selective candidate source."""
+        options = self._index_options()
+        if options:
+            label, oids = min(options, key=lambda option: len(option[1]))
+            objects = self.db._objects  # candidate materialisation, read-only
+            if self._latest_only:
+                indexes = self.db.indexes
+                candidates: Iterable[MetaObject] = (
+                    objects[oid] for oid in oids if indexes.is_latest(oid)
+                )
+            else:
+                candidates = (objects[oid] for oid in oids)
+            return QueryPlan("index", label, len(oids)), candidates
+        return self._scan_plan()
+
+    def _scan_plan(self) -> tuple[QueryPlan, Iterable[MetaObject]]:
+        if self._latest_only:
+            objects = self.db._objects
+            candidates: Iterable[MetaObject] = (
+                objects[oid] for oid in self.db.indexes.latest_oids()
+            )
+            return QueryPlan("latest"), candidates
+        return QueryPlan("scan"), self.db.objects()
+
+    def explain(self) -> QueryPlan:
+        """The plan ``select`` would execute right now."""
+        plan, _candidates = self._plan()
+        return plan
+
     # -- execution ------------------------------------------------------------
 
-    def select(self) -> list[MetaObject]:
-        """Run the query; results sorted by OID for determinism."""
-        candidates: Iterable[MetaObject]
+    def select(self, *, force_scan: bool = False) -> list[MetaObject]:
+        """Run the query; results sorted by OID for determinism.
+
+        ``force_scan=True`` ignores every secondary index (used by the
+        equivalence tests and available for debugging index suspicions).
+        """
+        if force_scan:
+            candidates = self._scan_candidates_unindexed()
+        else:
+            _plan, candidates = self._plan()
+        result = [
+            obj
+            for obj in candidates
+            if all(predicate(obj) for predicate in self._predicates)
+        ]
+        result.sort(key=lambda obj: obj.oid.sort_key())
+        return result
+
+    def _scan_candidates_unindexed(self) -> Iterable[MetaObject]:
+        """The seed implementation's candidate set, bypassing all indexes."""
         if self._latest_only:
-            candidates = (
+            return (
                 obj
                 for obj in (
                     self.db.latest_version(block, view)
@@ -91,15 +197,7 @@ class Query:
                 )
                 if obj is not None
             )
-        else:
-            candidates = self.db.objects()
-        result = [
-            obj
-            for obj in candidates
-            if all(predicate(obj) for predicate in self._predicates)
-        ]
-        result.sort(key=lambda obj: obj.oid)
-        return result
+        return self.db.objects()
 
     def oids(self) -> list[OID]:
         return [obj.oid for obj in self.select()]
@@ -124,7 +222,19 @@ def stale_objects(
     db: MetaDatabase, property_name: str = "uptodate"
 ) -> list[MetaObject]:
     """Latest versions whose *property_name* is false — the classic
-    "what still needs to be modified" query of section 1."""
+    "what still needs to be modified" query of section 1.
+
+    When *property_name* is the database's configured stale property
+    (``uptodate`` unless overridden), the answer comes straight from the
+    incrementally maintained stale set — O(result), no scan, no predicate
+    evaluation — which the propagation engine keeps current as it flips
+    states mid-wave.
+    """
+    if property_name == db.indexes.stale_property:
+        objects = db._objects
+        result = [objects[oid] for oid in db.indexes.stale]
+        result.sort(key=lambda obj: obj.oid.sort_key())
+        return result
     return (
         Query(db).where_property(property_name, False).latest_only().select()
     )
@@ -163,7 +273,7 @@ def property_histogram(
 
 def view_census(db: MetaDatabase) -> dict[str, int]:
     """Number of objects per view type (all versions)."""
-    census: dict[str, int] = {}
-    for obj in db.objects():
-        census[obj.view] = census.get(obj.view, 0) + 1
+    census = {
+        view: len(oids) for view, oids in db.indexes.by_view.items()
+    }
     return dict(sorted(census.items()))

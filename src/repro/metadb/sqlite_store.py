@@ -1,0 +1,332 @@
+"""SQLite persistence backend with persisted indexes and partial load.
+
+Where the JSON backend writes one blob and rebuilds everything on load,
+this backend normalises the meta-database into relational tables and
+persists the secondary-index structure as SQL indexes:
+
+* ``objects(block, view, version, ...)`` — indexed by block and by view
+  (the on-disk image of the in-memory by_block / by_view indexes);
+* ``properties(block, view, version, name, value, value_type)`` — one row
+  per property, indexed on ``(name, value)`` so an on-disk "all stale
+  layout views" query is an index seek, not a file parse;
+* ``links(...)`` — indexed by source and dest (the adjacency index);
+* ``configurations(...)`` — registry snapshots as JSON columns.
+
+That normalisation is what enables **partial load**
+(:meth:`SqliteBackend.load_partial`): a project with a hundred thousand
+objects can materialise just the blocks or views a tool run touches,
+with links restricted to the loaded subgraph — the base for the sharding
+work the roadmap names.
+
+Property values are stored as ``(value_type, text)`` pairs so booleans,
+ints, floats and strings round-trip losslessly through SQL ``TEXT``.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+
+from repro.metadb.configurations import Configuration, ConfigurationRegistry
+from repro.metadb.database import MetaDatabase
+from repro.metadb.errors import PersistenceError
+from repro.metadb.links import LinkClass
+from repro.metadb.oid import OID
+from repro.metadb.properties import Value
+
+FORMAT_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE objects (
+    block          TEXT NOT NULL,
+    view           TEXT NOT NULL,
+    version        INTEGER NOT NULL,
+    created_seq    INTEGER NOT NULL,
+    checked_out_by TEXT,
+    PRIMARY KEY (block, view, version)
+);
+CREATE INDEX idx_objects_block ON objects(block);
+CREATE INDEX idx_objects_view  ON objects(view);
+CREATE TABLE properties (
+    block      TEXT NOT NULL,
+    view       TEXT NOT NULL,
+    version    INTEGER NOT NULL,
+    name       TEXT NOT NULL,
+    value      TEXT NOT NULL,
+    value_type TEXT NOT NULL,
+    PRIMARY KEY (block, view, version, name)
+);
+CREATE INDEX idx_properties_name_value ON properties(name, value);
+CREATE TABLE links (
+    id         INTEGER PRIMARY KEY,
+    src_block  TEXT NOT NULL,
+    src_view   TEXT NOT NULL,
+    src_version INTEGER NOT NULL,
+    dst_block  TEXT NOT NULL,
+    dst_view   TEXT NOT NULL,
+    dst_version INTEGER NOT NULL,
+    class      TEXT NOT NULL,
+    propagates TEXT NOT NULL,
+    type       TEXT,
+    move       INTEGER NOT NULL
+);
+CREATE INDEX idx_links_source ON links(src_block, src_view, src_version);
+CREATE INDEX idx_links_dest   ON links(dst_block, dst_view, dst_version);
+CREATE TABLE configurations (
+    name          TEXT PRIMARY KEY,
+    description   TEXT NOT NULL,
+    created_clock INTEGER NOT NULL,
+    oids          TEXT NOT NULL,
+    link_ids      TEXT NOT NULL
+);
+"""
+
+
+def _encode_value(value: Value) -> tuple[str, str]:
+    if isinstance(value, bool):
+        return ("bool", "true" if value else "false")
+    if isinstance(value, int):
+        return ("int", str(value))
+    if isinstance(value, float):
+        return ("float", repr(value))
+    return ("str", value)
+
+
+def _decode_value(value_type: str, text: str) -> Value:
+    if value_type == "bool":
+        return text == "true"
+    if value_type == "int":
+        return int(text)
+    if value_type == "float":
+        return float(text)
+    if value_type == "str":
+        return text
+    raise PersistenceError(f"unknown property value type {value_type!r}")
+
+
+class SqliteBackend:
+    """The SQLite store (see module docstring)."""
+
+    name = "sqlite"
+    suffixes = (".sqlite", ".sqlite3", ".db")
+
+    # ------------------------------------------------------------------
+    # save
+    # ------------------------------------------------------------------
+
+    def save(
+        self,
+        db: MetaDatabase,
+        path: Path | str,
+        registry: ConfigurationRegistry | None = None,
+    ) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if path.exists():
+            path.unlink()  # full rewrite, like the JSON backend
+        connection = sqlite3.connect(path)
+        try:
+            connection.executescript(_SCHEMA)
+            connection.executemany(
+                "INSERT INTO meta (key, value) VALUES (?, ?)",
+                [("format", str(FORMAT_VERSION)), ("name", db.name)],
+            )
+            object_rows = []
+            property_rows = []
+            for obj in sorted(db.objects(), key=lambda o: o.oid.sort_key()):
+                oid = obj.oid
+                object_rows.append(
+                    (oid.block, oid.view, oid.version, obj.created_seq,
+                     obj.checked_out_by)
+                )
+                for name, value in sorted(obj.properties.items()):
+                    value_type, text = _encode_value(value)
+                    property_rows.append(
+                        (oid.block, oid.view, oid.version, name, text, value_type)
+                    )
+            connection.executemany(
+                "INSERT INTO objects VALUES (?, ?, ?, ?, ?)", object_rows
+            )
+            connection.executemany(
+                "INSERT INTO properties VALUES (?, ?, ?, ?, ?, ?)", property_rows
+            )
+            link_rows = []
+            for link in sorted(db.links(), key=lambda l: l.link_id):
+                link_rows.append(
+                    (
+                        link.link_id,
+                        link.source.block, link.source.view, link.source.version,
+                        link.dest.block, link.dest.view, link.dest.version,
+                        link.link_class.value,
+                        json.dumps(sorted(link.propagates)),
+                        link.link_type,
+                        1 if link.move else 0,
+                    )
+                )
+            connection.executemany(
+                "INSERT INTO links VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                link_rows,
+            )
+            if registry is not None:
+                config_rows = []
+                for name in registry.names():
+                    config = registry.get(name)
+                    config_rows.append(
+                        (
+                            config.name,
+                            config.description,
+                            config.created_clock,
+                            json.dumps(sorted(oid.wire() for oid in config.oids)),
+                            json.dumps(sorted(config.link_ids)),
+                        )
+                    )
+                connection.executemany(
+                    "INSERT INTO configurations VALUES (?, ?, ?, ?, ?)",
+                    config_rows,
+                )
+            connection.commit()
+        finally:
+            connection.close()
+        return path
+
+    # ------------------------------------------------------------------
+    # load
+    # ------------------------------------------------------------------
+
+    def load(self, path: Path | str) -> tuple[MetaDatabase, ConfigurationRegistry]:
+        """Load the full database (indexes rebuild via normal mutators)."""
+        return self.load_partial(path)
+
+    def load_partial(
+        self,
+        path: Path | str,
+        *,
+        blocks: set[str] | None = None,
+        views: set[str] | None = None,
+    ) -> tuple[MetaDatabase, ConfigurationRegistry]:
+        """Load a subset of the database.
+
+        *blocks* / *views* restrict the objects materialised (None = all);
+        only links whose **both** endpoints made it in are loaded, and
+        configurations are intersected with the loaded subgraph.  With no
+        restriction this is a full load, byte-identical (via
+        ``database_to_dict``) to what the JSON backend reconstructs.
+        """
+        path = Path(path)
+        if not path.exists():
+            raise PersistenceError(f"no database file at {path}")
+        connection = sqlite3.connect(path)
+        try:
+            return self._load(connection, blocks=blocks, views=views)
+        except sqlite3.DatabaseError as exc:
+            raise PersistenceError(f"corrupt database file {path}: {exc}") from exc
+        finally:
+            connection.close()
+
+    def _load(
+        self,
+        connection: sqlite3.Connection,
+        *,
+        blocks: set[str] | None,
+        views: set[str] | None,
+    ) -> tuple[MetaDatabase, ConfigurationRegistry]:
+        meta = dict(connection.execute("SELECT key, value FROM meta"))
+        if meta.get("format") != str(FORMAT_VERSION):
+            raise PersistenceError(
+                f"unsupported format version {meta.get('format')!r} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        db = MetaDatabase(name=meta.get("name", "project"))
+
+        where, params = self._object_filter(blocks, views)
+        rows = connection.execute(
+            "SELECT block, view, version, created_seq, checked_out_by "
+            f"FROM objects{where} ORDER BY block, view, version",
+            params,
+        ).fetchall()
+        for block, view, version, created_seq, checked_out_by in rows:
+            obj = db.create_object(OID(block, view, version), fire_hooks=False)
+            obj.created_seq = created_seq
+            obj.checked_out_by = checked_out_by
+        prop_rows = connection.execute(
+            "SELECT block, view, version, name, value, value_type "
+            f"FROM properties{where}",
+            params,
+        ).fetchall()
+        for block, view, version, name, text, value_type in prop_rows:
+            obj = db.find(OID(block, view, version))
+            if obj is not None:
+                obj.set(name, _decode_value(value_type, text))
+
+        id_map: dict[int, int] = {}
+        link_rows = connection.execute(
+            "SELECT id, src_block, src_view, src_version, "
+            "dst_block, dst_view, dst_version, class, propagates, type, move "
+            "FROM links ORDER BY id"
+        ).fetchall()
+        for (link_id, sb, sv, sn, tb, tv, tn, link_class, propagates, link_type,
+             move) in link_rows:
+            source = OID(sb, sv, sn)
+            dest = OID(tb, tv, tn)
+            if source not in db or dest not in db:
+                continue  # endpoint outside the partial-load window
+            link = db.add_link(
+                source,
+                dest,
+                LinkClass(link_class),
+                propagates=json.loads(propagates),
+                link_type=link_type,
+                move=bool(move),
+                fire_hooks=False,
+            )
+            id_map[link_id] = link.link_id
+
+        registry = ConfigurationRegistry(db)
+        config_rows = connection.execute(
+            "SELECT name, description, created_clock, oids, link_ids "
+            "FROM configurations ORDER BY name"
+        ).fetchall()
+        for name, description, created_clock, oids_text, link_ids_text in config_rows:
+            oids = frozenset(
+                oid
+                for oid in (OID.parse(text) for text in json.loads(oids_text))
+                if oid in db
+            )
+            link_ids = frozenset(
+                id_map[link_id]
+                for link_id in json.loads(link_ids_text)
+                if link_id in id_map
+            )
+            registry.save(
+                Configuration(
+                    name=name,
+                    description=description,
+                    oids=oids,
+                    link_ids=link_ids,
+                    created_clock=created_clock,
+                )
+            )
+        return db, registry
+
+    @staticmethod
+    def _object_filter(
+        blocks: set[str] | None, views: set[str] | None
+    ) -> tuple[str, list[str]]:
+        clauses: list[str] = []
+        params: list[str] = []
+        if blocks is not None:
+            placeholders = ", ".join("?" for _ in blocks)
+            clauses.append(f"block IN ({placeholders})")
+            params.extend(sorted(blocks))
+        if views is not None:
+            placeholders = ", ".join("?" for _ in views)
+            clauses.append(f"view IN ({placeholders})")
+            params.extend(sorted(views))
+        if not clauses:
+            return "", []
+        return " WHERE " + " AND ".join(clauses), params

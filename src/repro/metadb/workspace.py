@@ -46,6 +46,35 @@ class Workspace:
         self.root = Path(self.root)
         self.root.mkdir(parents=True, exist_ok=True)
 
+    # -- persistence -----------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        root: Path | str,
+        db_path: Path | str,
+        *,
+        backend: str | None = None,
+        name: str = "workspace",
+    ) -> "Workspace":
+        """A workspace over a previously saved meta-database.
+
+        The persistence backend is guessed from *db_path*'s suffix
+        (``.json`` vs ``.sqlite``) unless *backend* names one explicitly.
+        """
+        from repro.metadb.persistence import load_database
+
+        db, _registry = load_database(db_path, backend=backend)
+        return cls(root=Path(root), db=db, name=name)
+
+    def save_db(
+        self, db_path: Path | str, registry=None, *, backend: str | None = None
+    ) -> Path:
+        """Persist this workspace's meta-database (suffix-dispatched)."""
+        from repro.metadb.persistence import save_database
+
+        return save_database(self.db, db_path, registry, backend=backend)
+
     # -- paths ----------------------------------------------------------------
 
     def path_of(self, oid: OID) -> Path:

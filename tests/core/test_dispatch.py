@@ -1,0 +1,123 @@
+"""Compiled rule dispatch tables and ExecRequest shell quoting."""
+
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine, ExecRequest
+from repro.core.events import EventMessage
+from repro.core.lang.ast import (
+    AssignAction,
+    ExecAction,
+    NotifyAction,
+    PostAction,
+)
+from repro.core.rules import EMPTY_DISPATCH, RuleDispatch
+from repro.metadb.database import MetaDatabase
+from repro.metadb.links import Direction
+from repro.metadb.oid import OID
+
+SOURCE = """\
+blueprint dispatch_demo
+
+view default
+  property uptodate default true
+  when ckin do uptodate = true; post outofdate down done
+  when outofdate do uptodate = false done
+endview
+
+view sch
+  property drc default unknown
+  when ckin do notify "checked in $oid"; exec drccheck $oid; drc = pending done
+endview
+
+endblueprint
+"""
+
+
+def make_engine():
+    db = MetaDatabase()
+    blueprint = Blueprint.from_source(SOURCE)
+    return db, blueprint, BlueprintEngine(db, blueprint)
+
+
+class TestDispatchTables:
+    def test_precompiled_for_declared_events(self):
+        _db, blueprint, _engine = make_engine()
+        view = blueprint.effective("sch")
+        assert set(view._dispatch) == {"ckin", "outofdate"}
+
+    def test_partition_preserves_rule_and_action_order(self):
+        _db, blueprint, _engine = make_engine()
+        dispatch = blueprint.effective("sch").dispatch("ckin")
+        # default-view rule first, then the view's own rule
+        assert [type(a) for a in dispatch.assigns] == [AssignAction, AssignAction]
+        assert dispatch.assigns[0].name == "uptodate"
+        assert dispatch.assigns[1].name == "drc"
+        assert [type(a) for a in dispatch.scripts] == [NotifyAction, ExecAction]
+        assert [type(a) for a in dispatch.posts] == [PostAction]
+        assert len(dispatch.rules) == 2
+
+    def test_unhandled_event_shares_empty_dispatch(self):
+        _db, blueprint, _engine = make_engine()
+        view = blueprint.effective("sch")
+        assert view.dispatch("no_such_event") is EMPTY_DISPATCH
+        assert view.dispatch("other_event") is EMPTY_DISPATCH
+
+    def test_dispatch_matches_rules_for(self):
+        _db, blueprint, _engine = make_engine()
+        view = blueprint.effective("sch")
+        for event in ("ckin", "outofdate"):
+            rules = view.rules_for(event)
+            dispatch = view.dispatch(event)
+            assert list(dispatch.rules) == rules
+            recompiled = RuleDispatch.compile(event, tuple(rules))
+            assert recompiled.assigns == dispatch.assigns
+            assert recompiled.scripts == dispatch.scripts
+            assert recompiled.posts == dispatch.posts
+
+    def test_engine_executes_through_dispatch(self):
+        db, _blueprint, engine = make_engine()
+        obj = db.create_object(OID("cpu", "sch", 1))
+        engine.post("ckin", obj.oid, "down", user="ana")
+        engine.run()
+        assert obj.get("uptodate") is True
+        assert obj.get("drc") == "pending"
+        assert engine.notifications == ["checked in cpu.sch.1"]
+        assert [request.script for request in engine.exec_log] == ["drccheck"]
+        assert engine.metrics.rules_fired == 2
+
+    def test_swap_blueprint_recompiles(self):
+        db, _blueprint, engine = make_engine()
+        obj = db.create_object(OID("cpu", "sch", 1))
+        engine.post("ckin", obj.oid, "down")
+        engine.run()
+        loosened = Blueprint.from_source(SOURCE.replace("drc = pending", "drc = later"))
+        engine.swap_blueprint(loosened)
+        engine.post("ckin", obj.oid, "down")
+        engine.run()
+        assert obj.get("drc") == "later"
+
+
+class TestCommandLineQuoting:
+    def make_request(self, args):
+        event = EventMessage(
+            name="ckin", direction=Direction.DOWN, target=OID("a", "v", 1)
+        )
+        return ExecRequest(script="tool", args=args, oid=OID("a", "v", 1), event=event)
+
+    def test_plain_args_unquoted(self):
+        assert self.make_request(["cpu.v.1", "-fast"]).command_line() == (
+            "tool cpu.v.1 -fast"
+        )
+
+    def test_spaces_are_quoted(self):
+        assert self.make_request(["two words"]).command_line() == "tool 'two words'"
+
+    def test_embedded_double_quotes_survive(self):
+        request = self.make_request(['say "hi"'])
+        assert request.command_line() == "tool 'say \"hi\"'"
+
+    def test_embedded_single_quotes_and_backslashes_survive(self):
+        import shlex
+
+        args = ["it's", "back\\slash", "$var", "a;b&&c"]
+        line = self.make_request(args).command_line()
+        assert shlex.split(line) == ["tool", *args]

@@ -1,0 +1,239 @@
+"""The secondary-index layer: consistency under every mutation kind.
+
+Every test leans on ``MetaDatabase.check_integrity``, which since the
+index refactor compares every secondary index (by block, by view, by
+property value, latest-version, stale set) against a fresh scan — so a
+single assertion covers full index/store agreement.
+"""
+
+import random
+
+import pytest
+
+from repro.metadb.database import MetaDatabase, TransactionError
+from repro.metadb.links import Direction, LinkClass
+from repro.metadb.oid import OID
+
+
+@pytest.fixture
+def db():
+    return MetaDatabase()
+
+
+class TestObjectIndexes:
+    def test_create_indexes_block_view_and_properties(self, db):
+        obj = db.create_object(OID("cpu", "rtl", 1), {"uptodate": True, "owner": "ana"})
+        indexes = db.indexes
+        assert obj.oid in indexes.by_block["cpu"]
+        assert obj.oid in indexes.by_view["rtl"]
+        assert obj.oid in indexes.property_bucket("owner", "ana")
+        assert indexes.latest[("cpu", "rtl")] == obj.oid
+        assert db.check_integrity() == []
+
+    def test_remove_clears_every_index(self, db):
+        oid = db.create_object(OID("cpu", "rtl", 1), {"uptodate": False}).oid
+        db.remove_object(oid)
+        indexes = db.indexes
+        assert "cpu" not in indexes.by_block
+        assert "rtl" not in indexes.by_view
+        assert indexes.property_bucket("uptodate", False) == set()
+        assert indexes.latest == {}
+        assert indexes.stale == set()
+        assert db.check_integrity() == []
+
+    def test_property_set_update_delete_rebucket(self, db):
+        obj = db.create_object(OID("cpu", "rtl", 1))
+        obj.set("drc", "bad")
+        assert obj.oid in db.indexes.property_bucket("drc", "bad")
+        obj.set("drc", "ok")
+        assert db.indexes.property_bucket("drc", "bad") == set()
+        assert obj.oid in db.indexes.property_bucket("drc", "ok")
+        obj.delete("drc")
+        assert db.indexes.property_bucket("drc", "ok") == set()
+        assert db.check_integrity() == []
+
+    def test_latest_tracks_version_creation_and_removal(self, db):
+        v1 = db.create_object(OID("cpu", "rtl", 1)).oid
+        v2 = db.create_object(OID("cpu", "rtl", 2)).oid
+        assert db.indexes.latest[("cpu", "rtl")] == v2
+        db.remove_object(v2)
+        assert db.indexes.latest[("cpu", "rtl")] == v1
+        assert db.check_integrity() == []
+
+    def test_out_of_order_version_does_not_displace_latest(self, db):
+        v3 = db.create_object(OID("cpu", "rtl", 3)).oid
+        db.create_object(OID("cpu", "rtl", 1))
+        assert db.indexes.latest[("cpu", "rtl")] == v3
+        assert db.check_integrity() == []
+
+
+class TestStaleSet:
+    def test_property_flip_maintains_stale_set(self, db):
+        obj = db.create_object(OID("cpu", "rtl", 1), {"uptodate": True})
+        assert db.stale_set() == frozenset()
+        obj.set("uptodate", False)
+        assert db.stale_set() == {obj.oid}
+        obj.set("uptodate", True)
+        assert db.stale_set() == frozenset()
+
+    def test_new_version_supersedes_stale_predecessor(self, db):
+        v1 = db.create_object(OID("cpu", "rtl", 1), {"uptodate": False})
+        assert db.stale_set() == {v1.oid}
+        v2 = db.create_object(OID("cpu", "rtl", 2), {"uptodate": True})
+        # only latest versions can be stale; v1 left the candidate set
+        assert db.stale_set() == frozenset()
+        v2.set("uptodate", False)
+        assert db.stale_set() == {v2.oid}
+
+    def test_removing_latest_reinstates_previous_staleness(self, db):
+        db.create_object(OID("cpu", "rtl", 1), {"uptodate": False})
+        v2 = db.create_object(OID("cpu", "rtl", 2), {"uptodate": True})
+        db.remove_object(v2.oid)
+        assert db.stale_set() == {OID("cpu", "rtl", 1)}
+        assert db.check_integrity() == []
+
+    def test_non_latest_flip_is_ignored(self, db):
+        v1 = db.create_object(OID("cpu", "rtl", 1), {"uptodate": True})
+        db.create_object(OID("cpu", "rtl", 2), {"uptodate": True})
+        v1.set("uptodate", False)
+        assert db.stale_set() == frozenset()
+
+    def test_custom_stale_property(self):
+        db = MetaDatabase(stale_property="fresh")
+        obj = db.create_object(OID("a", "v", 1), {"fresh": False})
+        assert db.stale_set() == {obj.oid}
+
+
+class TestAdjacencyCache:
+    def test_cache_invalidated_by_add_and_remove(self, db):
+        a = db.create_object(OID("a", "v", 1))
+        b = db.create_object(OID("b", "v", 1))
+        assert db.neighbours(a.oid, Direction.DOWN) == []
+        link = db.add_link(a.oid, b.oid)
+        assert [other for _l, other in db.neighbours(a.oid, Direction.DOWN)] == [b.oid]
+        db.remove_link(link.link_id)
+        assert db.neighbours(a.oid, Direction.DOWN) == []
+
+    def test_cache_invalidated_by_retarget(self, db):
+        a = db.create_object(OID("a", "v", 1))
+        b = db.create_object(OID("b", "v", 1))
+        c = db.create_object(OID("c", "v", 1))
+        link = db.add_link(a.oid, b.oid)
+        db.neighbours(a.oid, Direction.DOWN)  # warm the cache
+        db.neighbours(c.oid, Direction.UP)
+        db.retarget_link(link.link_id, dest=c.oid)
+        assert [o for _l, o in db.neighbours(a.oid, Direction.DOWN)] == [c.oid]
+        assert [o for _l, o in db.neighbours(c.oid, Direction.UP)] == [a.oid]
+        assert db.neighbours(b.oid, Direction.UP) == []
+
+    def test_cached_result_matches_uncached(self, db):
+        a = db.create_object(OID("a", "v", 1))
+        b = db.create_object(OID("b", "v", 1))
+        db.add_link(a.oid, b.oid)
+        first = db.neighbours(a.oid, Direction.DOWN)
+        second = db.neighbours(a.oid, Direction.DOWN)
+        assert first == second
+
+
+class TestTransactions:
+    def test_commit_keeps_mutations(self, db):
+        with db.transaction():
+            db.create_object(OID("a", "v", 1), {"uptodate": False})
+        assert OID("a", "v", 1) in db
+        assert db.stale_set() == {OID("a", "v", 1)}
+
+    def test_rollback_restores_store_and_indexes(self, db):
+        a = db.create_object(OID("a", "v", 1), {"uptodate": True})
+        b = db.create_object(OID("b", "v", 1), {"uptodate": False})
+        link = db.add_link(a.oid, b.oid, propagates=["outofdate"])
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.create_object(OID("c", "v", 1), {"uptodate": False})
+                a.set("uptodate", False)
+                b.set("uptodate", True)
+                db.remove_link(link.link_id)
+                db.remove_object(b.oid)
+                raise RuntimeError("abort")
+        assert OID("c", "v", 1) not in db
+        assert a.get("uptodate") is True
+        assert db.get(b.oid).get("uptodate") is False
+        assert db.link_count == 1
+        assert db.stale_set() == {b.oid}
+        assert db.check_integrity() == []
+
+    def test_rollback_restores_retarget(self, db):
+        a = db.create_object(OID("a", "v", 1))
+        b = db.create_object(OID("b", "v", 1))
+        c = db.create_object(OID("c", "v", 1))
+        link = db.add_link(a.oid, b.oid)
+        with pytest.raises(ValueError):
+            with db.transaction():
+                db.retarget_link(link.link_id, dest=c.oid)
+                raise ValueError("abort")
+        assert link.dest == b.oid
+        assert [o for _l, o in db.neighbours(a.oid, Direction.DOWN)] == [b.oid]
+        assert db.check_integrity() == []
+
+    def test_rollback_of_property_creation_deletes_it(self, db):
+        obj = db.create_object(OID("a", "v", 1))
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                obj.set("fresh_prop", "x")
+                raise RuntimeError("abort")
+        assert not obj.has("fresh_prop")
+        assert db.indexes.property_bucket("fresh_prop", "x") == set()
+
+    def test_transactions_do_not_nest(self, db):
+        with db.transaction():
+            with pytest.raises(TransactionError):
+                with db.transaction():
+                    pass
+
+    def test_clock_not_rewound_by_rollback(self, db):
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.create_object(OID("a", "v", 1))
+                raise RuntimeError("abort")
+        before = db.clock
+        db.create_object(OID("b", "v", 1))
+        assert db.clock == before + 1
+
+
+class TestRandomizedConsistency:
+    """Drive a database with a random mutation soup; indexes must agree
+    with a fresh scan after every batch (check_integrity compares them)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_mutation_soup_keeps_indexes_consistent(self, seed):
+        rng = random.Random(seed)
+        db = MetaDatabase()
+        blocks = [f"b{i}" for i in range(6)]
+        views = ["rtl", "gate", "layout"]
+        for _step in range(300):
+            action = rng.random()
+            if action < 0.35 or db.object_count == 0:
+                block, view = rng.choice(blocks), rng.choice(views)
+                versions = db.versions_of(block, view)
+                next_version = (versions[-1] + 1) if versions else 1
+                db.create_object(
+                    OID(block, view, next_version),
+                    {"uptodate": rng.random() < 0.5, "score": rng.randrange(3)},
+                )
+            elif action < 0.55:
+                obj = rng.choice(list(db.objects()))
+                obj.set("uptodate", rng.random() < 0.5)
+            elif action < 0.65:
+                obj = rng.choice(list(db.objects()))
+                if obj.has("score"):
+                    obj.delete("score")
+            elif action < 0.80 and db.object_count >= 2:
+                source, dest = rng.sample(list(db.oids()), 2)
+                try:
+                    db.add_link(source, dest)
+                except Exception:
+                    pass  # duplicates are fine to attempt
+            elif action < 0.90 and db.link_count:
+                db.remove_link(rng.choice(list(l.link_id for l in db.links())))
+            elif db.object_count:
+                db.remove_object(rng.choice(list(db.oids())))
+        assert db.check_integrity() == []

@@ -1,0 +1,128 @@
+"""The query planner: index selection, scan fallback, result equivalence.
+
+The planner's contract is strict: whatever candidate source it picks,
+``select()`` must return exactly what the seed scan implementation
+returned (``select(force_scan=True)`` preserves that path for
+comparison).
+"""
+
+import random
+
+import pytest
+
+from repro.metadb.database import MetaDatabase
+from repro.metadb.oid import OID
+from repro.metadb.query import Query, stale_objects
+
+
+def seeded_db(rng: random.Random, n_blocks: int = 30) -> MetaDatabase:
+    db = MetaDatabase()
+    views = ["rtl", "gate", "layout"]
+    for index in range(n_blocks):
+        block = f"b{index}"
+        for view in views:
+            for version in range(1, rng.randrange(1, 4)):
+                db.create_object(
+                    OID(block, view, version),
+                    {
+                        "uptodate": rng.random() < 0.5,
+                        "owner": rng.choice(["ana", "bob", "cho"]),
+                        "score": rng.randrange(4),
+                    },
+                )
+    return db
+
+
+class TestPlanning:
+    @pytest.fixture
+    def db(self):
+        return seeded_db(random.Random(7))
+
+    def test_view_filter_uses_view_index(self, db):
+        plan = Query(db).view("rtl").explain()
+        assert plan.strategy == "index"
+        assert plan.index == "view=rtl"
+
+    def test_property_filter_uses_property_index(self, db):
+        plan = Query(db).where_property("owner", "ana").explain()
+        assert plan.strategy == "index"
+        assert plan.index == "property owner='ana'"
+
+    def test_most_selective_index_wins(self, db):
+        # one matching object: the block index is far more selective
+        plan = Query(db).view("rtl").block("b3").explain()
+        assert plan.strategy == "index"
+        assert plan.index == "block=b3"
+        assert plan.candidates < len(db.indexes.by_view["rtl"])
+
+    def test_opaque_predicate_falls_back_to_scan(self, db):
+        plan = Query(db).where(lambda obj: obj.version > 1).explain()
+        assert plan.strategy == "scan"
+        assert plan.index is None
+
+    def test_opaque_predicate_with_latest_only_uses_latest_set(self, db):
+        plan = Query(db).where(lambda obj: obj.version > 1).latest_only().explain()
+        assert plan.strategy == "latest"
+
+    def test_missing_index_value_yields_empty_result(self, db):
+        query = Query(db).where_property("owner", "nobody")
+        assert query.explain().candidates == 0
+        assert query.select() == []
+
+
+class TestEquivalence:
+    """Indexed and scan execution must be byte-identical."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_randomized_queries_match_scan(self, seed):
+        rng = random.Random(seed)
+        db = seeded_db(rng)
+        queries = [
+            Query(db).view("rtl"),
+            Query(db).block("b2"),
+            Query(db).where_property("uptodate", False),
+            Query(db).where_property("uptodate", False).latest_only(),
+            Query(db).view("gate").where_property("owner", "bob"),
+            Query(db).view("layout").where_property("score", 2).latest_only(),
+            Query(db).where(lambda obj: obj.version >= 2).view("rtl"),
+            Query(db).where_property_not("owner", "ana").latest_only(),
+        ]
+        for query in queries:
+            assert query.select() == query.select(force_scan=True)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_equivalence_survives_mutation(self, seed):
+        rng = random.Random(seed)
+        db = seeded_db(rng, n_blocks=10)
+        for obj in list(db.objects()):
+            if rng.random() < 0.3:
+                obj.set("uptodate", not obj.get("uptodate"))
+            if rng.random() < 0.1:
+                db.remove_object(obj.oid)
+        query = Query(db).where_property("uptodate", False).latest_only()
+        assert query.select() == query.select(force_scan=True)
+
+    def test_stale_objects_matches_query_path(self):
+        db = seeded_db(random.Random(11))
+        via_set = stale_objects(db)
+        via_query = (
+            Query(db).where_property("uptodate", False).latest_only().select(
+                force_scan=True
+            )
+        )
+        assert via_set == via_query
+
+    def test_stale_objects_other_property_falls_back(self):
+        db = MetaDatabase()
+        db.create_object(OID("a", "v", 1), {"fresh": False, "uptodate": True})
+        assert [obj.oid for obj in stale_objects(db, "fresh")] == [OID("a", "v", 1)]
+        assert stale_objects(db) == []
+
+    def test_zero_equals_false_bucket_semantics(self):
+        # Python equality (0 == False) must hold on both paths
+        db = MetaDatabase()
+        db.create_object(OID("a", "v", 1), {"uptodate": 0})
+        query = Query(db).where_property("uptodate", False)
+        assert query.select() == query.select(force_scan=True)
+        assert len(query.select()) == 1
+        assert stale_objects(db)[0].oid == OID("a", "v", 1)

@@ -1,0 +1,233 @@
+"""The SQLite persistence backend: round-trips, cross-backend
+equivalence, partial load, persisted index structure."""
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.metadb.configurations import Configuration, ConfigurationRegistry
+from repro.metadb.database import MetaDatabase
+from repro.metadb.errors import PersistenceError
+from repro.metadb.links import LinkClass
+from repro.metadb.oid import OID
+from repro.metadb.persistence import (
+    backend_for_path,
+    database_to_dict,
+    get_backend,
+    load_database,
+    save_database,
+)
+from repro.metadb.sqlite_store import SqliteBackend
+
+
+@pytest.fixture
+def db():
+    db = MetaDatabase(name="sq")
+    rtl = db.create_object(
+        OID("cpu", "rtl", 1),
+        {"uptodate": True, "iterations": 3, "score": 0.5, "owner": "ana"},
+    )
+    gate = db.create_object(OID("cpu", "gate", 1), {"uptodate": False})
+    db.create_object(OID("cpu", "rtl", 2), {"uptodate": False})
+    db.create_object(OID("mem", "rtl", 1), {"uptodate": True})
+    db.add_link(
+        rtl.oid, gate.oid, propagates=["outofdate", "lvs"],
+        link_type="derive_from", move=True,
+    )
+    db.add_link(OID("cpu", "rtl", 2), OID("mem", "rtl", 1), LinkClass.USE)
+    db.get(rtl.oid).checked_out_by = "bob"
+    return db
+
+
+@pytest.fixture
+def registry(db):
+    registry = ConfigurationRegistry(db)
+    registry.save(
+        Configuration(
+            name="snap",
+            description="test snapshot",
+            oids=frozenset([OID("cpu", "rtl", 1), OID("cpu", "gate", 1)]),
+            link_ids=frozenset([1]),
+            created_clock=4,
+        )
+    )
+    return registry
+
+
+class TestRoundTrip:
+    def test_save_load_lossless(self, db, registry, tmp_path):
+        path = save_database(db, tmp_path / "db.sqlite", registry)
+        loaded, loaded_registry = load_database(path)
+        assert database_to_dict(loaded, loaded_registry) == database_to_dict(
+            db, registry
+        )
+        assert loaded.check_integrity() == []
+
+    def test_value_types_survive(self, db, tmp_path):
+        path = save_database(db, tmp_path / "db.sqlite")
+        loaded, _ = load_database(path)
+        obj = loaded.get(OID("cpu", "rtl", 1))
+        assert obj.get("uptodate") is True
+        assert obj.get("iterations") == 3 and isinstance(obj.get("iterations"), int)
+        assert obj.get("score") == 0.5 and isinstance(obj.get("score"), float)
+        assert obj.get("owner") == "ana"
+
+    def test_loaded_database_is_fully_indexed(self, db, tmp_path):
+        path = save_database(db, tmp_path / "db.sqlite")
+        loaded, _ = load_database(path)
+        assert loaded.stale_set() == {OID("cpu", "gate", 1), OID("cpu", "rtl", 2)}
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(PersistenceError, match="no database file"):
+            load_database(tmp_path / "absent.sqlite")
+
+    def test_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "bad.sqlite"
+        path.write_text("this is not sqlite")
+        with pytest.raises(PersistenceError):
+            load_database(path)
+
+    def test_save_overwrites_previous_file(self, db, tmp_path):
+        path = save_database(db, tmp_path / "db.sqlite")
+        small = MetaDatabase(name="small")
+        small.create_object(OID("x", "v", 1))
+        save_database(small, path)
+        loaded, _ = load_database(path)
+        assert loaded.object_count == 1
+
+
+class TestCrossBackend:
+    def test_json_saved_database_round_trips_through_sqlite(
+        self, db, registry, tmp_path
+    ):
+        """Acceptance criterion: the SQLite backend round-trips a database
+        saved by the JSON backend."""
+        json_path = save_database(db, tmp_path / "db.json", registry)
+        from_json, json_registry = load_database(json_path)
+        sqlite_path = save_database(from_json, tmp_path / "db.sqlite", json_registry)
+        from_sqlite, sqlite_registry = load_database(sqlite_path)
+        assert database_to_dict(from_sqlite, sqlite_registry) == database_to_dict(
+            from_json, json_registry
+        )
+
+    def test_sqlite_to_json_direction(self, db, registry, tmp_path):
+        sqlite_path = save_database(db, tmp_path / "db.sqlite", registry)
+        from_sqlite, sqlite_registry = load_database(sqlite_path)
+        json_path = save_database(from_sqlite, tmp_path / "db.json", sqlite_registry)
+        from_json, json_registry = load_database(json_path)
+        assert database_to_dict(from_json, json_registry) == database_to_dict(
+            from_sqlite, sqlite_registry
+        )
+
+    def test_suffix_dispatch(self, tmp_path):
+        assert backend_for_path(tmp_path / "a.json").name == "json"
+        assert backend_for_path(tmp_path / "a.sqlite").name == "sqlite"
+        assert backend_for_path(tmp_path / "a.db").name == "sqlite"
+        assert backend_for_path(tmp_path / "a.unknown").name == "json"
+
+    def test_explicit_backend_overrides_suffix(self, db, tmp_path):
+        path = save_database(db, tmp_path / "oddly.named", backend="sqlite")
+        loaded, _ = load_database(path, backend="sqlite")
+        assert loaded.object_count == db.object_count
+
+    def test_unknown_backend_name(self, tmp_path):
+        with pytest.raises(PersistenceError, match="unknown persistence backend"):
+            get_backend("oracle95")
+
+    def test_cli_convert(self, db, registry, tmp_path):
+        from repro.cli import main
+
+        json_path = str(tmp_path / "db.json")
+        sqlite_path = str(tmp_path / "db.sqlite")
+        save_database(db, json_path, registry)
+        assert main(["convert", json_path, sqlite_path]) == 0
+        loaded, loaded_registry = load_database(sqlite_path)
+        assert loaded.object_count == db.object_count
+        assert loaded_registry.names() == registry.names()
+
+
+class TestPartialLoad:
+    def test_load_single_view(self, db, tmp_path):
+        path = save_database(db, tmp_path / "db.sqlite")
+        partial, _ = SqliteBackend().load_partial(path, views={"rtl"})
+        assert sorted(oid.view for oid in partial.oids()) == ["rtl", "rtl", "rtl"]
+        # the rtl->rtl use link survives; the rtl->gate derive link cannot
+        assert partial.link_count == 1
+        assert partial.check_integrity() == []
+
+    def test_load_single_block(self, db, tmp_path):
+        path = save_database(db, tmp_path / "db.sqlite")
+        partial, _ = SqliteBackend().load_partial(path, blocks={"mem"})
+        assert [oid.block for oid in partial.oids()] == ["mem"]
+        assert partial.link_count == 0
+
+    def test_configurations_intersect_with_window(self, db, registry, tmp_path):
+        path = save_database(db, tmp_path / "db.sqlite", registry)
+        partial, partial_registry = SqliteBackend().load_partial(
+            path, views={"rtl"}
+        )
+        config = partial_registry.get("snap")
+        assert config.oids == frozenset([OID("cpu", "rtl", 1)])
+        assert config.link_ids == frozenset()
+
+    def test_no_restriction_equals_full_load(self, db, registry, tmp_path):
+        path = save_database(db, tmp_path / "db.sqlite", registry)
+        full, full_registry = load_database(path)
+        partial, partial_registry = SqliteBackend().load_partial(path)
+        assert database_to_dict(partial, partial_registry) == database_to_dict(
+            full, full_registry
+        )
+
+
+class TestPersistedIndexes:
+    def test_sql_indexes_exist(self, db, tmp_path):
+        path = save_database(db, tmp_path / "db.sqlite")
+        connection = sqlite3.connect(path)
+        try:
+            names = {
+                row[0]
+                for row in connection.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'index'"
+                )
+            }
+        finally:
+            connection.close()
+        assert {
+            "idx_objects_block",
+            "idx_objects_view",
+            "idx_properties_name_value",
+            "idx_links_source",
+            "idx_links_dest",
+        } <= names
+
+    def test_on_disk_stale_query_uses_property_index(self, db, tmp_path):
+        """The normalised properties table answers the headline query in
+        SQL without materialising the database."""
+        path = save_database(db, tmp_path / "db.sqlite")
+        connection = sqlite3.connect(path)
+        try:
+            rows = connection.execute(
+                "SELECT block, view, version FROM properties "
+                "WHERE name = 'uptodate' AND value = 'false' "
+                "ORDER BY block, view, version"
+            ).fetchall()
+            plan = connection.execute(
+                "EXPLAIN QUERY PLAN SELECT block FROM properties "
+                "WHERE name = 'uptodate' AND value = 'false'"
+            ).fetchall()
+        finally:
+            connection.close()
+        assert rows == [("cpu", "gate", 1), ("cpu", "rtl", 2)]
+        assert any("idx_properties_name_value" in str(row) for row in plan)
+
+    def test_links_json_columns_decode(self, db, tmp_path):
+        path = save_database(db, tmp_path / "db.sqlite")
+        connection = sqlite3.connect(path)
+        try:
+            propagates = connection.execute(
+                "SELECT propagates FROM links WHERE id = 1"
+            ).fetchone()[0]
+        finally:
+            connection.close()
+        assert json.loads(propagates) == ["lvs", "outofdate"]
