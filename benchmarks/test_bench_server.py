@@ -1,0 +1,185 @@
+"""Server — project-server throughput and push-notification latency.
+
+Claim (section 1 / Figure 1): design activities "transmit information
+... to the BluePrint by sending events through the computer network",
+and the ROADMAP's north star is many concurrent users on a push-not-poll
+server.  The experiment measures:
+
+* wire events/sec with 1 client vs 8 concurrent clients, for both
+  transports: one-shot connections (what wrapper shell scripts do) and
+  persistent connections (dashboards, batch drivers).  The writer lock
+  serialises waves; the measured wall is connection churn, which the
+  persistent transport removes;
+* the latency from posting a state-flipping event to a subscribed
+  connection receiving the ``STALE`` push line (one wave, no polling).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.analysis.reporting import ExperimentReport
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.metadb.database import MetaDatabase
+from repro.metadb.oid import OID
+from repro.network.client import BlueprintClient
+from repro.network.server import ProjectServer, wait_for_port
+
+SOURCE = """\
+blueprint benchserver
+view v
+  property uptodate default true
+  when outofdate do uptodate = false done
+  when ckin do uptodate = true done
+endview
+endblueprint
+"""
+
+POSTS_PER_CLIENT = 24  # even: every client ends on ckin (fresh)
+
+
+def build_stack(n_blocks: int):
+    db = MetaDatabase()
+    engine = BlueprintEngine(db, Blueprint.from_source(SOURCE), trace_limit=0)
+    for index in range(n_blocks):
+        db.create_object(OID(f"b{index}", "v", 1))
+    return db, engine
+
+
+def run_burst(
+    server: ProjectServer, n_clients: int, posts_each: int, persistent: bool = False
+) -> None:
+    """Each client alternates outofdate/ckin on its own block."""
+    errors: list[Exception] = []
+
+    def worker(index: int) -> None:
+        client = BlueprintClient(
+            host=server.host, port=server.port, persistent=persistent
+        )
+        try:
+            with client:
+                for round_no in range(posts_each):
+                    event = "outofdate" if round_no % 2 == 0 else "ckin"
+                    client.post_event(event, f"b{index},v,1", "down")
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(index,)) for index in range(n_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    assert not errors
+
+
+@pytest.mark.parametrize("transport", ["oneshot", "persistent"])
+@pytest.mark.parametrize("n_clients", [1, 8])
+def test_bench_server_throughput(benchmark, n_clients, transport, report_printer):
+    db, engine = build_stack(n_clients)
+    persistent = transport == "persistent"
+    with ProjectServer(engine) as server:
+        assert wait_for_port(server.host, server.port)
+        started = time.perf_counter()
+        benchmark.pedantic(
+            run_burst,
+            args=(server, n_clients, POSTS_PER_CLIENT, persistent),
+            rounds=3,
+            iterations=1,
+        )
+        elapsed = time.perf_counter() - started
+        posted = engine.metrics.events_posted
+        # nothing lost: every burst's posts reached the engine FIFO
+        assert posted % (n_clients * POSTS_PER_CLIENT) == 0
+        assert posted > 0
+        assert engine.metrics.waves == posted
+        # every client ended on ckin, so the stale set drained
+        assert db.stale_set() == frozenset()
+        report = ExperimentReport("server", "wire throughput")
+        report.add_table(
+            ["clients", "transport", "events", "events/sec"],
+            [(n_clients, transport, posted, f"{posted / elapsed:,.0f}")],
+        )
+        report_printer(report)
+
+
+def test_bench_notification_latency(benchmark, report_printer):
+    db, engine = build_stack(1)
+    with ProjectServer(engine) as server:
+        assert wait_for_port(server.host, server.port)
+        client = BlueprintClient(host=server.host, port=server.port)
+        latencies: list[float] = []
+        with client.subscribe() as subscription:
+
+            def flip_and_wait() -> None:
+                posted_at = time.perf_counter()
+                client.post_event("outofdate", "b0,v,1", "down")
+                note = subscription.next(timeout=10.0)
+                latencies.append(time.perf_counter() - posted_at)
+                assert note.verb == "STALE"
+                client.post_event("ckin", "b0,v,1", "down")
+                assert subscription.next(timeout=10.0).verb == "FRESH"
+
+            benchmark.pedantic(flip_and_wait, rounds=10, iterations=1)
+        # a push arrives within one wave of the flip: never a poll cycle
+        assert latencies
+        assert min(latencies) < 1.0
+        median = sorted(latencies)[len(latencies) // 2]
+        report = ExperimentReport("server", "push-notification latency")
+        report.add_table(
+            ["samples", "median", "max"],
+            [
+                (
+                    len(latencies),
+                    f"{median * 1e3:.2f} ms",
+                    f"{max(latencies) * 1e3:.2f} ms",
+                )
+            ],
+        )
+        report_printer(report)
+
+
+def test_bench_reads_not_blocked_by_wave(report_printer):
+    """Qualitative shape: a read completes while a wave is running."""
+    db = MetaDatabase()
+    wave_entered = threading.Event()
+    release_wave = threading.Event()
+    source = SOURCE.replace(
+        "when ckin do uptodate = true done",
+        "when ckin do uptodate = true done\n  when slow do exec probe $oid done",
+    )
+
+    def slow_executor(request):
+        wave_entered.set()
+        assert release_wave.wait(timeout=30)
+
+    engine = BlueprintEngine(
+        db, Blueprint.from_source(source), executor=slow_executor, trace_limit=0
+    )
+    db.create_object(OID("b0", "v", 1))
+    with ProjectServer(engine) as server:
+        assert wait_for_port(server.host, server.port)
+        writer = BlueprintClient(host=server.host, port=server.port)
+        reader = BlueprintClient(host=server.host, port=server.port)
+        thread = threading.Thread(
+            target=writer.post_event, args=("slow", "b0,v,1", "down")
+        )
+        thread.start()
+        try:
+            assert wave_entered.wait(timeout=10)
+            started = time.perf_counter()
+            reader.query("b0,v,1")
+            reader.stale()
+            read_elapsed = time.perf_counter() - started
+        finally:
+            release_wave.set()
+            thread.join(timeout=30)
+    report = ExperimentReport("server", "reads during a wave")
+    report.add_table(
+        ["read ops", "elapsed while wave ran"],
+        [(2, f"{read_elapsed * 1e3:.2f} ms")],
+    )
+    report_printer(report)

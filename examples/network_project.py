@@ -3,7 +3,10 @@
 Figure 1's architecture with a real socket in the middle: a project
 server owns the meta-database and engine; "wrapper scripts" (here,
 in-process clients speaking the exact ``postEvent`` wire format) report
-design activity; designers query state over the same connection.
+design activity; designers query state over the same connection — and,
+in v2, *subscribe* so the server pushes ``STALE`` / ``FRESH``
+notifications the moment a change wave re-buckets an object, instead of
+everyone polling.
 
 Run:  python examples/network_project.py
 """
@@ -30,17 +33,44 @@ def main() -> None:
 
         print("ping:", client.ping())
 
-        # the paper's exact wrapper command shape
-        seq = client.post_event(
-            "hdl_sim", "CPU,HDL_model,1", "up", arg="good", user="sim-wrapper"
-        )
-        print(f"posted hdl_sim as event #{seq}")
+        # a designer's dashboard subscribes: no polling, the server pushes
+        with client.subscribe() as subscription:
+            # the paper's exact wrapper command shape
+            seq = client.post_event(
+                "hdl_sim", "CPU,HDL_model,1", "up", arg="good", user="sim-wrapper"
+            )
+            print(f"posted hdl_sim as event #{seq}")
 
-        seq = client.post_event("ckin", "CPU,HDL_model,1", "up", user="yves")
-        print(f"posted ckin as event #{seq}")
+            # a check-in invalidates downstream views; the subscription
+            # hears about each one within the wave
+            seq = client.post_event("ckin", "CPU,HDL_model,1", "up", user="yves")
+            print(f"posted ckin as event #{seq}")
+            for oid in client.stale():
+                print(f"stale now: {oid.wire()}")
+            note = subscription.next(timeout=5.0)
+            print(f"pushed: {note.verb} {note.oid.wire()}")
+
+            # several wrapper results land as one atomic FIFO window
+            seqs = client.post_batch(
+                [
+                    ("nl_sim", "CPU,netlist,1", "up", "netlist sim passed"),
+                    ("hdl_sim", "CPU,HDL_model,1", "up", "logic sim passed"),
+                ]
+            )
+            print(f"batch posted as events {seqs}")
 
         for oid in ("CPU,HDL_model,1", "CPU,schematic,1", "CPU,netlist,1"):
             print(f"state of {oid}: {client.query(oid)}")
+
+        print("pending work:", {
+            oid.wire(): checks for oid, checks in client.pending().items()
+        })
+        counters = client.status()
+        print(
+            "server status: "
+            f"{counters['objects']} objects, {counters['stale']} stale, "
+            f"{counters['waves']} waves, {counters['events_posted']} events"
+        )
 
 
 if __name__ == "__main__":

@@ -13,6 +13,13 @@ plus the modern conveniences (lint, dashboards, journals)::
     damocles dashboard DB.json FLOW.bp OUT.html
     damocles replay JOURNAL.jsonl FLOW.bp OUT-DB.json
     damocles convert DB.json DB.sqlite   # cross-backend conversion
+    damocles serve DB.json FLOW.bp       # TCP project server (push mode)
+
+``damocles serve`` starts the project server: wrapper scripts post with
+the ``postEvent`` console command, designers ``query``/``stale``/
+``pending``/``status`` over the same line protocol, and ``subscribe``
+turns a connection into a push channel that receives ``STALE <oid>`` /
+``FRESH <oid>`` the moment a change wave re-buckets an object.
 
 Database paths dispatch on suffix: ``.json`` uses the JSON backend,
 ``.sqlite`` / ``.sqlite3`` / ``.db`` the SQLite backend (persisted
@@ -27,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import threading
 from pathlib import Path
 
 from repro.core.blueprint import Blueprint
@@ -179,6 +187,56 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+#: One stop event per running ``damocles serve`` loop: per-invocation
+#: events avoid the cross-talk a shared global would have (one serve's
+#: startup clearing another's stop signal).
+_serve_stops: list[threading.Event] = []
+
+
+def stop_serving() -> None:
+    """Stop every running ``damocles serve`` loop in this process
+    without waiting out ``--serve-seconds`` (used by tests and
+    embedders; Ctrl-C works too)."""
+    for event in list(_serve_stops):
+        event.set()
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a database + blueprint over TCP (the project-server mode)."""
+    from repro.core.engine import BlueprintEngine
+    from repro.network.server import ProjectServer
+
+    db, registry = _load_db(args)
+    blueprint = _load_blueprint(args.blueprint)
+    engine = BlueprintEngine(db, blueprint)
+    stop = threading.Event()
+    _serve_stops.append(stop)  # before the port opens: an early stop_serving() must see it
+    server = ProjectServer(engine, host=args.host, port=args.port).start()
+    print(
+        f"damocles: serving {blueprint.name!r} "
+        f"({db.object_count} objects) on {server.host}:{server.port}"
+    )
+    print(
+        "commands: postEvent | batch | query OID | stale | pending | "
+        "status | subscribe | ping | quit"
+    )
+    try:
+        stop.wait(args.serve_seconds)  # None waits until set
+    except KeyboardInterrupt:
+        pass
+    finally:
+        _serve_stops.remove(stop)
+        server.stop()
+    if not args.no_save:
+        # The database IS the project state: events posted over the wire
+        # would otherwise be lost the moment the server exits.
+        save_database(
+            db, args.database, registry, backend=getattr(args, "backend", None)
+        )
+        print(f"damocles: saved {db.object_count} objects back to {args.database}")
+    return 0
+
+
 def cmd_convert(args: argparse.Namespace) -> int:
     """Convert a saved database between persistence backends."""
     db, registry = load_database(args.database, backend=args.from_backend)
@@ -278,7 +336,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     convert.set_defaults(func=cmd_convert)
 
-    for database_command in (status, pending, query, find, dashboard):
+    serve = subparsers.add_parser(
+        "serve",
+        help="TCP project server: postEvent/batch posts, stale/pending/"
+        "status queries, subscribe for STALE/FRESH push notifications",
+        description="Serve a database + blueprint over TCP. Wrapper "
+        "scripts post with the postEvent console command (or the batch "
+        "form for atomic multi-event posts); designers run query OID, "
+        "stale, pending and status over the same line protocol; "
+        "subscribe turns a connection into a push channel receiving "
+        "STALE <oid> / FRESH <oid> the moment a change wave re-buckets "
+        "an object.",
+    )
+    serve.add_argument("database")
+    serve.add_argument("blueprint")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default: pick a free one and print it)",
+    )
+    serve.add_argument(
+        "--serve-seconds", type=float, default=None,
+        help="stop after this many seconds (default: run until Ctrl-C)",
+    )
+    serve.add_argument(
+        "--no-save", action="store_true",
+        help="do not write posted events back to DATABASE on shutdown",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    for database_command in (status, pending, query, find, dashboard, serve):
         _add_backend_option(database_command)
 
     return parser

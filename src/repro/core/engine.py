@@ -241,6 +241,15 @@ class BlueprintEngine:
         """
         self.blueprint = blueprint
 
+    def on_stale_change(self, listener: Callable[[OID, bool], None]) -> None:
+        """Register *listener(oid, is_stale)* on stale-set transitions.
+
+        Convenience passthrough to the database's incremental stale set:
+        the project server subscribes here so a wave re-bucketing an
+        object pushes a notification the moment the property flips.
+        """
+        self.db.on_stale_change(listener)
+
     # ------------------------------------------------------------------
     # posting
     # ------------------------------------------------------------------

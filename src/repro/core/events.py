@@ -102,6 +102,18 @@ class EventQueue:
         """Dequeue the oldest pending event (IndexError when empty)."""
         return self._pending.popleft()
 
+    def discard(self, seqs: set[int]) -> int:
+        """Drop pending events whose seq is in *seqs*; returns the count.
+
+        Used to withdraw the unprocessed remainder of a rejected batch —
+        leaving it queued would silently execute during the next post.
+        """
+        before = len(self._pending)
+        self._pending = deque(
+            event for event in self._pending if event.seq not in seqs
+        )
+        return before - len(self._pending)
+
     def peek(self) -> EventMessage | None:
         return self._pending[0] if self._pending else None
 

@@ -102,6 +102,21 @@ class MetaDatabase:
         stale property (``uptodate`` by default) equals ``False``."""
         return frozenset(self._indexes.stale)
 
+    def on_stale_change(self, listener: Callable[[OID, bool], None]) -> None:
+        """Register *listener(oid, is_stale)* on stale-set transitions.
+
+        The listener fires synchronously from whichever mutation
+        re-bucketed the OID — including mid-wave property flips — so the
+        network layer can push ``STALE`` / ``FRESH`` notifications
+        without polling.
+        """
+        self._indexes.on_stale_change(listener)
+
+    def remove_stale_listener(
+        self, listener: Callable[[OID, bool], None]
+    ) -> None:
+        self._indexes.remove_stale_listener(listener)
+
     def _index_object(self, obj: MetaObject) -> None:
         versions = self._lineages[obj.oid.lineage]
         self._indexes.object_added(obj, versions[-1])

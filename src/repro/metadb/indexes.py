@@ -30,7 +30,7 @@ which is what keeps index state and store state in lock-step.
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.metadb.links import Direction, Link
 from repro.metadb.objects import MetaObject
@@ -39,6 +39,10 @@ from repro.metadb.properties import PropertyChange, Value
 
 #: The property whose ``False`` latest versions the stale set tracks.
 DEFAULT_STALE_PROPERTY = "uptodate"
+
+#: Listener signature for stale-set membership changes: the OID that
+#: moved and ``True`` when it entered the set, ``False`` when it left.
+StaleListener = Callable[[OID, bool], None]
 
 
 class IndexRegistry:
@@ -57,6 +61,38 @@ class IndexRegistry:
         self.latest: dict[tuple[str, str], OID] = {}
         self.stale: set[OID] = set()
         self._adjacency: dict[tuple[OID, Direction], tuple[tuple[Link, OID], ...]] = {}
+        self._stale_listeners: list[StaleListener] = []
+
+    # ------------------------------------------------------------------
+    # stale-set change listeners
+    # ------------------------------------------------------------------
+
+    def on_stale_change(self, listener: StaleListener) -> None:
+        """Call *listener(oid, is_stale)* on every stale-set transition.
+
+        Listeners fire the moment a property flip (or a version change)
+        re-buckets a latest version — mid-wave included — which is what
+        the project server's push notifications ride on.  Rollback paths
+        go through the same mutators, so listeners see those too.
+        """
+        self._stale_listeners.append(listener)
+
+    def remove_stale_listener(self, listener: StaleListener) -> None:
+        self._stale_listeners.remove(listener)
+
+    def _stale_add(self, oid: OID) -> None:
+        if oid in self.stale:
+            return
+        self.stale.add(oid)
+        for listener in list(self._stale_listeners):
+            listener(oid, True)
+
+    def _stale_discard(self, oid: OID) -> None:
+        if oid not in self.stale:
+            return
+        self.stale.discard(oid)
+        for listener in list(self._stale_listeners):
+            listener(oid, False)
 
     # ------------------------------------------------------------------
     # object maintenance
@@ -91,7 +127,7 @@ class IndexRegistry:
                         del bucket[value]
                 if not bucket:
                     del self.by_property[name]
-        self.stale.discard(oid)
+        self._stale_discard(oid)
         if self.latest.get(oid.lineage) == oid:
             del self.latest[oid.lineage]
             if new_latest is not None:
@@ -115,9 +151,9 @@ class IndexRegistry:
             self._property_bucket(change.name, change.new).add(oid)
         if change.name == self.stale_property and self.latest.get(oid.lineage) == oid:
             if change.new == False:  # noqa: E712 — match == query semantics
-                self.stale.add(oid)
+                self._stale_add(oid)
             else:
-                self.stale.discard(oid)
+                self._stale_discard(oid)
 
     # ------------------------------------------------------------------
     # link adjacency cache
@@ -171,13 +207,13 @@ class IndexRegistry:
         if previous == latest_oid:
             return
         if previous is not None:
-            self.stale.discard(previous)
+            self._stale_discard(previous)
         self.latest[lineage] = latest_oid
         if candidate.oid == latest_oid:
             if candidate.get(self.stale_property) == False:  # noqa: E712
-                self.stale.add(latest_oid)
+                self._stale_add(latest_oid)
             else:
-                self.stale.discard(latest_oid)
+                self._stale_discard(latest_oid)
 
     @staticmethod
     def _discard(index: dict[str, set[OID]], key: str, oid: OID) -> None:

@@ -7,24 +7,48 @@ written against the bus works unchanged against the network — the
 conclusion.  ``process_after_post`` controls whether each accepted event
 is processed immediately (synchronous projects, the default) or left in
 the queue for an explicit :meth:`drain` (batching, benchmarks).
+
+Beyond posting, the bus is the server's command back end:
+
+* ``stale`` answers from a wire-format mirror of the database's
+  incremental stale set, kept current by a stale-change listener —
+  O(result), no scan, safe to read from any thread;
+* ``subscribe`` registers a per-connection callback; the same listener
+  fans ``STALE <oid>`` / ``FRESH <oid>`` lines out to every subscriber
+  the moment a wave re-buckets an object;
+* ``batch`` validates every target before posting anything (atomic
+  accept/reject), then drains the queue once;
+* engine failures (strict-mode :class:`EngineError`, database errors)
+  are converted to ``ERR`` responses instead of escaping to the
+  transport — a bad post must never kill the connection.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
+from typing import Callable
 
-from repro.core.engine import BlueprintEngine
+from repro.core.engine import BlueprintEngine, EngineError
 from repro.core.events import EventMessage
+from repro.metadb.errors import MetaDBError
 from repro.metadb.links import Direction
 from repro.metadb.oid import OID
 from repro.network.protocol import (
     Command,
     ProtocolError,
     err_response,
+    format_notification,
+    format_pending_response,
     format_query_response,
+    format_stale_response,
+    format_status_response,
     ok_response,
     parse_command,
 )
+
+#: Subscriber signature: receives one formatted notification line.
+Subscriber = Callable[[str], None]
 
 
 @dataclass
@@ -35,6 +59,46 @@ class EventBus:
     process_after_post: bool = True
     lines_seen: int = 0
     errors: list[str] = field(default_factory=list)
+    stats: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Wire-format mirror of the incremental stale set.  The listener
+        # fires from whichever thread runs the wave; readers take the
+        # same small lock, so `stale` answers consistently without ever
+        # touching database internals mid-mutation.
+        self._stale_lock = threading.Lock()
+        # Counter increments need their own lock: the server's lock-free
+        # read paths (query/stale/status/ping) count from many handler
+        # threads at once, and `+=` on a shared int loses updates.
+        self._stats_lock = threading.Lock()
+        self._stale_wire: set[OID] = set(self.engine.db.stale_set())
+        self._subscribers: list[Subscriber] = []
+        self._closed = False
+        self.engine.db.on_stale_change(self._on_stale_change)
+
+    def close(self) -> None:
+        """Detach from the database's stale-listener channel.
+
+        Without this a short-lived bus over a long-lived engine keeps
+        its listener (and therefore itself) alive on the database for
+        every future stale transition.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.engine.db.remove_stale_listener(self._on_stale_change)
+        except ValueError:
+            pass
+
+    def reopen(self) -> None:
+        """Undo :meth:`close`: reseed the mirror and re-listen."""
+        if not self._closed:
+            return
+        self._closed = False
+        with self._stale_lock:
+            self._stale_wire = set(self.engine.db.stale_set())
+        self.engine.db.on_stale_change(self._on_stale_change)
 
     # -- programmatic posting -------------------------------------------------
 
@@ -61,31 +125,179 @@ class EventBus:
         """Process everything pending; returns the number of waves run."""
         return self.engine.run()
 
+    # -- stale mirror / subscriptions ----------------------------------------
+
+    def _on_stale_change(self, oid: OID, is_stale: bool) -> None:
+        with self._stale_lock:
+            if is_stale:
+                self._stale_wire.add(oid)
+            else:
+                self._stale_wire.discard(oid)
+        self.publish(format_notification(oid, is_stale))
+
+    def stale_snapshot(self) -> list[OID]:
+        """A consistent copy of the stale set, answered from the mirror."""
+        with self._stale_lock:
+            return list(self._stale_wire)
+
+    def subscribe(self, subscriber: Subscriber) -> None:
+        """Send every future ``STALE`` / ``FRESH`` line to *subscriber*."""
+        with self._stale_lock:
+            if subscriber not in self._subscribers:
+                self._subscribers.append(subscriber)
+
+    def unsubscribe(self, subscriber: Subscriber) -> None:
+        with self._stale_lock:
+            if subscriber in self._subscribers:
+                self._subscribers.remove(subscriber)
+
+    @property
+    def subscriber_count(self) -> int:
+        with self._stale_lock:
+            return len(self._subscribers)
+
+    def publish(self, line: str) -> None:
+        """Fan one notification line out to every subscriber.
+
+        A subscriber that raises (closed socket, slow client gone) is
+        dropped; delivery to the others continues.
+        """
+        with self._stale_lock:
+            subscribers = list(self._subscribers)
+        for subscriber in subscribers:
+            try:
+                subscriber(line)
+            except Exception:
+                self.unsubscribe(subscriber)
+                self._count("subscribers_dropped")
+        if subscribers:
+            self._count("notifications_sent", len(subscribers))
+
+    def _count(self, name: str, by: int = 1) -> None:
+        with self._stats_lock:
+            self.stats[name] = self.stats.get(name, 0) + by
+
     # -- line protocol -----------------------------------------------------------
 
-    def handle_line(self, line: str) -> str:
-        """Process one wire line, returning the response line."""
-        self.lines_seen += 1
+    def parse_line(self, line: str) -> Command:
+        """Count and parse one wire line (shared with the TCP handler)."""
+        with self._stats_lock:
+            self.lines_seen += 1
         try:
-            command = parse_command(line)
+            return parse_command(line)
         except ProtocolError as exc:
             self.errors.append(str(exc))
-            return err_response(str(exc))
-        return self.handle_command(command)
+            raise
 
-    def handle_command(self, command: Command) -> str:
+    def handle_line(self, line: str, subscriber: Subscriber | None = None) -> str:
+        """Process one wire line, returning the response line."""
+        try:
+            command = self.parse_line(line)
+        except ProtocolError as exc:
+            return err_response(str(exc))
+        return self.handle_command(command, subscriber=subscriber)
+
+    def handle_command(
+        self, command: Command, subscriber: Subscriber | None = None
+    ) -> str:
         if command.kind == "ping":
             return "PONG"
         if command.kind == "quit":
             return "BYE"
         if command.kind == "post":
             assert command.event is not None
-            stamped = self.post_message(command.event)
-            return ok_response(str(stamped.seq))
+            return self._handle_post(command.event)
+        if command.kind == "batch":
+            return self._handle_batch(command.events)
         if command.kind == "query":
             assert command.oid is not None
             obj = self.engine.db.find(command.oid)
             if obj is None:
                 return err_response(f"unknown OID {command.oid}")
             return format_query_response(obj.properties.as_dict())
+        if command.kind == "stale":
+            self._count("stale_from_set")
+            return format_stale_response(self.stale_snapshot())
+        if command.kind == "pending":
+            return self._handle_pending()
+        if command.kind == "status":
+            return format_status_response(self.status_counters())
+        if command.kind == "subscribe":
+            if subscriber is None:
+                return err_response(
+                    "subscribe requires a streaming connection "
+                    "(use the TCP server or EventBus.subscribe)"
+                )
+            self.subscribe(subscriber)
+            return ok_response("subscribed")
         return err_response(f"unhandled command kind {command.kind!r}")
+
+    # -- command back ends ----------------------------------------------------
+
+    def _handle_post(self, event: EventMessage) -> str:
+        # Validate the target at post time: silently dropping the event
+        # in _deliver (non-strict) or killing the connection (strict)
+        # are both worse than an honest ERR.
+        if self.engine.db.find(event.target) is None:
+            self._count("posts_rejected")
+            return err_response(f"unknown OID {event.target.wire()}")
+        try:
+            stamped = self.post_message(event)
+        except (EngineError, MetaDBError) as exc:
+            self._count("engine_errors")
+            return err_response(f"engine: {exc}")
+        return ok_response(str(stamped.seq))
+
+    def _handle_batch(self, events: tuple[EventMessage, ...]) -> str:
+        if not events:
+            return err_response("batch of zero events")
+        unknown = [
+            event.target.wire()
+            for event in events
+            if self.engine.db.find(event.target) is None
+        ]
+        if unknown:
+            self._count("posts_rejected", len(unknown))
+            return err_response(
+                f"unknown OID {' '.join(sorted(set(unknown)))}; nothing posted"
+            )
+        # Atomic accept: stamp everything first, then drain once, so the
+        # batch occupies one contiguous FIFO window in the queue.
+        stamped = [self.engine.post_message(event) for event in events]
+        self._count("batches")
+        try:
+            if self.process_after_post:
+                self.engine.run()
+        except (EngineError, MetaDBError) as exc:
+            self._count("engine_errors")
+            # Withdraw the unprocessed remainder: an ERR response
+            # promises the batch was rejected, so the events still
+            # queued must not execute during the next post's drain.
+            self.engine.queue.discard({event.seq for event in stamped})
+            return err_response(f"engine: {exc}")
+        return ok_response(" ".join(str(event.seq) for event in stamped))
+
+    def _handle_pending(self) -> str:
+        from repro.core.state import pending_work
+
+        work = pending_work(self.engine.db, self.engine.blueprint)
+        return format_pending_response(
+            [(item.oid, item.failing) for item in work]
+        )
+
+    def status_counters(self) -> dict[str, int]:
+        """GIL-atomic counter snapshot: safe to read while a wave runs."""
+        db = self.engine.db
+        metrics = self.engine.metrics
+        return {
+            "objects": db.object_count,
+            "links": db.link_count,
+            "stale": len(self._stale_wire),
+            "queue": len(self.engine.queue),
+            "events_posted": metrics.events_posted,
+            "waves": metrics.waves,
+            "deliveries": metrics.deliveries,
+            "subscribers": self.subscriber_count,
+            "lines_seen": self.lines_seen,
+            "clock": db.clock,
+        }

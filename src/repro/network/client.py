@@ -4,51 +4,238 @@
 the command-line spelling the paper's shell wrappers call::
 
     postEvent ckin up reg,verilog,4 "logic sim passed"
+
+Beyond one-shot posts and queries, the client speaks the v2 dialect:
+``stale()`` / ``pending()`` / ``status()`` read the server's incremental
+state, ``post_batch()`` ships several events as one atomic FIFO window,
+and ``subscribe()`` opens a persistent connection that yields ``STALE``
+/ ``FRESH`` push notifications as the engine re-buckets objects.
 """
 
 from __future__ import annotations
 
 import os
+import select
 import socket
+import time
 from dataclasses import dataclass
+from typing import Iterable, Iterator
 
 from repro.core.events import EventMessage
 from repro.metadb.links import Direction
 from repro.metadb.oid import OID
-from repro.network.protocol import format_post_event
+from repro.network.protocol import (
+    ProtocolError,
+    format_batch,
+    format_post_event,
+    parse_notification,
+    parse_pending_response,
+    parse_query_response,
+    parse_stale_response,
+    parse_status_response,
+)
 
 
 class ClientError(RuntimeError):
     """A transport failure or an ERR response from the server."""
 
 
+@dataclass(frozen=True)
+class Notification:
+    """One push line from a subscribed connection."""
+
+    verb: str  # "STALE" | "FRESH"
+    oid: OID
+
+    @property
+    def is_stale(self) -> bool:
+        return self.verb == "STALE"
+
+
+class Subscription:
+    """A persistent subscribed connection yielding push notifications.
+
+    Iterate it (blocks until the server pushes or closes), or poll with
+    :meth:`next` under a timeout.  Use as a context manager so the
+    socket is released deterministically::
+
+        with client.subscribe() as sub:
+            note = sub.next(timeout=5.0)
+    """
+
+    def __init__(self, conn: socket.socket) -> None:
+        self._conn = conn
+        self._buffer = bytearray()
+        self._closed = False
+
+    def _readline(self, timeout: float | None) -> str:
+        """Read one newline-terminated line, honouring *timeout*.
+
+        Bytes accumulate in a buffer owned by this object: a timeout
+        firing mid-line keeps the partial line for the next call,
+        whereas a buffered socket file is left in an undefined state
+        after a timeout and silently drops what it already consumed.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                raw = bytes(self._buffer[:newline])
+                del self._buffer[: newline + 1]
+                return raw.decode("utf-8", errors="replace")
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not select.select(
+                    [self._conn], [], [], remaining
+                )[0]:
+                    raise ClientError("no notification: timed out")
+            try:
+                chunk = self._conn.recv(4096)
+            except OSError as exc:
+                raise ClientError(f"no notification: {exc}") from exc
+            if not chunk:
+                raise ClientError("subscription closed by server")
+            self._buffer.extend(chunk)
+
+    def next(self, timeout: float | None = None) -> Notification:
+        """Block until the next notification (ClientError on timeout/EOF)."""
+        line = self._readline(timeout).strip()
+        try:
+            verb, oid = parse_notification(line)
+        except ProtocolError as exc:
+            raise ClientError(str(exc)) from exc
+        return Notification(verb, oid)
+
+    def __iter__(self) -> Iterator[Notification]:
+        while True:
+            try:
+                yield self.next(timeout=None)
+            except ClientError:
+                return
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._conn.close()
+
+    def __enter__(self) -> "Subscription":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
 @dataclass
 class BlueprintClient:
-    """A small line-protocol client with one connection per call.
+    """A small line-protocol client.
 
-    One-shot connections keep wrapper scripts trivial (no connection
-    state to manage) at a negligible cost on localhost.
+    By default every call opens a one-shot connection: wrapper scripts
+    stay trivial (no connection state to manage) at a negligible cost
+    for occasional posts.  High-rate callers (dashboards, batch
+    drivers) pass ``persistent=True`` to pin one connection across
+    calls — connection setup dominates wire latency under concurrency,
+    so this is roughly an order of magnitude more events/sec.  A
+    persistent client is not thread-safe; give each thread its own.
+    ``subscribe()`` always hands back its own dedicated connection.
     """
 
     host: str = "127.0.0.1"
     port: int = 7865
     timeout: float = 5.0
+    persistent: bool = False
 
-    def _roundtrip(self, line: str) -> str:
+    def __post_init__(self) -> None:
+        self._conn: socket.socket | None = None
+        self._file = None
+
+    def _connect(self) -> socket.socket:
         try:
-            with socket.create_connection(
+            return socket.create_connection(
                 (self.host, self.port), timeout=self.timeout
-            ) as conn:
-                conn.sendall((line + "\n").encode("utf-8"))
-                file = conn.makefile("r", encoding="utf-8")
-                response = file.readline().strip()
+            )
         except OSError as exc:
             raise ClientError(
                 f"cannot reach project server at {self.host}:{self.port}: {exc}"
             ) from exc
+
+    def close(self) -> None:
+        """Drop the pinned connection (no-op for one-shot clients)."""
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+            self._conn = None
+
+    def __enter__(self) -> "BlueprintClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _roundtrip(self, line: str) -> str:
+        if self.persistent:
+            return self._roundtrip_persistent(line)
+        with self._connect() as conn:
+            try:
+                conn.sendall((line + "\n").encode("utf-8"))
+                file = conn.makefile("r", encoding="utf-8")
+                response = file.readline().strip()
+            except OSError as exc:
+                raise ClientError(
+                    f"project server at {self.host}:{self.port} dropped: {exc}"
+                ) from exc
         if not response:
             raise ClientError("empty response from project server")
         return response
+
+    def _roundtrip_persistent(self, line: str) -> str:
+        if self._conn is None:
+            self._conn = self._connect()
+            self._file = self._conn.makefile("r", encoding="utf-8")
+        try:
+            self._conn.sendall((line + "\n").encode("utf-8"))
+            response = self._file.readline().strip()
+        except OSError as exc:
+            self.close()
+            raise ClientError(
+                f"project server at {self.host}:{self.port} dropped: {exc}"
+            ) from exc
+        if not response:
+            # server closed mid-conversation; next call reconnects
+            self.close()
+            raise ClientError("empty response from project server")
+        return response
+
+    def _ok_body(self, line: str) -> str:
+        """Send *line*; return the body of the OK response or raise."""
+        response = self._roundtrip(line)
+        if not response.startswith("OK"):
+            raise ClientError(response)
+        return response[2:].strip()
+
+    @staticmethod
+    def _as_event(
+        name: str,
+        target: OID | str,
+        direction: Direction | str = Direction.DOWN,
+        arg: str = "",
+        user: str = "",
+    ) -> EventMessage:
+        target = OID.parse(target) if isinstance(target, str) else target
+        direction = (
+            Direction.parse(direction) if isinstance(direction, str) else direction
+        )
+        return EventMessage(
+            name=name, direction=direction, target=target, arg=arg, user=user
+        )
 
     def post_event(
         self,
@@ -59,32 +246,88 @@ class BlueprintClient:
         user: str = "",
     ) -> int:
         """Post one event; returns the server-assigned sequence number."""
-        target = OID.parse(target) if isinstance(target, str) else target
-        direction = (
-            Direction.parse(direction) if isinstance(direction, str) else direction
-        )
-        event = EventMessage(
-            name=name, direction=direction, target=target, arg=arg, user=user
-        )
-        response = self._roundtrip(format_post_event(event))
-        if response.startswith("OK"):
-            detail = response[2:].strip()
-            return int(detail) if detail else 0
-        raise ClientError(response)
+        event = self._as_event(name, target, direction, arg, user)
+        detail = self._ok_body(format_post_event(event))
+        return int(detail) if detail else 0
+
+    def post_batch(
+        self, events: Iterable[EventMessage | tuple]
+    ) -> list[int]:
+        """Post several events as one atomic FIFO window.
+
+        Each item is an :class:`EventMessage` or an argument tuple for
+        :meth:`post_event` (``(name, target[, direction[, arg[, user]]])``).
+        The server validates every target before posting anything, so a
+        single unknown OID rejects the whole batch.  Returns the assigned
+        sequence numbers in order.
+        """
+        messages = [
+            event
+            if isinstance(event, EventMessage)
+            else self._as_event(*event)
+            for event in events
+        ]
+        detail = self._ok_body(format_batch(messages))
+        return [int(token) for token in detail.split()]
 
     def query(self, oid: OID | str) -> dict[str, str]:
-        """Fetch the property state of one OID as text values."""
+        """Fetch the property state of one OID as text values.
+
+        The wire format shlex-quotes values, so properties holding the
+        paper's ``"logic sim passed"``-style strings round-trip intact.
+        """
         oid = OID.parse(oid) if isinstance(oid, str) else oid
-        response = self._roundtrip(f"query {oid.wire()}")
-        if response.startswith("ERR"):
-            raise ClientError(response)
-        body = response[2:].strip()
-        properties: dict[str, str] = {}
-        for chunk in body.split():
-            if "=" in chunk:
-                name, _, value = chunk.partition("=")
-                properties[name] = value
-        return properties
+        body = self._ok_body(f"query {oid.wire()}")
+        try:
+            return parse_query_response(body)
+        except ProtocolError as exc:
+            raise ClientError(str(exc)) from exc
+
+    def stale(self) -> list[OID]:
+        """The server's incremental stale set (sorted), no scan involved."""
+        try:
+            return parse_stale_response(self._ok_body("stale"))
+        except ProtocolError as exc:
+            raise ClientError(str(exc)) from exc
+
+    def pending(self) -> dict[OID, tuple[str, ...]]:
+        """What still blocks the planned state: OID → failing checks."""
+        try:
+            return parse_pending_response(self._ok_body("pending"))
+        except ProtocolError as exc:
+            raise ClientError(str(exc)) from exc
+
+    def status(self) -> dict[str, int]:
+        """Server/engine counters (objects, stale, queue, waves, ...)."""
+        try:
+            return parse_status_response(self._ok_body("status"))
+        except ProtocolError as exc:
+            raise ClientError(str(exc)) from exc
+
+    def subscribe(self) -> Subscription:
+        """Open a persistent connection receiving push notifications.
+
+        The server acknowledges with ``OK subscribed`` and then writes
+        ``STALE <oid>`` / ``FRESH <oid>`` lines the moment a wave
+        re-buckets an object — no polling.
+        """
+        conn = self._connect()
+        conn.settimeout(None)  # blocking; Subscription handles timeouts
+        try:
+            conn.sendall(b"subscribe\n")
+        except OSError as exc:
+            conn.close()
+            raise ClientError(f"subscribe failed: {exc}") from exc
+        subscription = Subscription(conn)
+        try:
+            ack = subscription._readline(self.timeout).strip()
+        except ClientError:
+            subscription.close()
+            raise
+        if not ack.startswith("OK"):
+            subscription.close()
+            raise ClientError(ack or "empty response from project server")
+        return subscription
 
     def ping(self) -> bool:
         return self._roundtrip("ping") == "PONG"
@@ -100,7 +343,13 @@ def post_event_main(argv: list[str] | None = None) -> int:
     import argparse
 
     parser = argparse.ArgumentParser(
-        prog="postEvent", description="post a design event to the BluePrint"
+        prog="postEvent",
+        description="post a design event to the BluePrint",
+        epilog=(
+            "The server also answers: query OID | stale | pending | "
+            "status | subscribe (push STALE/FRESH lines) | "
+            'batch "postEvent ..." ... — see damocles serve.'
+        ),
     )
     parser.add_argument("event")
     parser.add_argument("direction", choices=["up", "down"])

@@ -10,11 +10,26 @@ i.e. ``postEvent EVENT up|down BLOCK,VIEW,VERSION ["ARG"]``.  The project
 server speaks a line-oriented dialect around it:
 
 * ``postEvent ...``  → ``OK <seq>`` or ``ERR <reason>``
+* ``batch "postEvent ..." "postEvent ..."``  → ``OK <seq> <seq> ...``
+  (atomic: every event validated before any is posted)
 * ``query BLOCK,VIEW,VERSION``  → ``OK <prop>=<value> ...`` or ``ERR ...``
+  (values shlex-quoted so embedded whitespace round-trips)
+* ``stale``  → ``OK <oid> <oid> ...`` straight from the incremental
+  stale set (O(result), no scan)
+* ``pending``  → ``OK <oid>:<check>+<check> ...`` — what still blocks
+  the planned state, per the query planner
+* ``status``  → ``OK <counter>=<n> ...`` server/engine counters
+* ``subscribe``  → ``OK subscribed``; the connection then receives
+  ``STALE <oid>`` / ``FRESH <oid>`` push lines as waves re-bucket objects
 * ``ping``  → ``PONG``
 * ``quit``  → closes the connection
 
-All messages are UTF-8 lines terminated by ``\\n``.
+All messages are UTF-8 lines terminated by ``\\n``.  The server applies
+a reader-writer lock discipline per command kind: :data:`LOCK_EXCLUSIVE`
+kinds mutate the engine and enqueue FIFO behind one writer lock,
+:data:`LOCK_SHARED` kinds scan the database under a shared read lock,
+and everything else answers from GIL-atomic snapshots with no lock at
+all (so they complete even while a wave is running).
 """
 
 from __future__ import annotations
@@ -35,16 +50,48 @@ POST_EVENT = "postEvent"
 QUERY = "query"
 PING = "ping"
 QUIT = "quit"
+STALE = "stale"
+PENDING = "pending"
+STATUS = "status"
+SUBSCRIBE = "subscribe"
+BATCH = "batch"
+
+#: Notification verbs pushed to subscribed connections.
+NOTIFY_STALE = "STALE"
+NOTIFY_FRESH = "FRESH"
+
+#: Command kinds that mutate engine state: the server runs them under
+#: the exclusive writer lock, so posts from many clients enqueue FIFO.
+LOCK_EXCLUSIVE = frozenset({"post", "batch"})
+
+#: Command kinds that scan the database (lineage walks, expression
+#: evaluation): the server runs them under the shared reader lock.
+LOCK_SHARED = frozenset({"pending"})
+
+
+def _flatten(text: str) -> str:
+    """Degrade newlines to spaces: line framing cannot carry them, and
+    a raw newline inside a quoted field would desynchronise a persistent
+    connection (the server reads one fragment, the client pairs the next
+    command with a stale buffered response)."""
+    return text.replace("\r\n", " ").replace("\n", " ").replace("\r", " ")
 
 
 def format_post_event(event: EventMessage) -> str:
-    """Render *event* as a ``postEvent`` line."""
-    line = f"{POST_EVENT} {event.name} {event.direction.value} {event.target.wire()}"
+    """Render *event* as a ``postEvent`` line.
+
+    The event name is shlex-quoted: plain names (every name the paper
+    uses) stay bare, but a name carrying shell metacharacters still
+    re-parses to itself.  Newlines in any field degrade to spaces (the
+    same rule every response formatter applies).
+    """
+    name = shlex.quote(_flatten(event.name))
+    line = f"{POST_EVENT} {name} {event.direction.value} {event.target.wire()}"
     if event.arg:
-        escaped = event.arg.replace("\\", "\\\\").replace('"', '\\"')
+        escaped = _flatten(event.arg).replace("\\", "\\\\").replace('"', '\\"')
         line += f' "{escaped}"'
     if event.user:
-        escaped = event.user.replace("\\", "\\\\").replace('"', '\\"')
+        escaped = _flatten(event.user).replace("\\", "\\\\").replace('"', '\\"')
         if not event.arg:
             line += ' ""'
         line += f' "{escaped}"'
@@ -88,13 +135,40 @@ def parse_post_event(line: str) -> EventMessage:
         raise ProtocolError(str(exc)) from exc
 
 
+def format_batch(events: list[EventMessage]) -> str:
+    """Render *events* as one atomic ``batch`` line.
+
+    Each event is a full ``postEvent`` line, shlex-quoted down to a
+    single token, so arbitrary args survive the nesting.
+    """
+    if not events:
+        raise ProtocolError("batch of zero events")
+    return BATCH + " " + " ".join(
+        shlex.quote(format_post_event(event)) for event in events
+    )
+
+
+def parse_batch(line: str) -> tuple[EventMessage, ...]:
+    """Parse a ``batch`` line into its member events."""
+    try:
+        parts = shlex.split(line)
+    except ValueError as exc:
+        raise ProtocolError(f"bad quoting: {exc}") from exc
+    if not parts or parts[0] != BATCH:
+        raise ProtocolError(f"expected '{BATCH}', got {line!r}")
+    if len(parts) < 2:
+        raise ProtocolError('usage: batch "postEvent ..." ["postEvent ..."]')
+    return tuple(parse_post_event(sub) for sub in parts[1:])
+
+
 @dataclass(frozen=True)
 class Command:
     """One parsed server command."""
 
-    kind: str  # "post" | "query" | "ping" | "quit"
+    kind: str  # post | batch | query | stale | pending | status | subscribe | ping | quit
     event: EventMessage | None = None
     oid: OID | None = None
+    events: tuple[EventMessage, ...] = ()
 
 
 def parse_command(line: str) -> Command:
@@ -105,6 +179,8 @@ def parse_command(line: str) -> Command:
     head = stripped.split(None, 1)[0]
     if head == POST_EVENT:
         return Command(kind="post", event=parse_post_event(stripped))
+    if head == BATCH:
+        return Command(kind="batch", events=parse_batch(stripped))
     if head == QUERY:
         parts = stripped.split()
         if len(parts) != 2:
@@ -113,10 +189,18 @@ def parse_command(line: str) -> Command:
             return Command(kind="query", oid=OID.parse(parts[1]))
         except Exception as exc:
             raise ProtocolError(f"bad OID {parts[1]!r}: {exc}") from exc
-    if head == PING:
-        return Command(kind="ping")
-    if head == QUIT:
-        return Command(kind="quit")
+    if head in (STALE, PENDING, STATUS, SUBSCRIBE, PING, QUIT):
+        if stripped != head:
+            raise ProtocolError(f"'{head}' takes no arguments")
+        kinds = {
+            STALE: "stale",
+            PENDING: "pending",
+            STATUS: "status",
+            SUBSCRIBE: "subscribe",
+            PING: "ping",
+            QUIT: "quit",
+        }
+        return Command(kind=kinds[head])
     raise ProtocolError(f"unknown command {head!r}")
 
 
@@ -128,11 +212,120 @@ def err_response(reason: str) -> str:
     return "ERR " + reason.replace("\n", " ")
 
 
+def _wire_token(text: str) -> str:
+    """Quote *text* as one whitespace-safe wire token.
+
+    Line framing cannot carry embedded newlines, so they are flattened
+    to spaces (the same lossy rule :func:`err_response` applies).
+    """
+    return shlex.quote(_flatten(text))
+
+
 def format_query_response(properties: dict[str, object]) -> str:
+    """Render a property snapshot, each ``name=value`` shlex-quoted.
+
+    Values containing whitespace (the paper's ``"logic sim passed"``)
+    survive the wire: clients re-parse with :func:`parse_query_response`
+    (``shlex.split`` under the hood) instead of naive whitespace splits.
+    """
     from repro.metadb.properties import value_to_text
 
     rendered = " ".join(
-        f"{name}={value_to_text(value)}"  # type: ignore[arg-type]
+        _wire_token(f"{name}={value_to_text(value)}")  # type: ignore[arg-type]
         for name, value in sorted(properties.items())
     )
     return ok_response(rendered)
+
+
+def parse_query_response(body: str) -> dict[str, str]:
+    """Parse the body of a ``query`` response back into text properties."""
+    try:
+        chunks = shlex.split(body)
+    except ValueError as exc:
+        raise ProtocolError(f"bad quoting in query response: {exc}") from exc
+    properties: dict[str, str] = {}
+    for chunk in chunks:
+        name, sep, value = chunk.partition("=")
+        if sep:
+            properties[name] = value
+    return properties
+
+
+def format_stale_response(oids: list[OID]) -> str:
+    """Render the stale set as sorted wire OIDs (no quoting needed:
+    OIDs cannot contain whitespace)."""
+    return ok_response(
+        " ".join(oid.wire() for oid in sorted(oids, key=OID.sort_key))
+    )
+
+
+def parse_stale_response(body: str) -> list[OID]:
+    try:
+        return [OID.parse(token) for token in body.split()]
+    except Exception as exc:
+        raise ProtocolError(f"bad OID in stale response: {exc}") from exc
+
+
+def format_pending_response(items: list[tuple[OID, tuple[str, ...]]]) -> str:
+    """Render pending work as ``OID:check+check`` tokens."""
+    rendered = " ".join(
+        _wire_token(f"{oid.wire()}:{'+'.join(failing)}")
+        for oid, failing in items
+    )
+    return ok_response(rendered)
+
+
+def parse_pending_response(body: str) -> dict[OID, tuple[str, ...]]:
+    try:
+        chunks = shlex.split(body)
+    except ValueError as exc:
+        raise ProtocolError(f"bad quoting in pending response: {exc}") from exc
+    pending: dict[OID, tuple[str, ...]] = {}
+    for chunk in chunks:
+        wire, sep, checks = chunk.partition(":")
+        if not sep:
+            raise ProtocolError(f"bad pending token {chunk!r}")
+        try:
+            oid = OID.parse(wire)
+        except Exception as exc:
+            raise ProtocolError(f"bad OID {wire!r}: {exc}") from exc
+        pending[oid] = tuple(part for part in checks.split("+") if part)
+    return pending
+
+
+def format_status_response(counters: dict[str, int]) -> str:
+    """Render server/engine counters as ``name=value`` tokens."""
+    rendered = " ".join(
+        f"{name}={value}" for name, value in sorted(counters.items())
+    )
+    return ok_response(rendered)
+
+
+def parse_status_response(body: str) -> dict[str, int]:
+    counters: dict[str, int] = {}
+    for chunk in body.split():
+        name, sep, value = chunk.partition("=")
+        if sep:
+            try:
+                counters[name] = int(value)
+            except ValueError as exc:
+                raise ProtocolError(f"bad counter {chunk!r}") from exc
+    return counters
+
+
+def format_notification(oid: OID, is_stale: bool) -> str:
+    """One push line: ``STALE <oid>`` when it entered the stale set,
+    ``FRESH <oid>`` when it left."""
+    verb = NOTIFY_STALE if is_stale else NOTIFY_FRESH
+    return f"{verb} {oid.wire()}"
+
+
+def parse_notification(line: str) -> tuple[str, OID]:
+    """Parse a push line into ``(verb, oid)``."""
+    parts = line.split()
+    if len(parts) != 2 or parts[0] not in (NOTIFY_STALE, NOTIFY_FRESH):
+        raise ProtocolError(f"bad notification {line!r}")
+    try:
+        return parts[0], OID.parse(parts[1])
+    except Exception as exc:
+        raise ProtocolError(f"bad OID in notification {line!r}: {exc}") from exc

@@ -3,12 +3,30 @@
 Figure 1 shows design events flowing from the design environment over the
 network into the project server's message queue.  This server accepts the
 line dialect of :mod:`repro.network.protocol` on localhost TCP, feeds an
-:class:`~repro.network.bus.EventBus`, and serialises all engine work under
-one lock — "events are processed sequentially, first-in first-out".
+:class:`~repro.network.bus.EventBus`, and applies a reader-writer lock
+discipline per command kind:
+
+* ``postEvent`` / ``batch`` acquire the exclusive writer lock, so engine
+  work stays serialised and "events are processed sequentially,
+  first-in first-out" as the paper requires;
+* ``pending`` (a lineage scan) acquires the shared reader lock: any
+  number of them run together, but never during a wave;
+* ``query``, ``stale``, ``status`` and ``ping`` answer from GIL-atomic
+  snapshots (one dict copy, the bus's stale-set mirror, plain counters)
+  and take **no lock at all** — a designer's query completes even while
+  a long wave is still running.
+
+``subscribe`` flips a connection into push mode: the bus's stale-set
+listener writes ``STALE <oid>`` / ``FRESH <oid>`` lines straight to the
+subscribed socket the moment a wave re-buckets an object.  Notifications
+originate on whichever handler thread runs the wave, so each connection
+guards its socket with a write mutex to keep push lines and command
+responses from interleaving.
 """
 
 from __future__ import annotations
 
+import queue
 import socket
 import socketserver
 import threading
@@ -16,23 +34,203 @@ from dataclasses import dataclass
 
 from repro.core.engine import BlueprintEngine
 from repro.network.bus import EventBus
+from repro.network.protocol import (
+    LOCK_EXCLUSIVE,
+    LOCK_SHARED,
+    ProtocolError,
+    err_response,
+)
+
+
+class ReadWriteLock:
+    """A writer-preferring reader-writer lock with FIFO writers.
+
+    Readers share; a writer excludes everyone.  Waiting writers block
+    new readers (no writer starvation), and each writer draws a ticket
+    on arrival and runs only when its ticket is served — a writer that
+    arrives later can never barge past one already waiting, so posts
+    from many clients enter the engine queue in arrival order.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._next_ticket = 0
+        self._serving = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            # _next_ticket > _serving means a writer is waiting or active.
+            while self._writer or self._next_ticket > self._serving:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            ticket = self._next_ticket
+            self._next_ticket += 1
+            while self._writer or self._readers or ticket != self._serving:
+                self._cond.wait()
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._serving += 1
+            self._cond.notify_all()
+
+    # context-manager views ------------------------------------------------
+
+    class _Guard:
+        def __init__(self, acquire, release) -> None:
+            self._acquire = acquire
+            self._release = release
+
+        def __enter__(self) -> None:
+            self._acquire()
+
+        def __exit__(self, *exc_info: object) -> None:
+            self._release()
+
+    def reading(self) -> "ReadWriteLock._Guard":
+        return self._Guard(self.acquire_read, self.release_read)
+
+    def writing(self) -> "ReadWriteLock._Guard":
+        return self._Guard(self.acquire_write, self.release_write)
+
+
+#: Per-subscriber notification buffer: a consumer further behind than
+#: this is dropped rather than allowed to block the publishing wave.
+SUBSCRIBER_QUEUE_DEPTH = 256
 
 
 class _Handler(socketserver.StreamRequestHandler):
+    def setup(self) -> None:
+        super().setup()
+        # Push notifications arrive from other threads (whichever handler
+        # runs the wave); responses come from this one.  One mutex per
+        # connection keeps the two line streams from interleaving.
+        self._send_lock = threading.Lock()
+        self._subscriber = None
+        self._notify_queue: "queue.Queue[str | None] | None" = None
+        self._notify_thread: threading.Thread | None = None
+
+    def _send(self, line: str) -> None:
+        with self._send_lock:
+            self.wfile.write((line + "\n").encode("utf-8"))
+
     def handle(self) -> None:
         server: "_TCPServer" = self.server  # type: ignore[assignment]
         while True:
-            raw = self.rfile.readline()
-            if not raw:
+            try:
+                raw = self.rfile.readline()
+                if not raw:
+                    return
+                line = raw.decode("utf-8", errors="replace").strip()
+                if not line:
+                    continue
+                response = self._dispatch(server, line)
+                if response is None:  # subscribe acked inline
+                    continue
+                self._send(response)
+            except OSError:
+                # The client reset or vanished mid-exchange: end this
+                # connection quietly instead of a traceback per socket.
                 return
-            line = raw.decode("utf-8", errors="replace").strip()
-            if not line:
-                continue
-            with server.lock:
-                response = server.bus.handle_line(line)
-            self.wfile.write((response + "\n").encode("utf-8"))
             if response == "BYE":
                 return
+
+    def _dispatch(self, server: "_TCPServer", line: str) -> str | None:
+        bus = server.bus
+        try:
+            command = bus.parse_line(line)
+        except ProtocolError as exc:
+            return err_response(str(exc))
+        if command.kind in LOCK_EXCLUSIVE:
+            with server.rwlock.writing():
+                return bus.handle_command(command)
+        if command.kind in LOCK_SHARED:
+            with server.rwlock.reading():
+                return bus.handle_command(command)
+        if command.kind == "subscribe":
+            return self._subscribe(server, command)
+        return bus.handle_command(command)
+
+    def _subscribe(self, server: "_TCPServer", command) -> None:
+        """Register this connection for push lines and ack it.
+
+        Notifications are decoupled from the publishing wave through a
+        bounded queue drained by a pump thread: a subscriber that stops
+        reading fills its queue and is dropped, instead of its full TCP
+        buffer blocking the wave (which would hold the writer lock and
+        wedge every client).  Registration and the ack share the send
+        mutex, so no notification can reach the socket before the ack.
+        """
+        if self._subscriber is None:
+            self._notify_queue = queue.Queue(maxsize=SUBSCRIBER_QUEUE_DEPTH)
+
+            def pump() -> None:
+                while True:
+                    line = self._notify_queue.get()
+                    if line is None:
+                        return
+                    try:
+                        self._send(line)
+                    except OSError:
+                        return
+
+            self._notify_thread = threading.Thread(
+                target=pump, name="blueprint-notify", daemon=True
+            )
+            # Start before the ack write: if that write fails (client
+            # reset the connection), finish() can still join() a thread
+            # that was actually started.  The pump shares the send lock,
+            # so no notification can beat the ack onto the socket.
+            self._notify_thread.start()
+
+            def subscriber(line: str) -> None:
+                try:
+                    self._notify_queue.put_nowait(line)
+                except queue.Full:
+                    # Overflow: close the socket so the client sees EOF
+                    # instead of blocking forever on a stream the bus is
+                    # about to drop (the re-raise unsubscribes us).
+                    try:
+                        self.connection.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass
+                    raise
+
+            self._subscriber = subscriber
+            with self._send_lock:
+                response = server.bus.handle_command(
+                    command, subscriber=self._subscriber
+                )
+                self.wfile.write((response + "\n").encode("utf-8"))
+        else:
+            self._send(server.bus.handle_command(command, subscriber=self._subscriber))
+        return None
+
+    def finish(self) -> None:
+        if self._subscriber is not None:
+            server: "_TCPServer" = self.server  # type: ignore[assignment]
+            server.bus.unsubscribe(self._subscriber)
+            self._subscriber = None
+        if self._notify_queue is not None:
+            try:
+                self._notify_queue.put_nowait(None)
+            except queue.Full:
+                pass  # pump is wedged on a dead socket; it is a daemon
+            if self._notify_thread is not None:
+                self._notify_thread.join(timeout=2)
+        super().finish()
 
 
 class _TCPServer(socketserver.ThreadingTCPServer):
@@ -42,7 +240,7 @@ class _TCPServer(socketserver.ThreadingTCPServer):
     def __init__(self, address: tuple[str, int], bus: EventBus) -> None:
         super().__init__(address, _Handler)
         self.bus = bus
-        self.lock = threading.Lock()
+        self.rwlock = ReadWriteLock()
 
 
 @dataclass
@@ -65,9 +263,15 @@ class ProjectServer:
         self._thread: threading.Thread | None = None
         self.bus = EventBus(self.engine)
 
+    @property
+    def rwlock(self) -> ReadWriteLock | None:
+        """The running server's reader-writer lock (None when stopped)."""
+        return self._server.rwlock if self._server is not None else None
+
     def start(self) -> "ProjectServer":
         if self._server is not None:
             raise RuntimeError("server already started")
+        self.bus.reopen()  # no-op unless a previous stop() closed it
         self._server = _TCPServer((self.host, self.port), self.bus)
         self.port = self._server.server_address[1]
         self._thread = threading.Thread(
@@ -85,6 +289,7 @@ class ProjectServer:
             self._thread.join(timeout=5)
         self._server = None
         self._thread = None
+        self.bus.close()
 
     def __enter__(self) -> "ProjectServer":
         return self.start()

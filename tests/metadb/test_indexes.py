@@ -237,3 +237,58 @@ class TestRandomizedConsistency:
             elif db.object_count:
                 db.remove_object(rng.choice(list(db.oids())))
         assert db.check_integrity() == []
+
+
+class TestStaleListeners:
+    """The stale-change listener channel the push notifications ride on."""
+
+    @pytest.fixture
+    def events(self, db):
+        seen: list[tuple[OID, bool]] = []
+        db.on_stale_change(lambda oid, is_stale: seen.append((oid, is_stale)))
+        return seen
+
+    def test_property_flip_fires_listener(self, db, events):
+        obj = db.create_object(OID("cpu", "rtl", 1), {"uptodate": True})
+        obj.set("uptodate", False)
+        assert events == [(obj.oid, True)]
+        obj.set("uptodate", True)
+        assert events == [(obj.oid, True), (obj.oid, False)]
+
+    def test_creation_with_stale_property_fires(self, db, events):
+        obj = db.create_object(OID("cpu", "rtl", 1), {"uptodate": False})
+        assert events == [(obj.oid, True)]
+
+    def test_no_event_when_membership_unchanged(self, db, events):
+        obj = db.create_object(OID("cpu", "rtl", 1), {"uptodate": False})
+        obj.set("uptodate", False)  # still stale: no transition
+        obj.set("owner", "ana")  # unrelated property: no transition
+        assert events == [(obj.oid, True)]
+
+    def test_new_version_evicts_predecessor(self, db, events):
+        v1 = db.create_object(OID("cpu", "rtl", 1), {"uptodate": False}).oid
+        v2 = db.create_object(OID("cpu", "rtl", 2), {"uptodate": False}).oid
+        assert events == [(v1, True), (v1, False), (v2, True)]
+
+    def test_removal_reinstates_previous_version(self, db, events):
+        v1 = db.create_object(OID("cpu", "rtl", 1), {"uptodate": False}).oid
+        v2 = db.create_object(OID("cpu", "rtl", 2), {"uptodate": False}).oid
+        del events[:]
+        db.remove_object(v2)
+        assert events == [(v2, False), (v1, True)]
+
+    def test_rollback_fires_inverse_transitions(self, db, events):
+        obj = db.create_object(OID("cpu", "rtl", 1), {"uptodate": True})
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                obj.set("uptodate", False)
+                raise RuntimeError("boom")
+        # the flip and its undo both went through the listener channel
+        assert events == [(obj.oid, True), (obj.oid, False)]
+        assert db.check_integrity() == []
+
+    def test_listener_removal(self, db, events):
+        listener = db._indexes._stale_listeners[-1]
+        db.remove_stale_listener(listener)
+        db.create_object(OID("cpu", "rtl", 1), {"uptodate": False})
+        assert events == []

@@ -5,6 +5,7 @@ posting in parallel must neither corrupt the database nor lose events.
 """
 
 import threading
+import time
 
 import pytest
 
@@ -13,7 +14,7 @@ from repro.core.engine import BlueprintEngine
 from repro.metadb.database import MetaDatabase
 from repro.metadb.oid import OID
 from repro.network.client import BlueprintClient
-from repro.network.server import ProjectServer, wait_for_port
+from repro.network.server import ProjectServer, ReadWriteLock, wait_for_port
 
 SOURCE = """\
 blueprint conc
@@ -86,3 +87,198 @@ def test_sequence_numbers_unique_under_concurrency(stack):
     seqs = [event.seq for event in engine.queue.history]
     assert len(seqs) == len(set(seqs))
     assert sorted(seqs) == seqs  # history appended in stamping order
+
+
+PUSH_SOURCE = """\
+blueprint concpush
+view v
+  property uptodate default true
+  when outofdate do uptodate = false done
+  when ckin do uptodate = true done
+  when slowcheck do exec checker $oid done
+endview
+endblueprint
+"""
+
+
+class TestReadsDuringWave:
+    """The v2 lock discipline: query/stale/status answer from GIL-atomic
+    snapshots with no lock, so they complete *while a wave is running*
+    instead of serialising behind the writer as the old global lock did.
+    """
+
+    def test_reads_complete_while_wave_holds_writer_lock(self):
+        db = MetaDatabase()
+        wave_entered = threading.Event()
+        release_wave = threading.Event()
+
+        def slow_executor(request):
+            wave_entered.set()
+            assert release_wave.wait(timeout=30), "test hung"
+
+        engine = BlueprintEngine(
+            db,
+            Blueprint.from_source(PUSH_SOURCE),
+            executor=slow_executor,
+            trace_limit=0,
+        )
+        db.create_object(OID("a", "v", 1))
+        db.create_object(OID("b", "v", 1))
+        db.get(OID("b", "v", 1)).set("uptodate", False)
+        with ProjectServer(engine) as server:
+            assert wait_for_port(server.host, server.port)
+            writer = BlueprintClient(host=server.host, port=server.port)
+            reader = BlueprintClient(host=server.host, port=server.port)
+
+            post_done = threading.Event()
+
+            def post_slow():
+                writer.post_event("slowcheck", "a,v,1", "down")
+                post_done.set()
+
+            thread = threading.Thread(target=post_slow)
+            thread.start()
+            try:
+                assert wave_entered.wait(timeout=10), "wave never started"
+                # the wave is mid-flight, writer lock held: reads succeed
+                assert reader.ping() is True
+                assert reader.query("b,v,1")["uptodate"] == "false"
+                assert reader.stale() == [OID("b", "v", 1)]
+                assert reader.status()["objects"] == 2
+                assert not post_done.is_set(), "wave finished too early"
+            finally:
+                release_wave.set()
+                thread.join(timeout=30)
+            assert post_done.is_set()
+
+    def test_writers_still_serialise(self):
+        db = MetaDatabase()
+        in_wave = threading.Event()
+        overlap = []
+
+        def executor(request):
+            if in_wave.is_set():
+                overlap.append(request)
+            in_wave.set()
+            time.sleep(0.02)
+            in_wave.clear()
+
+        engine = BlueprintEngine(
+            db,
+            Blueprint.from_source(PUSH_SOURCE),
+            executor=executor,
+            trace_limit=0,
+        )
+        for index in range(4):
+            db.create_object(OID(f"b{index}", "v", 1))
+        with ProjectServer(engine) as server:
+            assert wait_for_port(server.host, server.port)
+
+            def worker(index):
+                client = BlueprintClient(host=server.host, port=server.port)
+                for _ in range(3):
+                    client.post_event("slowcheck", f"b{index},v,1", "down")
+
+            threads = [
+                threading.Thread(target=worker, args=(index,)) for index in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+        assert overlap == []  # no two waves ever ran concurrently
+
+
+class TestWriterFIFO:
+    """Writers hold arrival-order tickets: a later writer can never
+    barge past one already waiting, so posts enqueue FIFO."""
+
+    def test_writers_acquire_in_arrival_order(self):
+        lock = ReadWriteLock()
+        lock.acquire_write()  # park every worker behind an active writer
+        order: list[int] = []
+
+        def writer(index):
+            lock.acquire_write()
+            order.append(index)
+            lock.release_write()
+
+        threads = []
+        for index in range(6):
+            thread = threading.Thread(target=writer, args=(index,))
+            thread.start()
+            threads.append(thread)
+            # wait until this writer holds its ticket (the main thread's
+            # write above took ticket 0) before starting the next one
+            deadline = time.time() + 10
+            while lock._next_ticket != index + 2:
+                assert time.time() < deadline, "writer never took a ticket"
+                time.sleep(0.001)
+        lock.release_write()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert order == list(range(6))
+
+
+class TestMixedLoad:
+    """N clients posting, querying and subscribing simultaneously."""
+
+    def test_posters_readers_subscribers(self):
+        db = MetaDatabase()
+        engine = BlueprintEngine(
+            db, Blueprint.from_source(PUSH_SOURCE), trace_limit=0
+        )
+        n_blocks = 6
+        for index in range(n_blocks):
+            db.create_object(OID(f"b{index}", "v", 1))
+        with ProjectServer(engine) as server:
+            assert wait_for_port(server.host, server.port)
+            client = BlueprintClient(host=server.host, port=server.port)
+            subs = [client.subscribe() for _ in range(2)]
+            errors: list[Exception] = []
+            posts_per_client = 10
+
+            def poster(index):
+                poster_client = BlueprintClient(host=server.host, port=server.port)
+                try:
+                    for round_no in range(posts_per_client):
+                        event = "outofdate" if round_no % 2 == 0 else "ckin"
+                        poster_client.post_event(event, f"b{index},v,1", "down")
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            def reader():
+                reader_client = BlueprintClient(host=server.host, port=server.port)
+                try:
+                    for _ in range(posts_per_client):
+                        reader_client.stale()
+                        reader_client.query("b0,v,1")
+                        reader_client.status()
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=poster, args=(index,))
+                for index in range(n_blocks)
+            ] + [threading.Thread(target=reader) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not errors
+            assert engine.metrics.events_posted == n_blocks * posts_per_client
+            # every block ended fresh (ckin was each client's last post),
+            # so every subscriber saw a balanced STALE/FRESH stream
+            assert client.stale() == []
+            for sub in subs:
+                notes = []
+                try:
+                    while True:
+                        notes.append(sub.next(timeout=0.5))
+                except Exception:
+                    pass
+                stale_count = sum(1 for n in notes if n.is_stale)
+                fresh_count = len(notes) - stale_count
+                assert stale_count == n_blocks * posts_per_client / 2
+                assert fresh_count == stale_count
+                sub.close()

@@ -87,6 +87,22 @@ class TestFormatPostEvent:
         )
         assert parse_post_event(format_post_event(event)).arg == 'say "hi"'
 
+    def test_newlines_flatten_to_spaces(self):
+        # a raw newline inside a quoted field would split the framed
+        # line and desynchronise a persistent connection
+        event = EventMessage(
+            name="note",
+            direction=Direction.DOWN,
+            target=OID("a", "v", 1),
+            arg="line1\nline2",
+            user="who\r\nelse",
+        )
+        line = format_post_event(event)
+        assert "\n" not in line and "\r" not in line
+        again = parse_post_event(line)
+        assert again.arg == "line1 line2"
+        assert again.user == "who else"
+
 
 class TestParseCommand:
     def test_post(self):
@@ -122,3 +138,167 @@ class TestResponses:
     def test_query_response_sorted_and_typed(self):
         text = format_query_response({"b": True, "a": "ok", "c": 3})
         assert text == "OK a=ok b=true c=3"
+
+
+class TestV2Commands:
+    def test_bare_commands(self):
+        assert parse_command("stale").kind == "stale"
+        assert parse_command("pending").kind == "pending"
+        assert parse_command("status").kind == "status"
+        assert parse_command("subscribe").kind == "subscribe"
+
+    @pytest.mark.parametrize(
+        "line", ["stale now", "pending x", "status -v", "subscribe me", "ping x"]
+    )
+    def test_bare_commands_take_no_arguments(self, line):
+        with pytest.raises(ProtocolError):
+            parse_command(line)
+
+    def test_lock_classification(self):
+        from repro.network.protocol import LOCK_EXCLUSIVE, LOCK_SHARED
+
+        assert parse_command("postEvent ckin up a,v,1").kind in LOCK_EXCLUSIVE
+        assert parse_command("pending").kind in LOCK_SHARED
+        for line in ("query a,v,1", "stale", "status", "ping"):
+            kind = parse_command(line).kind
+            assert kind not in LOCK_EXCLUSIVE and kind not in LOCK_SHARED
+
+
+class TestBatch:
+    def _events(self):
+        return [
+            EventMessage(
+                name="ckin", direction=Direction.UP, target=OID("a", "v", 1)
+            ),
+            EventMessage(
+                name="seen",
+                direction=Direction.DOWN,
+                target=OID("b", "v", 2),
+                arg='logic "sim" passed',
+                user="ana",
+            ),
+        ]
+
+    def test_round_trip(self):
+        from repro.network.protocol import format_batch, parse_batch
+
+        events = self._events()
+        again = parse_batch(format_batch(events))
+        assert [
+            (e.name, e.direction, e.target, e.arg, e.user) for e in again
+        ] == [(e.name, e.direction, e.target, e.arg, e.user) for e in events]
+
+    def test_parse_command_batch(self):
+        from repro.network.protocol import format_batch
+
+        command = parse_command(format_batch(self._events()))
+        assert command.kind == "batch"
+        assert len(command.events) == 2
+
+    @pytest.mark.parametrize(
+        "line", ["batch", 'batch "ping"', 'batch "postEvent broken"']
+    )
+    def test_rejects_malformed(self, line):
+        with pytest.raises(ProtocolError):
+            parse_command(line)
+
+    def test_empty_batch_unformattable(self):
+        from repro.network.protocol import format_batch
+
+        with pytest.raises(ProtocolError):
+            format_batch([])
+
+
+class TestQueryResponseEscaping:
+    """Bugfix: values with whitespace corrupted the naive split parse."""
+
+    def test_space_value_round_trips(self):
+        from repro.network.protocol import parse_query_response
+
+        response = format_query_response({"sim_result": "logic sim passed"})
+        body = response[2:].strip()
+        assert parse_query_response(body) == {"sim_result": "logic sim passed"}
+
+    def test_plain_values_stay_unquoted(self):
+        assert format_query_response({"a": "ok", "up": True}) == "OK a=ok up=true"
+
+    @pytest.mark.parametrize(
+        "value", ["", "two words", "a'quote", 'double"quote', "tab\there", "x=y"]
+    )
+    def test_awkward_values_round_trip(self, value):
+        from repro.network.protocol import parse_query_response
+
+        response = format_query_response({"p": value})
+        assert parse_query_response(response[2:].strip()) == {"p": value}
+
+    def test_newlines_flattened_not_leaked(self):
+        # line framing cannot carry newlines; they degrade to spaces
+        response = format_query_response({"p": "a\nb"})
+        assert "\n" not in response
+
+
+class TestStaleAndPendingResponses:
+    def test_stale_round_trip_sorted(self):
+        from repro.network.protocol import (
+            format_stale_response,
+            parse_stale_response,
+        )
+
+        oids = [OID("b", "v", 2), OID("a", "v", 1)]
+        response = format_stale_response(oids)
+        assert response == "OK a,v,1 b,v,2"
+        assert parse_stale_response(response[2:].strip()) == sorted(oids)
+
+    def test_empty_stale(self):
+        from repro.network.protocol import (
+            format_stale_response,
+            parse_stale_response,
+        )
+
+        assert format_stale_response([]) == "OK"
+        assert parse_stale_response("") == []
+
+    def test_pending_round_trip(self):
+        from repro.network.protocol import (
+            format_pending_response,
+            parse_pending_response,
+        )
+
+        items = [
+            (OID("a", "v", 1), ("state", "uptodate")),
+            (OID("b", "v", 2), ("uptodate",)),
+        ]
+        response = format_pending_response(items)
+        assert parse_pending_response(response[2:].strip()) == dict(items)
+
+    def test_status_round_trip(self):
+        from repro.network.protocol import (
+            format_status_response,
+            parse_status_response,
+        )
+
+        counters = {"objects": 12, "stale": 3, "queue": 0}
+        response = format_status_response(counters)
+        assert parse_status_response(response[2:].strip()) == counters
+
+
+class TestNotifications:
+    def test_format_and_parse(self):
+        from repro.network.protocol import (
+            format_notification,
+            parse_notification,
+        )
+
+        assert format_notification(OID("a", "v", 1), True) == "STALE a,v,1"
+        assert format_notification(OID("a", "v", 1), False) == "FRESH a,v,1"
+        assert parse_notification("STALE a,v,1") == ("STALE", OID("a", "v", 1))
+        assert parse_notification("FRESH b,v,2") == ("FRESH", OID("b", "v", 2))
+
+    @pytest.mark.parametrize(
+        "line", ["", "STALE", "NUKED a,v,1", "STALE not-an-oid", "STALE a,v,1 extra"]
+    )
+    def test_rejects_malformed(self, line):
+        from repro.network.protocol import parse_notification
+
+        with pytest.raises(ProtocolError):
+            parse_notification(line)

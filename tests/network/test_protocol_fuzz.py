@@ -1,0 +1,143 @@
+"""Property-based round-trips: every ``format_*`` output re-parses equal.
+
+The wire protocol is the server's public contract; these tests pin the
+invariant that formatting and parsing are exact inverses over the full
+value space the system can produce (event args from real tool wrappers,
+property values set by blueprints, OIDs, counters).  Newlines are the
+one documented exception: line framing flattens them to spaces.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.core.events import EventMessage
+from repro.metadb.links import Direction
+from repro.metadb.oid import OID
+from repro.network.protocol import (
+    format_batch,
+    format_notification,
+    format_pending_response,
+    format_post_event,
+    format_query_response,
+    format_stale_response,
+    format_status_response,
+    parse_batch,
+    parse_notification,
+    parse_pending_response,
+    parse_post_event,
+    parse_query_response,
+    parse_stale_response,
+    parse_status_response,
+)
+
+names = st.from_regex(r"[A-Za-z0-9_][A-Za-z0-9_\-]{0,10}", fullmatch=True)
+versions = st.integers(min_value=1, max_value=10_000)
+# printable text without newlines (line framing flattens those) — covers
+# spaces, quotes, backslashes, shell metacharacters, unicode
+wire_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), blacklist_characters="\n\r"),
+    max_size=40,
+)
+# event names may be any non-empty token without whitespace
+event_names = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Zs"), blacklist_characters="\n\r\t\x0b\x0c\x1c\x1d\x1e\x1f\x85"),
+    min_size=1,
+    max_size=15,
+)
+
+
+@st.composite
+def oids(draw):
+    return OID(draw(names), draw(names), draw(versions))
+
+
+@st.composite
+def events(draw):
+    return EventMessage(
+        name=draw(event_names),
+        direction=draw(st.sampled_from([Direction.UP, Direction.DOWN])),
+        target=draw(oids()),
+        arg=draw(wire_text),
+        user=draw(wire_text),
+    )
+
+
+def _fields(event: EventMessage):
+    return (event.name, event.direction, event.target, event.arg, event.user)
+
+
+class TestPostEventRoundTrip:
+    @given(events())
+    def test_round_trip(self, event):
+        assert _fields(parse_post_event(format_post_event(event))) == _fields(event)
+
+    @given(st.lists(events(), min_size=1, max_size=5))
+    def test_batch_round_trip(self, batch):
+        again = parse_batch(format_batch(batch))
+        assert [_fields(e) for e in again] == [_fields(e) for e in batch]
+
+
+class TestQueryResponseRoundTrip:
+    # property names come from blueprint identifiers: no '=' or whitespace
+    property_names = st.from_regex(r"[A-Za-z_][A-Za-z0-9_\-]{0,12}", fullmatch=True)
+
+    @given(
+        st.dictionaries(
+            property_names,
+            st.one_of(wire_text, st.booleans(), st.integers(-1000, 1000)),
+            max_size=6,
+        )
+    )
+    def test_round_trip(self, properties):
+        from repro.metadb.properties import value_to_text
+
+        response = format_query_response(properties)
+        assert response.startswith("OK")
+        assert "\n" not in response
+        parsed = parse_query_response(response[2:].strip())
+        expected = {
+            name: value_to_text(value) for name, value in properties.items()
+        }
+        assert parsed == expected
+
+
+class TestSetResponsesRoundTrip:
+    @given(st.lists(oids(), unique=True, max_size=8))
+    def test_stale(self, stale):
+        response = format_stale_response(stale)
+        assert parse_stale_response(response[2:].strip()) == sorted(stale)
+
+    @given(
+        st.lists(
+            st.tuples(
+                oids(),
+                st.lists(
+                    st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,10}", fullmatch=True),
+                    min_size=1,
+                    max_size=3,
+                    unique=True,
+                ).map(tuple),
+            ),
+            max_size=6,
+            unique_by=lambda item: item[0],
+        )
+    )
+    def test_pending(self, items):
+        response = format_pending_response(items)
+        assert parse_pending_response(response[2:].strip()) == dict(items)
+
+    @given(
+        st.dictionaries(
+            st.from_regex(r"[a-z_]{1,12}", fullmatch=True),
+            st.integers(min_value=0, max_value=10**9),
+            max_size=8,
+        )
+    )
+    def test_status(self, counters):
+        response = format_status_response(counters)
+        assert parse_status_response(response[2:].strip()) == counters
+
+    @given(oids(), st.booleans())
+    def test_notification(self, oid, is_stale):
+        verb, parsed = parse_notification(format_notification(oid, is_stale))
+        assert parsed == oid
+        assert (verb == "STALE") is is_stale

@@ -115,3 +115,209 @@ class TestRawSocket:
         with socket.create_connection((server.host, server.port), timeout=2) as conn:
             conn.sendall(b"what is this\n")
             assert conn.makefile().readline().startswith("ERR")
+
+
+PUSH_SOURCE = """\
+blueprint push
+view v
+  property uptodate default true
+  property last default none
+  when outofdate do uptodate = false done
+  when ckin do uptodate = true done
+  when seen do last = $arg done
+endview
+endblueprint
+"""
+
+
+@pytest.fixture
+def push_project():
+    db = MetaDatabase()
+    engine = BlueprintEngine(db, Blueprint.from_source(PUSH_SOURCE), strict=True)
+    db.create_object(OID("a", "v", 1))
+    db.create_object(OID("b", "v", 1))
+    return db, engine
+
+
+@pytest.fixture
+def push_server(push_project):
+    _db, engine = push_project
+    with ProjectServer(engine) as running:
+        assert wait_for_port(running.host, running.port)
+        yield running
+
+
+@pytest.fixture
+def push_client(push_server):
+    return BlueprintClient(host=push_server.host, port=push_server.port)
+
+
+class TestEngineErrorOverWire:
+    """Bugfix: a strict EngineError used to kill the TCP connection."""
+
+    def test_err_response_and_connection_survives(self, push_server):
+        with socket.create_connection(
+            (push_server.host, push_server.port), timeout=5
+        ) as conn:
+            file = conn.makefile()
+            conn.sendall(b"postEvent ckin up nosuchblock,verilog,1\n")
+            response = file.readline().strip()
+            assert response.startswith("ERR")
+            assert "unknown OID" in response
+            # the same connection keeps serving
+            conn.sendall(b"ping\n")
+            assert file.readline().strip() == "PONG"
+            conn.sendall(b"postEvent ckin up a,v,1\n")
+            assert file.readline().strip().startswith("OK")
+
+    def test_client_raises_but_server_lives(self, push_client):
+        with pytest.raises(ClientError):
+            push_client.post_event("ckin", "nosuchblock,verilog,1", "up")
+        assert push_client.ping() is True
+
+
+class TestSpaceValuesOverWire:
+    """Bugfix: space-containing property values corrupted query parsing."""
+
+    def test_paper_arg_round_trips(self, push_client):
+        push_client.post_event("seen", "a,v,1", "up", arg="logic sim passed")
+        assert push_client.query("a,v,1")["last"] == "logic sim passed"
+
+    def test_quotes_and_spaces(self, push_client):
+        nasty = 'say "hi" to  everyone'
+        push_client.post_event("seen", "a,v,1", "up", arg=nasty)
+        assert push_client.query("a,v,1")["last"] == nasty
+
+
+class TestStaleOverWire:
+    def test_stale_tracks_waves(self, push_client):
+        assert push_client.stale() == []
+        push_client.post_event("outofdate", "a,v,1", "down")
+        assert push_client.stale() == [OID("a", "v", 1)]
+        push_client.post_event("outofdate", "b,v,1", "down")
+        assert push_client.stale() == [OID("a", "v", 1), OID("b", "v", 1)]
+        push_client.post_event("ckin", "a,v,1", "up")
+        assert push_client.stale() == [OID("b", "v", 1)]
+
+    def test_stale_answers_without_scan(self, push_project, push_server, push_client):
+        db, _engine = push_project
+        push_client.post_event("outofdate", "a,v,1", "down")
+        # the planner itself would need an index or scan; the wire answer
+        # comes from the bus's stale-set mirror: O(result), no candidates
+        from repro.metadb.query import Query
+
+        plan = Query(db).where_property("uptodate", False).latest_only().explain()
+        assert plan.strategy == "index"  # planner path, for comparison
+        assert push_server.bus.stats.get("stale_from_set") is None
+        assert push_client.stale() == [OID("a", "v", 1)]
+        assert push_server.bus.stats["stale_from_set"] == 1
+
+
+class TestPendingStatusOverWire:
+    def test_pending(self, push_client):
+        push_client.post_event("outofdate", "a,v,1", "down")
+        assert push_client.pending() == {OID("a", "v", 1): ("uptodate",)}
+
+    def test_status(self, push_client):
+        push_client.post_event("outofdate", "a,v,1", "down")
+        counters = push_client.status()
+        assert counters["objects"] == 2
+        assert counters["stale"] == 1
+        assert counters["waves"] == 1
+
+
+class TestBatchOverWire:
+    def test_batch_posts_fifo(self, push_client):
+        seqs = push_client.post_batch(
+            [
+                ("outofdate", "a,v,1", "down"),
+                ("seen", "b,v,1", "down", "batch arg with spaces"),
+            ]
+        )
+        assert seqs == [1, 2]
+        assert push_client.stale() == [OID("a", "v", 1)]
+        assert push_client.query("b,v,1")["last"] == "batch arg with spaces"
+
+    def test_batch_atomic_rejection(self, push_client):
+        with pytest.raises(ClientError, match="nothing posted"):
+            push_client.post_batch(
+                [("outofdate", "a,v,1", "down"), ("outofdate", "zz,v,1", "down")]
+            )
+        assert push_client.stale() == []
+
+
+class TestSubscribeOverWire:
+    def test_push_within_one_wave(self, push_client):
+        with push_client.subscribe() as sub:
+            push_client.post_event("outofdate", "a,v,1", "down")
+            note = sub.next(timeout=5.0)
+            assert note.verb == "STALE"
+            assert note.oid == OID("a", "v", 1)
+            assert note.is_stale
+            push_client.post_event("ckin", "a,v,1", "up")
+            note = sub.next(timeout=5.0)
+            assert note.verb == "FRESH"
+            assert not note.is_stale
+
+    def test_multiple_subscribers_fan_out(self, push_client):
+        with push_client.subscribe() as one, push_client.subscribe() as two:
+            push_client.post_event("outofdate", "b,v,1", "down")
+            assert one.next(timeout=5.0).oid == OID("b", "v", 1)
+            assert two.next(timeout=5.0).oid == OID("b", "v", 1)
+
+    def test_subscriber_disconnect_does_not_break_posts(self, push_server, push_client):
+        sub = push_client.subscribe()
+        sub.close()
+        # posting after the subscriber vanished must still succeed; the
+        # dead subscriber is dropped on the next publish
+        push_client.post_event("outofdate", "a,v,1", "down")
+        push_client.post_event("ckin", "a,v,1", "up")
+        assert push_client.ping() is True
+
+    def test_subscription_iterates(self, push_client):
+        sub = push_client.subscribe()
+        push_client.post_event("outofdate", "a,v,1", "down")
+        push_client.post_event("outofdate", "b,v,1", "down")
+        seen = []
+        for note in sub:
+            seen.append(note.oid)
+            if len(seen) == 2:
+                break
+        sub.close()
+        assert seen == [OID("a", "v", 1), OID("b", "v", 1)]
+
+
+class TestPersistentClient:
+    def test_reuses_one_connection(self, push_server, push_client):
+        with BlueprintClient(
+            host=push_server.host, port=push_server.port, persistent=True
+        ) as pinned:
+            assert pinned.ping() is True
+            first_conn = pinned._conn
+            assert first_conn is not None
+            pinned.post_event("outofdate", "a,v,1", "down")
+            assert pinned.stale() == [OID("a", "v", 1)]
+            assert pinned._conn is first_conn  # same socket across calls
+        assert pinned._conn is None  # context exit released it
+
+    def test_reconnects_after_dropped_socket(self, push_server):
+        pinned = BlueprintClient(
+            host=push_server.host, port=push_server.port, persistent=True
+        )
+        assert pinned.ping() is True
+        # simulate the network dropping the pinned connection
+        pinned._conn.shutdown(socket.SHUT_RDWR)
+        pinned._conn.close()
+        with pytest.raises(ClientError):
+            pinned.ping()
+        assert pinned._conn is None  # poisoned socket released...
+        assert pinned.ping() is True  # ...and the next call reconnected
+        pinned.close()
+
+    def test_err_does_not_poison_connection(self, push_server):
+        with BlueprintClient(
+            host=push_server.host, port=push_server.port, persistent=True
+        ) as pinned:
+            with pytest.raises(ClientError):
+                pinned.post_event("ckin", "nosuchblock,verilog,1", "up")
+            assert pinned.ping() is True  # same connection still serving

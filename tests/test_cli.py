@@ -10,7 +10,7 @@ from repro.flows.edtc import EDTC_BLUEPRINT
 from repro.flows.generators import chain_blueprint_source
 from repro.metadb.database import MetaDatabase
 from repro.metadb.oid import OID
-from repro.metadb.persistence import save_database
+from repro.metadb.persistence import load_database, save_database
 
 
 @pytest.fixture
@@ -140,3 +140,68 @@ class TestReplayCommand:
         rebuilt, _ = load_database(out_path)
         assert rebuilt.object_count == 3
         assert rebuilt.get(OID("core", "v1", 1)).get("uptodate") is False
+
+
+class TestServe:
+    def _free_port(self):
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            return probe.getsockname()[1]
+
+    def test_serve_answers_clients(self, database_file, capsys):
+        import threading
+
+        from repro.network.client import BlueprintClient
+        from repro.network.server import wait_for_port
+
+        db_path, chain_path = database_file
+        port = self._free_port()
+        result: list[int] = []
+
+        def run_server():
+            result.append(
+                main(
+                    [
+                        "serve",
+                        db_path,
+                        chain_path,
+                        "--port",
+                        str(port),
+                        "--serve-seconds",
+                        "8",
+                    ]
+                )
+            )
+
+        thread = threading.Thread(target=run_server, daemon=True)
+        thread.start()
+        assert wait_for_port("127.0.0.1", port, timeout=5)
+        client = BlueprintClient(host="127.0.0.1", port=port)
+        assert client.ping() is True
+        assert client.status()["objects"] == 4
+        stale = client.stale()
+        assert stale  # the ckin wave left downstream views stale
+        with client.subscribe() as sub:
+            client.post_event("ckin", stale[0].wire(), "up")
+            assert sub.next(timeout=5.0).verb == "FRESH"
+        from repro import cli
+
+        cli.stop_serving()  # end the serve loop without waiting out --serve-seconds
+        thread.join(timeout=30)
+        assert result == [0]
+        out = capsys.readouterr().out
+        assert "serving" in out
+        assert "subscribe" in out
+        assert "saved" in out
+        # events posted over the wire persist across server shutdown
+        saved, _ = load_database(db_path)
+        assert saved.get(stale[0]).get("uptodate") is True
+
+    def test_serve_help_documents_push(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--help"])
+        out = capsys.readouterr().out
+        assert "--port" in out
+        assert "subscribe" in out or "STALE" in out
