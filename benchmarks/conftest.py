@@ -9,13 +9,58 @@ registers a pytest-benchmark measurement for the core operation.
 Run everything with::
 
     pytest benchmarks/ --benchmark-only
+
+Quick mode: setting ``DAMOCLES_BENCH_QUICK=1`` (the CI smoke job) keeps
+only the smallest parametrized size of each benchmark, so the harnesses
+stay exercised on every push without the full-size timings.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.analysis.reporting import ExperimentReport
+
+QUICK = os.environ.get("DAMOCLES_BENCH_QUICK") == "1"
+
+
+def _size_key(item) -> tuple | None:
+    """Numeric params of a test item (None when unparametrized)."""
+    callspec = getattr(item, "callspec", None)
+    if callspec is None:
+        return None
+    numbers = tuple(
+        value
+        for value in callspec.params.values()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    )
+    return numbers or None
+
+
+def pytest_collection_modifyitems(config, items):
+    if not QUICK:
+        return
+    smallest: dict[tuple, tuple] = {}
+    for item in items:
+        key = _size_key(item)
+        if key is None:
+            continue
+        group = (item.module.__name__, item.originalname)
+        if group not in smallest or key < smallest[group]:
+            smallest[group] = key
+    kept, deselected = [], []
+    for item in items:
+        key = _size_key(item)
+        group = (item.module.__name__, getattr(item, "originalname", item.name))
+        if key is not None and key != smallest.get(group):
+            deselected.append(item)
+        else:
+            kept.append(item)
+    if deselected:
+        config.hook.pytest_deselected(items=deselected)
+        items[:] = kept
 
 
 @pytest.fixture

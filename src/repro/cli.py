@@ -51,9 +51,22 @@ def _load_blueprint(path: str) -> Blueprint:
     return Blueprint.from_file(path)
 
 
+def _csv_set(text: str | None) -> set[str] | None:
+    if text is None:
+        return None
+    return {item.strip() for item in text.split(",") if item.strip()}
+
+
 def _load_db(args: argparse.Namespace):
-    """Load the database named by *args*, honouring ``--backend``."""
-    return load_database(args.database, backend=getattr(args, "backend", None))
+    """Load the database named by *args*, honouring ``--backend`` and the
+    lazy/window options (``--lazy``, ``--blocks``, ``--views``)."""
+    return load_database(
+        args.database,
+        backend=getattr(args, "backend", None),
+        lazy=getattr(args, "lazy", False),
+        blocks=_csv_set(getattr(args, "blocks", None)),
+        views=_csv_set(getattr(args, "views", None)),
+    )
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -133,7 +146,13 @@ def cmd_query(args: argparse.Namespace) -> int:
     from repro.metadb.properties import value_to_text
 
     db, _registry = _load_db(args)
-    obj = db.find(OID.parse(args.oid))
+    oid = OID.parse(args.oid)
+    if getattr(args, "explain", False):
+        from repro.metadb.query import Query
+
+        plan = Query(db).block(oid.block).view(oid.view).explain()
+        print(f"plan: {plan.describe()}")
+    obj = db.find(oid)
     if obj is None:
         print(f"unknown OID {args.oid}")
         return 1
@@ -145,16 +164,19 @@ def cmd_query(args: argparse.Namespace) -> int:
 def cmd_find(args: argparse.Namespace) -> int:
     """Select OIDs by a blueprint-language expression."""
     from repro.core.expressions import ExpressionError
-    from repro.core.state import find_objects
+    from repro.core.state import find_objects_explained
 
     db, _registry = _load_db(args)
     try:
-        matches = find_objects(
+        matches, plan = find_objects_explained(
             db, args.expression, latest_only=not args.all_versions
         )
     except ExpressionError as exc:
         print(f"bad expression: {exc}")
         return 2
+    if getattr(args, "explain", False):
+        # Pushdown vs resident-index vs scan, observable without a debugger.
+        print(f"plan: {plan.describe()}")
     for obj in matches:
         print(obj.oid.dotted())
     print(f"{len(matches)} match(es)")
@@ -227,13 +249,26 @@ def cmd_serve(args: argparse.Namespace) -> int:
     finally:
         _serve_stops.remove(stop)
         server.stop()
+    windowed = getattr(args, "blocks", None) or getattr(args, "views", None)
     if not args.no_save:
-        # The database IS the project state: events posted over the wire
-        # would otherwise be lost the moment the server exits.
-        save_database(
-            db, args.database, registry, backend=getattr(args, "backend", None)
-        )
-        print(f"damocles: saved {db.object_count} objects back to {args.database}")
+        if windowed and not getattr(args, "lazy", False):
+            # An eager partial load holds only the window; saving it back
+            # would overwrite DATABASE with the subset and destroy the
+            # rest.  Lazy windows are safe: they write back incrementally.
+            print(
+                "damocles: NOT saving back — --blocks/--views loaded a "
+                "partial database (use --lazy for incremental write-back, "
+                "or --no-save to silence this)"
+            )
+        else:
+            # The database IS the project state: events posted over the
+            # wire would otherwise be lost the moment the server exits.
+            save_database(
+                db, args.database, registry, backend=getattr(args, "backend", None)
+            )
+            print(
+                f"damocles: saved {db.object_count} objects back to {args.database}"
+            )
     return 0
 
 
@@ -256,6 +291,22 @@ def _add_backend_option(subparser: argparse.ArgumentParser) -> None:
         choices=backend_names(),
         default=None,
         help="persistence backend (default: guessed from the path suffix)",
+    )
+
+
+def _add_window_options(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--lazy", action="store_true",
+        help="open the database demand-faulting (sqlite only): objects "
+        "page in on first touch, volume queries push down to SQL",
+    )
+    subparser.add_argument(
+        "--blocks", default=None, metavar="A,B,...",
+        help="restrict the shard window to these blocks",
+    )
+    subparser.add_argument(
+        "--views", default=None, metavar="X,Y,...",
+        help="restrict the shard window to these view types",
     )
 
 
@@ -296,6 +347,10 @@ def build_parser() -> argparse.ArgumentParser:
     query = subparsers.add_parser("query", help="one OID's properties")
     query.add_argument("database")
     query.add_argument("oid", help="BLOCK,VIEW,VERSION")
+    query.add_argument(
+        "--explain", action="store_true",
+        help="print the query plan (sql-pushdown / resident-index / scan)",
+    )
     query.set_defaults(func=cmd_query)
 
     find = subparsers.add_parser(
@@ -304,6 +359,10 @@ def build_parser() -> argparse.ArgumentParser:
     find.add_argument("database")
     find.add_argument("expression")
     find.add_argument("--all-versions", action="store_true")
+    find.add_argument(
+        "--explain", action="store_true",
+        help="print the query plan (sql-pushdown / resident-index / scan)",
+    )
     find.set_defaults(func=cmd_find)
 
     dashboard = subparsers.add_parser("dashboard", help="HTML dashboard")
@@ -367,6 +426,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     for database_command in (status, pending, query, find, dashboard, serve):
         _add_backend_option(database_command)
+    # The lazy/window options make the server and the read-side commands
+    # O(window) over a large SQLite database (demand faulting).
+    for windowed_command in (serve, status, pending, find, query):
+        _add_window_options(windowed_command)
 
     return parser
 

@@ -82,6 +82,7 @@ from repro.core.state import (
     design_state,
     evaluate_on,
     find_objects,
+    find_objects_explained,
     is_up_to_date,
     pending_work,
     project_status,
@@ -147,6 +148,7 @@ __all__ = [
     "design_state",
     "evaluate_on",
     "find_objects",
+    "find_objects_explained",
     "is_up_to_date",
     "pending_work",
     "project_status",

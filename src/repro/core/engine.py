@@ -203,6 +203,9 @@ class BlueprintEngine:
         blueprint: Blueprint,
         *,
         backend: str | None = None,
+        lazy: bool = False,
+        blocks: set[str] | None = None,
+        views: set[str] | None = None,
         **kwargs,
     ) -> "BlueprintEngine":
         """An engine over a previously persisted meta-database.
@@ -211,10 +214,18 @@ class BlueprintEngine:
         *backend* names one; the loaded database arrives fully indexed,
         so the engine's hot paths (adjacency, stale set) are warm from
         the first event.
+
+        ``lazy=True`` (SQLite only) serves events against a
+        demand-faulting database: a wave over one subsystem faults in
+        just the shards it touches, and *blocks* / *views* bound the
+        faultable window, so the engine's footprint is O(window) even
+        over a hundred-thousand-object project.
         """
         from repro.metadb.persistence import load_database
 
-        db, _registry = load_database(path, backend=backend)
+        db, _registry = load_database(
+            path, backend=backend, lazy=lazy, blocks=blocks, views=views
+        )
         return cls(db, blueprint, **kwargs)
 
     # ------------------------------------------------------------------

@@ -51,6 +51,112 @@ def is_up_to_date(db: MetaDatabase, oid: OID | str) -> bool:
     return truthy(db.get(oid).get("uptodate"))
 
 
+def _numeric_like(text: str) -> bool:
+    try:
+        float(text)
+    except ValueError:
+        return False
+    return True
+
+
+def _indexable_conjuncts(
+    condition: Expression,
+) -> list[tuple[str, Value, str]]:
+    """Equality conjuncts the planner can narrow candidates with.
+
+    Walks the top-level ``and`` chain (or a single comparison) for
+    ``$name == literal`` forms and returns ``(name, literal, kind)``
+    hints — kind ``"view"`` / ``"block"`` for those builtins, else
+    ``"property"``.  The hints are *sound* candidate narrowing, not
+    filters: the expression itself is still evaluated on every survivor,
+    and the hint's equality (:func:`values_equal`) is exactly the
+    expression's, so no matching object can be dropped.  Quoted literals
+    that interpolate (``"$x"``) are skipped — their value is per-object.
+    """
+    from repro.core.expressions import And, Compare, Literal, VarRef
+
+    if isinstance(condition, And):
+        items = condition.items
+    else:
+        items = (condition,)
+    hints: list[tuple[str, Value, str]] = []
+    for item in items:
+        if not (isinstance(item, Compare) and item.op == "=="):
+            continue
+        sides = (item.left, item.right)
+        for var, literal in (sides, sides[::-1]):
+            if not (isinstance(var, VarRef) and isinstance(literal, Literal)):
+                continue
+            if literal.quoted and isinstance(literal.value, str) and "$" in literal.value:
+                continue  # interpolated: value depends on the object
+            if var.name in ("view", "block"):
+                # The name buckets key by exact string; expression
+                # equality is numeric for number-like text ("10" ==
+                # "10.0"), so only plain-text literals are sound hints.
+                if isinstance(literal.value, str) and not _numeric_like(
+                    literal.value
+                ):
+                    hints.append((var.name, literal.value, var.name))
+            elif var.name not in ("oid", "version"):
+                hints.append((var.name, literal.value, "property"))
+            break
+    return hints
+
+
+def _lang_equals(stored: Value, wanted: Value) -> bool:
+    """Does a stored value (or any Python-equal twin) expression-equal
+    *wanted*?
+
+    The property index buckets by Python equality, so the key ``0`` may
+    stand in for objects that stored ``False``; a candidate hint for
+    ``$p == false`` must therefore accept the whole Python-equality
+    class, not just the bucket's representative.  Widening only grows
+    the candidate set — the expression filter still decides membership.
+    """
+    from repro.core.expressions import values_equal
+
+    variants: list[Value] = [stored]
+    if isinstance(stored, bool):
+        variants += [int(stored), float(stored)]
+    elif isinstance(stored, (int, float)):
+        if stored in (0, 1):
+            variants.append(bool(stored))
+        variants.append(float(stored))
+        if float(stored).is_integer():
+            variants.append(int(stored))
+    return any(values_equal(variant, wanted) for variant in variants)
+
+
+def find_objects_explained(
+    db: MetaDatabase,
+    condition: Expression | str,
+    *,
+    latest_only: bool = True,
+) -> tuple[list[MetaObject], "QueryPlan"]:
+    """:func:`find_objects` plus the query plan that produced it.
+
+    Equality conjuncts ride the secondary indexes (and, on a lazy
+    database, the SQL pushdown) as candidate hints; everything else
+    falls back to the latest set or a scan.  The expression remains the
+    only filter, so results are identical to the scan path.
+    """
+    from repro.metadb.query import Query
+
+    if isinstance(condition, str):
+        condition = Expression.parse(condition)
+    query = Query(db)
+    for name, value, kind in _indexable_conjuncts(condition):
+        query.hint_equals(name, value, _lang_equals, kind=kind)
+    query.where(lambda obj: truthy(evaluate_on(obj, condition)))
+    if latest_only:
+        query.latest_only()
+    # One planning pass: the returned plan is the one that executed
+    # (running the query faults candidates in, so planning again
+    # afterwards would report everything as already resident).
+    selected, plan = query.select_explained()
+    return selected, plan
+
+
 def find_objects(
     db: MetaDatabase,
     condition: Expression | str,
@@ -65,24 +171,13 @@ def find_objects(
         find_objects(db, "$state != true and $owner == yves")
 
     The expression sees the same environment as :func:`evaluate_on`
-    (properties plus the $oid/$block/$view/$version builtins).
+    (properties plus the $oid/$block/$view/$version builtins).  Top-level
+    equality conjuncts are planner-accelerated — see
+    :func:`find_objects_explained` for the chosen plan.
     """
-    if isinstance(condition, str):
-        condition = Expression.parse(condition)
-    if latest_only:
-        candidates = [
-            obj
-            for obj in (
-                db.latest_version(block, view) for block, view in db.lineages()
-            )
-            if obj is not None
-        ]
-    else:
-        candidates = list(db.objects())
-    selected = [
-        obj for obj in candidates if truthy(evaluate_on(obj, condition))
-    ]
-    selected.sort(key=lambda obj: obj.oid)
+    selected, _plan = find_objects_explained(
+        db, condition, latest_only=latest_only
+    )
     return selected
 
 

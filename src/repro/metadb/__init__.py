@@ -58,6 +58,7 @@ from repro.metadb.persistence import (
     save_database,
 )
 from repro.metadb.properties import PropertyBag, PropertyChange, coerce_value, value_to_text
+from repro.metadb.store import InMemoryStore, LazySqliteStore, ObjectStore
 from repro.metadb.query import (
     Query,
     QueryPlan,
@@ -94,6 +95,9 @@ __all__ = [
     "MetaDatabase",
     "TransactionError",
     "IndexRegistry",
+    "ObjectStore",
+    "InMemoryStore",
+    "LazySqliteStore",
     "Configuration",
     "ConfigurationRegistry",
     "use_links_only",

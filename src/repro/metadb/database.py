@@ -35,6 +35,7 @@ from repro.metadb.links import Direction, Link, LinkClass
 from repro.metadb.objects import MetaObject
 from repro.metadb.oid import OID
 from repro.metadb.properties import PropertyChange
+from repro.metadb.store import InMemoryStore, ObjectStore
 
 ObjectHook = Callable[[MetaObject], None]
 LinkHook = Callable[[Link], None]
@@ -64,6 +65,10 @@ class MetaDatabase:
     _next_link_id: int = 1
     object_hooks: list[ObjectHook] = field(default_factory=list)
     link_hooks: list[LinkHook] = field(default_factory=list)
+    #: The residency layer (see :mod:`repro.metadb.store`).  ``None``
+    #: selects the in-memory store, which adopts the dicts above as-is;
+    #: a lazy store replaces them with demand-faulting views in ``bind``.
+    store: ObjectStore | None = None
     _indexes: IndexRegistry = field(init=False, repr=False)
     _bag_observers: dict[OID, Callable[[PropertyChange], None]] = field(
         init=False, repr=False, default_factory=dict
@@ -74,6 +79,22 @@ class MetaDatabase:
 
     def __post_init__(self) -> None:
         self._indexes = IndexRegistry(stale_property=self.stale_property)
+        if self.store is None:
+            self.store = InMemoryStore()
+        self.store.bind(self)
+
+    @property
+    def lazy(self) -> bool:
+        """True when objects fault in on demand instead of living in core."""
+        return self.store.lazy
+
+    def flush(self, registry=None) -> None:
+        """Write dirty state back through the store (no-op when eager)."""
+        self.store.flush(registry)
+
+    def close(self) -> None:
+        """Flush and release the store's backing resources.  Idempotent."""
+        self.store.close()
 
     # ------------------------------------------------------------------
     # sequence / clock
@@ -99,7 +120,14 @@ class MetaDatabase:
 
     def stale_set(self) -> frozenset[OID]:
         """The incrementally maintained stale set: latest versions whose
-        stale property (``uptodate`` by default) equals ``False``."""
+        stale property (``uptodate`` by default) equals ``False``.
+
+        Under a lazy store this is the union of the resident stale set
+        and a SQL pushdown over the non-resident shards — still
+        O(result), never a full load.
+        """
+        if self.lazy:
+            return frozenset(self._indexes.stale_full())
         return frozenset(self._indexes.stale)
 
     def on_stale_change(self, listener: Callable[[OID, bool], None]) -> None:
@@ -120,15 +148,55 @@ class MetaDatabase:
     def _index_object(self, obj: MetaObject) -> None:
         versions = self._lineages[obj.oid.lineage]
         self._indexes.object_added(obj, versions[-1])
-        oid = obj.oid
+        self._subscribe_object(obj)
 
-        def on_change(change: PropertyChange, _obj: MetaObject = obj) -> None:
-            if self._txn_log is not None:
-                self._txn_log.append(self._property_undo(_obj, change))
-            self._indexes.property_changed(_obj, change)
+    def _subscribe_object(self, obj: MetaObject) -> None:
+        oid = obj.oid
+        if self.store.lazy:
+            store = self.store
+
+            def on_change(change: PropertyChange, _obj: MetaObject = obj) -> None:
+                if self._txn_log is not None:
+                    self._txn_log.append(self._property_undo(_obj, change))
+                self._indexes.property_changed(_obj, change)
+                store.object_dirty(_obj.oid)
+
+        else:
+
+            def on_change(change: PropertyChange, _obj: MetaObject = obj) -> None:
+                if self._txn_log is not None:
+                    self._txn_log.append(self._property_undo(_obj, change))
+                self._indexes.property_changed(_obj, change)
 
         obj.properties.subscribe(on_change)
         self._bag_observers[oid] = on_change
+
+    def _index_faulted(self, obj: MetaObject, lineage_latest: int) -> None:
+        """Index an object the store faulted in from disk.
+
+        Quiet: faulting is a residency change, not a logical one, so
+        stale listeners must not fire (module invariant 3 of
+        :mod:`repro.metadb.store`).
+        """
+        self._indexes.object_added(obj, lineage_latest, quiet=True)
+        self._subscribe_object(obj)
+
+    def _evict_shard(self, objs: list[MetaObject]) -> None:
+        """Un-index an evicted shard — quietly, for the same reason."""
+        for obj in objs:
+            observer = self._bag_observers.pop(obj.oid, None)
+            if observer is not None:
+                obj.properties.unsubscribe(observer)
+        self._indexes.shard_evicted(objs)
+
+    def touch(self, oid: OID) -> None:
+        """Mark *oid*'s shard dirty for write-back.
+
+        Property mutations flow through the bag observers automatically;
+        this is the escape hatch for direct attribute writes (workspace
+        check-out state) that bypass the property channel.
+        """
+        self.store.object_dirty(oid)
 
     def _unindex_object(self, obj: MetaObject) -> None:
         observer = self._bag_observers.pop(obj.oid, None)
@@ -292,6 +360,13 @@ class MetaDatabase:
 
     def latest_version(self, block: str, view: str) -> MetaObject | None:
         """The highest-numbered version of (block, view), if any."""
+        if self.lazy:
+            # Route through the lineage map so a non-resident shard
+            # faults in; the resident latest index only covers the window.
+            versions = self._lineages.get((block, view))
+            if not versions:
+                return None
+            return self._objects[OID(block, view, versions[-1])]
         latest = self._indexes.latest.get((block, view))
         if latest is None:
             return None
@@ -310,11 +385,17 @@ class MetaDatabase:
 
     def blocks_of_view(self, view: str) -> list[str]:
         """All block names that have at least one version in *view*."""
-        return sorted({oid.block for oid in self._indexes.by_view.get(view, ())})
+        resident = {oid.block for oid in self._indexes.by_view.get(view, ())}
+        if self.lazy:
+            resident |= self._indexes.pushdown.blocks_of_view(view)
+        return sorted(resident)
 
     def views_of_block(self, block: str) -> list[str]:
         """All view types that block has at least one version in."""
-        return sorted({oid.view for oid in self._indexes.by_block.get(block, ())})
+        resident = {oid.view for oid in self._indexes.by_block.get(block, ())}
+        if self.lazy:
+            resident |= self._indexes.pushdown.views_of_block(block)
+        return sorted(resident)
 
     # ------------------------------------------------------------------
     # links

@@ -62,6 +62,11 @@ class IndexRegistry:
         self.stale: set[OID] = set()
         self._adjacency: dict[tuple[OID, Direction], tuple[tuple[Link, OID], ...]] = {}
         self._stale_listeners: list[StaleListener] = []
+        #: Non-resident lookup provider installed by a lazy store
+        #: (:class:`repro.metadb.store.LazySqliteStore`).  When set, the
+        #: in-memory buckets only cover *resident* objects and the
+        #: ``*_full`` lookups union them with SQL pushdowns.
+        self.pushdown = None
 
     # ------------------------------------------------------------------
     # stale-set change listeners
@@ -80,17 +85,23 @@ class IndexRegistry:
     def remove_stale_listener(self, listener: StaleListener) -> None:
         self._stale_listeners.remove(listener)
 
-    def _stale_add(self, oid: OID) -> None:
+    def _stale_add(self, oid: OID, quiet: bool = False) -> None:
         if oid in self.stale:
             return
         self.stale.add(oid)
+        if quiet:
+            # Residency change (fault-in of an already-stale object):
+            # the logical stale set did not move, so listeners stay mute.
+            return
         for listener in list(self._stale_listeners):
             listener(oid, True)
 
-    def _stale_discard(self, oid: OID) -> None:
+    def _stale_discard(self, oid: OID, quiet: bool = False) -> None:
         if oid not in self.stale:
             return
         self.stale.discard(oid)
+        if quiet:
+            return
         for listener in list(self._stale_listeners):
             listener(oid, False)
 
@@ -98,15 +109,19 @@ class IndexRegistry:
     # object maintenance
     # ------------------------------------------------------------------
 
-    def object_added(self, obj: MetaObject, lineage_latest: int) -> None:
+    def object_added(
+        self, obj: MetaObject, lineage_latest: int, *, quiet: bool = False
+    ) -> None:
         """Index a newly inserted object; *lineage_latest* is the highest
-        version its lineage now holds."""
+        version its lineage now holds.  ``quiet=True`` (fault-in from a
+        lazy store) suppresses stale-listener notifications — residency
+        changes are not logical transitions."""
         oid = obj.oid
         self.by_block.setdefault(oid.block, set()).add(oid)
         self.by_view.setdefault(oid.view, set()).add(oid)
         for name, value in obj.properties.items():
             self._property_bucket(name, value).add(oid)
-        self._set_latest(obj, oid.with_version(lineage_latest))
+        self._set_latest(obj, oid.with_version(lineage_latest), quiet=quiet)
         self._drop_adjacency(oid)
 
     def object_removed(
@@ -133,6 +148,32 @@ class IndexRegistry:
             if new_latest is not None:
                 self._set_latest(new_latest, new_latest.oid)
         self._drop_adjacency(oid)
+
+    def shard_evicted(self, objs: list[MetaObject]) -> None:
+        """Un-index a whole lineage the lazy store is paging out.
+
+        Quiet by design: the objects still exist on disk, so the logical
+        stale set is unchanged — their stale membership merely moves to
+        the SQL pushdown side.  (Only *clean* shards are evictable, so
+        disk is guaranteed current.)
+        """
+        for obj in objs:
+            oid = obj.oid
+            self._discard(self.by_block, oid.block, oid)
+            self._discard(self.by_view, oid.view, oid)
+            for name, value in obj.properties.items():
+                bucket = self.by_property.get(name)
+                if bucket is not None:
+                    values = bucket.get(value)
+                    if values is not None:
+                        values.discard(oid)
+                        if not values:
+                            del bucket[value]
+                    if not bucket:
+                        del self.by_property[name]
+            self._stale_discard(oid, quiet=True)
+            self.latest.pop(oid.lineage, None)
+            self._drop_adjacency(oid)
 
     def property_changed(self, obj: MetaObject, change: PropertyChange) -> None:
         """Re-bucket one property mutation (set, update or delete)."""
@@ -193,13 +234,59 @@ class IndexRegistry:
         return self.latest.values()
 
     # ------------------------------------------------------------------
+    # faulting-aware lookups (resident indexes ∪ SQL pushdown)
+    # ------------------------------------------------------------------
+    #
+    # With no pushdown installed these reduce to the resident lookups —
+    # the eager path pays nothing.  With one installed, the resident
+    # buckets cover exactly the resident lineages and the pushdown
+    # covers exactly the rest (the store excludes resident lineages
+    # itself), so the union is the complete logical answer without a
+    # full load.
+
+    def property_bucket_full(self, name: str, value: Value) -> set[OID]:
+        """All OIDs (resident or not) whose property *name* == *value*."""
+        oids = set(self.property_bucket(name, value))
+        if self.pushdown is not None:
+            oids |= self.pushdown.property_oids(name, value)
+        return oids
+
+    def view_bucket_full(self, view: str) -> set[OID]:
+        oids = set(self.by_view.get(view, ()))
+        if self.pushdown is not None:
+            oids |= self.pushdown.view_oids(view)
+        return oids
+
+    def block_bucket_full(self, block: str) -> set[OID]:
+        oids = set(self.by_block.get(block, ()))
+        if self.pushdown is not None:
+            oids |= self.pushdown.block_oids(block)
+        return oids
+
+    def latest_full(self) -> set[OID]:
+        """Every lineage head, resident or not."""
+        oids = set(self.latest.values())
+        if self.pushdown is not None:
+            oids |= self.pushdown.latest_oids()
+        return oids
+
+    def stale_full(self) -> set[OID]:
+        """The complete logical stale set (resident ∪ pushdown)."""
+        oids = set(self.stale)
+        if self.pushdown is not None:
+            oids |= self.pushdown.stale_oids(self.stale_property)
+        return oids
+
+    # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
 
     def _property_bucket(self, name: str, value: Value) -> set[OID]:
         return self.by_property.setdefault(name, {}).setdefault(value, set())
 
-    def _set_latest(self, candidate: MetaObject, latest_oid: OID) -> None:
+    def _set_latest(
+        self, candidate: MetaObject, latest_oid: OID, *, quiet: bool = False
+    ) -> None:
         """Install *latest_oid* as the lineage head; *candidate* is the
         object carrying its property values when the head changed."""
         lineage = latest_oid.lineage
@@ -207,13 +294,13 @@ class IndexRegistry:
         if previous == latest_oid:
             return
         if previous is not None:
-            self._stale_discard(previous)
+            self._stale_discard(previous, quiet=quiet)
         self.latest[lineage] = latest_oid
         if candidate.oid == latest_oid:
             if candidate.get(self.stale_property) == False:  # noqa: E712
-                self._stale_add(latest_oid)
+                self._stale_add(latest_oid, quiet=quiet)
             else:
-                self._stale_discard(latest_oid)
+                self._stale_discard(latest_oid, quiet=quiet)
 
     @staticmethod
     def _discard(index: dict[str, set[OID]], key: str, oid: OID) -> None:

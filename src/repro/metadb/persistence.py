@@ -75,6 +75,11 @@ def database_to_dict(
     return {
         "format": FORMAT_VERSION,
         "name": db.name,
+        # Counters that are database state, not derivable from the rows:
+        # dropping them on a round-trip reused link ids after deletions
+        # and regressed the logical clock configurations compare by.
+        "clock": db.clock,
+        "next_link_id": db._next_link_id,
         "objects": objects,
         "links": links,
         "configurations": configurations,
@@ -139,6 +144,10 @@ def database_from_dict(
             )
     except KeyError as exc:
         raise PersistenceError(f"missing field in database file: {exc}") from exc
+    # Restore persisted counters; ``max`` keeps files from before they
+    # were stored (where replayed mutations already advanced them) valid.
+    db._seq = max(db._seq, int(data.get("clock", 0)))
+    db._next_link_id = max(db._next_link_id, int(data.get("next_link_id", 1)))
     return db, registry
 
 
@@ -268,8 +277,40 @@ def save_database(
 
 
 def load_database(
-    path: Path | str, *, backend: str | None = None
+    path: Path | str,
+    *,
+    backend: str | None = None,
+    lazy: bool = False,
+    blocks: set[str] | None = None,
+    views: set[str] | None = None,
+    cache_lineages: int | None = None,
 ) -> tuple[MetaDatabase, ConfigurationRegistry]:
-    """Load a database previously written by :func:`save_database`."""
+    """Load a database previously written by :func:`save_database`.
+
+    ``lazy=True`` opens a demand-faulting database over the SQLite
+    backend (objects page in on first touch, O(window) footprint)
+    instead of materialising everything; *blocks* / *views* restrict the
+    shard window either way (lazy faulting window, or eager
+    ``load_partial``).  Lazy opens require a backend with ``open_lazy``
+    — the SQLite store — and fail loudly otherwise.
+    """
     chosen = get_backend(backend) if backend else backend_for_path(path)
+    if lazy:
+        opener = getattr(chosen, "open_lazy", None)
+        if opener is None:
+            raise PersistenceError(
+                f"backend {chosen.name!r} cannot open lazily "
+                "(demand faulting needs the sqlite backend)"
+            )
+        kwargs: dict = {"blocks": blocks, "views": views}
+        if cache_lineages is not None:
+            kwargs["cache_lineages"] = cache_lineages
+        return opener(path, **kwargs)
+    if blocks is not None or views is not None:
+        partial = getattr(chosen, "load_partial", None)
+        if partial is None:
+            raise PersistenceError(
+                f"backend {chosen.name!r} cannot load a block/view window"
+            )
+        return partial(path, blocks=blocks, views=views)
     return chosen.load(path)

@@ -38,10 +38,17 @@ class QueryPlan:
 
     ``strategy`` is one of:
 
-    * ``"index"`` — candidates came from the named secondary index;
+    * ``"index"`` — candidates came from the named secondary index
+      (eager database: everything is resident);
+    * ``"resident-index"`` — lazy database, but every candidate was
+      already resident; the secondary index answered alone;
+    * ``"sql-pushdown"`` — lazy database: the named lookup was pushed
+      down to the SQLite indexes for the non-resident shards and
+      unioned with the resident index (no full load);
     * ``"latest"`` — candidates are the latest-version set (no usable
       index, but ``latest_only`` bounds the scan to one OID per lineage);
-    * ``"scan"`` — full object scan.
+    * ``"scan"`` — full object scan (on a lazy database this faults
+      everything in — the planner's job is to avoid it).
     """
 
     strategy: str
@@ -49,8 +56,8 @@ class QueryPlan:
     candidates: int | None = None
 
     def describe(self) -> str:
-        if self.strategy == "index":
-            return f"index {self.index} ({self.candidates} candidates)"
+        if self.index is not None:
+            return f"{self.strategy} {self.index} ({self.candidates} candidates)"
         return self.strategy
 
 
@@ -73,6 +80,16 @@ class Query:
     _views: list[str] = field(default_factory=list)
     _blocks: list[str] = field(default_factory=list)
     _property_eqs: list[tuple[str, Value]] = field(default_factory=list)
+    #: Loose candidate hints: (name, value, equals, kind).  Unlike the
+    #: structured filters these add NO predicate — callers (the
+    #: expression-language ``find``) pair them with their own filter and
+    #: the planner only uses them to narrow the candidate set.  ``kind``
+    #: is ``"property"``, ``"view"`` or ``"block"``; the latter two also
+    #: union the name-index bucket because an object property of the
+    #: same name shadows the builtin in expression evaluation.
+    _loose: list[tuple[str, Value, Callable[[Value, Value], bool], str]] = field(
+        default_factory=list
+    )
 
     # -- filters ------------------------------------------------------------
 
@@ -102,6 +119,26 @@ class Query:
         self._property_eqs.append((name, wanted))
         return self.where(lambda obj: obj.get(name) == wanted)
 
+    def hint_equals(
+        self,
+        name: str,
+        value: Value,
+        equals: Callable[[Value, Value], bool],
+        *,
+        kind: str = "property",
+    ) -> "Query":
+        """Narrow candidates to objects where *name* ≈ *value* under the
+        caller's *equals* — **without** adding a predicate.
+
+        This is how the expression language's ``find`` rides the indexes:
+        its equality (``"4" == 4``) differs from Python's, so it supplies
+        ``values_equal`` here and keeps the expression itself as the only
+        filter.  Using a hint whose *equals* does not imply your own
+        filter's semantics would drop matching objects.
+        """
+        self._loose.append((name, value, equals, kind))
+        return self
+
     def where_property_not(self, name: str, value: object) -> "Query":
         wanted = coerce_value(value)
         return self.where(lambda obj: obj.get(name) != wanted)
@@ -122,6 +159,36 @@ class Query:
 
     # -- planning ------------------------------------------------------------
 
+    def _loose_resident(
+        self, name: str, value: Value, equals, kind: str
+    ) -> set[OID]:
+        """Resident candidates for one loose hint."""
+        indexes = self.db.indexes
+        oids: set[OID] = set()
+        if kind == "view" and isinstance(value, str):
+            oids |= indexes.by_view.get(value, set())
+        elif kind == "block" and isinstance(value, str):
+            oids |= indexes.by_block.get(value, set())
+        for key, bucket in indexes.by_property.get(name, {}).items():
+            if equals(key, value):
+                oids |= bucket
+        return oids
+
+    def _loose_pushdown(
+        self, name: str, value: Value, equals, kind: str
+    ) -> set[OID]:
+        """Non-resident candidates for one loose hint (lazy stores only)."""
+        push = self.db.indexes.pushdown
+        oids: set[OID] = set()
+        if kind == "view" and isinstance(value, str):
+            oids |= push.view_oids(value)
+        elif kind == "block" and isinstance(value, str):
+            oids |= push.block_oids(value)
+        for disk_value in push.property_values(name):
+            if equals(disk_value, value):
+                oids |= push.property_oids(name, disk_value)
+        return oids
+
     def _index_options(self) -> list[tuple[str, set[OID]]]:
         """Candidate sets the secondary indexes can answer, labelled."""
         indexes = self.db.indexes
@@ -134,10 +201,19 @@ class Query:
             options.append(
                 (f"property {name}={value!r}", indexes.property_bucket(name, value))
             )
+        for name, value, equals, kind in self._loose:
+            options.append(
+                (
+                    f"{kind}~{name}={value!r}",
+                    self._loose_resident(name, value, equals, kind),
+                )
+            )
         return options
 
     def _plan(self) -> tuple[QueryPlan, Iterable[MetaObject]]:
         """Pick the most selective candidate source."""
+        if self.db.lazy:
+            return self._plan_lazy()
         options = self._index_options()
         if options:
             label, oids = min(options, key=lambda option: len(option[1]))
@@ -151,6 +227,65 @@ class Query:
                 candidates = (objects[oid] for oid in oids)
             return QueryPlan("index", label, len(oids)), candidates
         return self._scan_plan()
+
+    def _plan_lazy(self) -> tuple[QueryPlan, Iterable[MetaObject]]:
+        """The faulting-aware plan: resident index ∪ SQL pushdown.
+
+        Candidate materialisation faults each OID's shard in; the window
+        therefore grows by O(candidates), never by O(database).  The
+        ``is_latest`` check runs *after* the fault so the resident latest
+        index is authoritative for every candidate it sees.
+        """
+        indexes = self.db.indexes
+        push = indexes.pushdown
+        options: list[tuple[str, set[OID], set[OID]]] = []
+        for view in self._views:
+            options.append(
+                (f"view={view}", set(indexes.by_view.get(view, set())),
+                 push.view_oids(view))
+            )
+        for block in self._blocks:
+            options.append(
+                (f"block={block}", set(indexes.by_block.get(block, set())),
+                 push.block_oids(block))
+            )
+        for name, value in self._property_eqs:
+            options.append(
+                (f"property {name}={value!r}",
+                 set(indexes.property_bucket(name, value)),
+                 push.property_oids(name, value))
+            )
+        for name, value, equals, kind in self._loose:
+            options.append(
+                (f"{kind}~{name}={value!r}",
+                 self._loose_resident(name, value, equals, kind),
+                 self._loose_pushdown(name, value, equals, kind))
+            )
+        if options:
+            label, resident, remote = min(
+                options, key=lambda option: len(option[1]) + len(option[2])
+            )
+            oids = resident | remote
+            strategy = "sql-pushdown" if remote else "resident-index"
+            return QueryPlan(strategy, label, len(oids)), self._materialise(oids)
+        if self._latest_only:
+            remote = push.latest_oids()
+            oids = set(indexes.latest.values()) | remote
+            strategy = "sql-pushdown" if remote else "latest"
+            index = "latest" if remote else None
+            return QueryPlan(strategy, index, len(oids)), self._materialise(oids)
+        return QueryPlan("scan"), self.db.objects()
+
+    def _materialise(self, oids: set[OID]) -> Iterable[MetaObject]:
+        objects = self.db._objects
+        indexes = self.db.indexes
+        for oid in oids:
+            obj = objects.get(oid)  # faults the shard in on first touch
+            if obj is None:
+                continue
+            if self._latest_only and not indexes.is_latest(oid):
+                continue
+            yield obj
 
     def _scan_plan(self) -> tuple[QueryPlan, Iterable[MetaObject]]:
         if self._latest_only:
@@ -176,8 +311,20 @@ class Query:
         """
         if force_scan:
             candidates = self._scan_candidates_unindexed()
-        else:
-            _plan, candidates = self._plan()
+            return self._filter(candidates)
+        return self.select_explained()[0]
+
+    def select_explained(self) -> tuple[list[MetaObject], QueryPlan]:
+        """Run the query and return the plan that actually executed.
+
+        One planning pass serves both — calling ``explain()`` followed
+        by ``select()`` plans twice, which on a lazy database means
+        running every SQL pushdown twice.
+        """
+        plan, candidates = self._plan()
+        return self._filter(candidates), plan
+
+    def _filter(self, candidates: Iterable[MetaObject]) -> list[MetaObject]:
         result = [
             obj
             for obj in candidates
@@ -232,7 +379,12 @@ def stale_objects(
     """
     if property_name == db.indexes.stale_property:
         objects = db._objects
-        result = [objects[oid] for oid in db.indexes.stale]
+        if db.lazy:
+            # Resident stale ∪ SQL pushdown; materialising the result
+            # faults in O(result) shards, never the whole database.
+            result = [objects[oid] for oid in db.indexes.stale_full()]
+        else:
+            result = [objects[oid] for oid in db.indexes.stale]
         result.sort(key=lambda obj: obj.oid.sort_key())
         return result
     return (

@@ -33,7 +33,12 @@ from repro.metadb.database import MetaDatabase
 from repro.metadb.errors import PersistenceError
 from repro.metadb.links import LinkClass
 from repro.metadb.oid import OID
-from repro.metadb.properties import Value
+from repro.metadb.store import (
+    DEFAULT_CACHE_LINEAGES,
+    LazySqliteStore,
+    _decode_value,
+    _encode_value,
+)
 
 FORMAT_VERSION = 1
 
@@ -87,28 +92,6 @@ CREATE TABLE configurations (
 """
 
 
-def _encode_value(value: Value) -> tuple[str, str]:
-    if isinstance(value, bool):
-        return ("bool", "true" if value else "false")
-    if isinstance(value, int):
-        return ("int", str(value))
-    if isinstance(value, float):
-        return ("float", repr(value))
-    return ("str", value)
-
-
-def _decode_value(value_type: str, text: str) -> Value:
-    if value_type == "bool":
-        return text == "true"
-    if value_type == "int":
-        return int(text)
-    if value_type == "float":
-        return float(text)
-    if value_type == "str":
-        return text
-    raise PersistenceError(f"unknown property value type {value_type!r}")
-
-
 class SqliteBackend:
     """The SQLite store (see module docstring)."""
 
@@ -126,6 +109,15 @@ class SqliteBackend:
         registry: ConfigurationRegistry | None = None,
     ) -> Path:
         path = Path(path)
+        store = db.store
+        if isinstance(store, LazySqliteStore) and (
+            path.exists() and path.resolve() == store.path.resolve()
+        ):
+            # Saving a lazy database back to its own backing file is an
+            # incremental write-back of the dirty shards, not a full
+            # rewrite — rewriting would first fault the whole database in.
+            store.flush(registry)
+            return path
         path.parent.mkdir(parents=True, exist_ok=True)
         if path.exists():
             path.unlink()  # full rewrite, like the JSON backend
@@ -134,7 +126,16 @@ class SqliteBackend:
             connection.executescript(_SCHEMA)
             connection.executemany(
                 "INSERT INTO meta (key, value) VALUES (?, ?)",
-                [("format", str(FORMAT_VERSION)), ("name", db.name)],
+                [
+                    ("format", str(FORMAT_VERSION)),
+                    ("name", db.name),
+                    # The logical clock and link-id counter are database
+                    # state, not derivable from the rows: losing them on
+                    # a round-trip reused link ids and regressed the
+                    # clock (configurations compare created_clock).
+                    ("clock", str(db.clock)),
+                    ("next_link_id", str(db._next_link_id)),
+                ],
             )
             object_rows = []
             property_rows = []
@@ -311,7 +312,124 @@ class SqliteBackend:
                     created_clock=created_clock,
                 )
             )
+        # Restore the persisted counters (see ``save``); ``max`` guards
+        # files written before they were stored and partial loads whose
+        # replayed mutations already advanced past the stored values.
+        db._seq = max(db._seq, int(meta.get("clock", 0)))
+        db._next_link_id = max(db._next_link_id, int(meta.get("next_link_id", 1)))
         return db, registry
+
+    # ------------------------------------------------------------------
+    # lazy open
+    # ------------------------------------------------------------------
+
+    def open_lazy(
+        self,
+        path: Path | str,
+        *,
+        blocks: set[str] | None = None,
+        views: set[str] | None = None,
+        cache_lineages: int = DEFAULT_CACHE_LINEAGES,
+    ) -> tuple[MetaDatabase, ConfigurationRegistry]:
+        """A demand-faulting database over *path* (O(window) footprint).
+
+        Nothing is materialised up front: objects, properties and link
+        adjacency fault in on first touch, sharded by ``(block, view)``,
+        and volume queries answer for the non-resident remainder by SQL
+        pushdown.  *blocks* / *views* restrict the faultable window with
+        the same semantics as :meth:`load_partial` (links need both
+        endpoints inside); *cache_lineages* bounds resident clean shards
+        (LRU).  Mutations write back on ``db.flush()`` / ``db.close()``
+        or a ``save_database`` to the same path.
+        """
+        path = Path(path)
+        store = LazySqliteStore(
+            path, blocks=blocks, views=views, cache_lineages=cache_lineages
+        )
+        try:
+            return self._open_lazy(store)
+        except Exception:
+            store._closed = True  # release the connection, skip the flush
+            store._connection.close()
+            raise
+
+    def _open_lazy(
+        self, store: LazySqliteStore
+    ) -> tuple[MetaDatabase, ConfigurationRegistry]:
+        path = store.path
+        try:
+            connection = store._connection
+            meta = dict(connection.execute("SELECT key, value FROM meta"))
+            if meta.get("format") != str(FORMAT_VERSION):
+                raise PersistenceError(
+                    f"unsupported format version {meta.get('format')!r} "
+                    f"(expected {FORMAT_VERSION})"
+                )
+            db = MetaDatabase(name=meta.get("name", "project"), store=store)
+            if "clock" in meta:
+                db._seq = int(meta["clock"])
+            else:  # pre-fix file: never stamp below an existing object
+                (max_seq,) = connection.execute(
+                    "SELECT COALESCE(MAX(created_seq), 0) FROM objects"
+                ).fetchone()
+                db._seq = max_seq
+            if "next_link_id" in meta:
+                db._next_link_id = int(meta["next_link_id"])
+            else:  # pre-fix file: never reuse an existing link id
+                (max_id,) = connection.execute(
+                    "SELECT COALESCE(MAX(id), 0) FROM links"
+                ).fetchone()
+                db._next_link_id = max_id + 1
+            registry = self._load_configurations_lazy(connection, db, store)
+            return db, registry
+        except sqlite3.DatabaseError as exc:
+            raise PersistenceError(f"corrupt database file {path}: {exc}") from exc
+
+    @staticmethod
+    def _load_configurations_lazy(
+        connection: sqlite3.Connection,
+        db: MetaDatabase,
+        store: LazySqliteStore,
+    ) -> ConfigurationRegistry:
+        """Configurations load eagerly (they are lightweight address
+        sets) but membership checks go through the store's no-fault
+        existence probe so a big configuration cannot page the window
+        full at open time."""
+        registry = ConfigurationRegistry(db)
+        link_window: dict[int, bool] = {}
+        if store.blocks is not None or store.views is not None:
+            for row in connection.execute(
+                "SELECT id, src_block, src_view, dst_block, dst_view FROM links"
+            ):
+                link_window[row[0]] = store._in_window(
+                    row[1], row[2]
+                ) and store._in_window(row[3], row[4])
+        for name, description, created_clock, oids_text, link_ids_text in (
+            connection.execute(
+                "SELECT name, description, created_clock, oids, link_ids "
+                "FROM configurations ORDER BY name"
+            ).fetchall()
+        ):
+            oids = frozenset(
+                oid
+                for oid in (OID.parse(text) for text in json.loads(oids_text))
+                if store.has_object(oid)
+            )
+            link_ids = frozenset(
+                link_id
+                for link_id in json.loads(link_ids_text)
+                if link_window.get(link_id, True)
+            )
+            registry.save(
+                Configuration(
+                    name=name,
+                    description=description,
+                    oids=oids,
+                    link_ids=link_ids,
+                    created_clock=created_clock,
+                )
+            )
+        return registry
 
     @staticmethod
     def _object_filter(

@@ -56,15 +56,24 @@ class Workspace:
         *,
         backend: str | None = None,
         name: str = "workspace",
+        lazy: bool = False,
+        blocks: set[str] | None = None,
+        views: set[str] | None = None,
     ) -> "Workspace":
         """A workspace over a previously saved meta-database.
 
         The persistence backend is guessed from *db_path*'s suffix
         (``.json`` vs ``.sqlite``) unless *backend* names one explicitly.
+        ``lazy=True`` (SQLite only) opens a demand-faulting database —
+        objects page in on first touch — and *blocks* / *views* restrict
+        the shard window, so a workspace over one subsystem of a large
+        project never materialises the rest of the chip.
         """
         from repro.metadb.persistence import load_database
 
-        db, _registry = load_database(db_path, backend=backend)
+        db, _registry = load_database(
+            db_path, backend=backend, lazy=lazy, blocks=blocks, views=views
+        )
         return cls(root=Path(root), db=db, name=name)
 
     def save_db(
@@ -131,6 +140,7 @@ class Workspace:
         if not directory.exists():
             raise WorkspaceError(f"no data directory for {oid}: {directory}")
         obj.checked_out_by = user
+        self.db.touch(oid)  # attribute write bypasses the property channel
         self._notify("ckout", oid, user)
         return directory
 
@@ -144,6 +154,7 @@ class Workspace:
                 f"(holder: {obj.checked_out_by!r})"
             )
         obj.checked_out_by = None
+        self.db.touch(oid)  # attribute write bypasses the property channel
         self._notify("release", oid, user)
 
     def read(self, oid: OID | str, filename: str = DEFAULT_FILENAME) -> str:

@@ -153,7 +153,15 @@ class _Handler(socketserver.StreamRequestHandler):
             command = bus.parse_line(line)
         except ProtocolError as exc:
             return err_response(str(exc))
-        if command.kind in LOCK_EXCLUSIVE:
+        if command.kind in LOCK_EXCLUSIVE or (
+            command.kind in ("query", "pending") and bus.engine.db.lazy
+        ):
+            # On a demand-faulting database, reads are not read-only:
+            # resolving an OID or scanning lineages faults shards in
+            # (and may evict others), mutating the shared index
+            # registry.  Those commands degrade to the exclusive lock;
+            # `stale`/`status`/`ping` stay lock-free (wire mirror and
+            # GIL-atomic counters).
             with server.rwlock.writing():
                 return bus.handle_command(command)
         if command.kind in LOCK_SHARED:

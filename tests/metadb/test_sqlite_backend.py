@@ -231,3 +231,67 @@ class TestPersistedIndexes:
         finally:
             connection.close()
         assert json.loads(propagates) == ["lvs", "outofdate"]
+
+
+class TestPersistedCounters:
+    """Regression: the logical clock and link-id counter are database
+    state; dropping them on a round-trip reused link ids after deletions
+    and regressed ``created_clock`` comparisons."""
+
+    def test_clock_survives_round_trip(self, db, tmp_path):
+        path = save_database(db, tmp_path / "db.sqlite")
+        loaded, _ = load_database(path)
+        assert loaded.clock == db.clock
+
+    def test_link_ids_not_reused_after_deletion_round_trip(self, tmp_path):
+        db = MetaDatabase()
+        a = db.create_object(OID("a", "v", 1))
+        b = db.create_object(OID("b", "v", 1))
+        c = db.create_object(OID("c", "v", 1))
+        db.add_link(a.oid, b.oid)
+        doomed = db.add_link(b.oid, c.oid)
+        db.add_link(a.oid, c.oid)
+        db.remove_link(doomed.link_id)
+        next_id = db._next_link_id
+        path = save_database(db, tmp_path / "db.sqlite")
+        loaded, _ = load_database(path)
+        fresh = loaded.add_link(OID("c", "v", 1), OID("b", "v", 1))
+        assert fresh.link_id >= next_id
+
+    def test_convert_round_trip_preserves_counters(self, db, registry, tmp_path):
+        """JSON -> SQLite -> JSON via the CLI convert command."""
+        from repro.cli import main
+
+        json_path = str(tmp_path / "db.json")
+        sqlite_path = str(tmp_path / "db.sqlite")
+        back_path = str(tmp_path / "back.json")
+        save_database(db, json_path, registry)
+        assert main(["convert", json_path, sqlite_path]) == 0
+        assert main(["convert", sqlite_path, back_path]) == 0
+        final, _ = load_database(back_path)
+        assert final.clock == db.clock
+        assert final._next_link_id >= db._next_link_id
+
+    def test_json_backend_preserves_counters_too(self, db, tmp_path):
+        path = save_database(db, tmp_path / "db.json")
+        loaded, _ = load_database(path)
+        assert loaded.clock == db.clock
+        assert loaded._next_link_id >= db._next_link_id
+
+    def test_pre_fix_sqlite_file_still_loads(self, db, tmp_path):
+        """Files written before the counters were stored load with
+        best-effort values (no crash, no id reuse below the max)."""
+        path = save_database(db, tmp_path / "db.sqlite")
+        connection = sqlite3.connect(path)
+        connection.execute(
+            "DELETE FROM meta WHERE key IN ('clock', 'next_link_id')"
+        )
+        connection.commit()
+        connection.close()
+        loaded, _ = load_database(path)
+        assert loaded.check_integrity() == []
+        lazy, _ = SqliteBackend().open_lazy(path)
+        max_id = max(link.link_id for link in lazy.links())
+        assert lazy.add_link(
+            OID("mem", "rtl", 1), OID("cpu", "gate", 1)
+        ).link_id == max_id + 1

@@ -1,0 +1,168 @@
+"""Three-way store equivalence: eager-JSON vs eager-SQLite vs lazy-SQLite.
+
+Extends the PR-2 indexed-vs-scan harness one level down: the *same*
+randomized mutation/query script runs against a database loaded eagerly
+from JSON, eagerly from SQLite, and lazily from SQLite, and all three
+must produce identical query results, stale sets, and clean
+``check_integrity()`` — plus byte-identical ``select(force_scan=True)``
+output, which bypasses every index and pushdown.
+
+Link ids are deliberately *not* compared: the eager loaders compact ids
+while the lazy store preserves disk ids (so its write-back and pushdown
+stay addressable); equivalence is over the link *structure*
+(endpoints, class, propagate sets).
+"""
+
+import random
+
+import pytest
+
+from repro.metadb.database import MetaDatabase
+from repro.metadb.links import LinkClass
+from repro.metadb.oid import OID
+from repro.metadb.persistence import load_database, save_database
+from repro.metadb.query import Query, stale_objects
+
+VIEWS = ("rtl", "gate", "layout")
+OWNERS = ("ana", "bob", "cho")
+
+
+def seeded_db(rng: random.Random, n_blocks: int = 18) -> MetaDatabase:
+    db = MetaDatabase(name="equiv")
+    for index in range(n_blocks):
+        block = f"b{index}"
+        for view in VIEWS:
+            for version in range(1, rng.randrange(2, 4)):
+                db.create_object(
+                    OID(block, view, version),
+                    {
+                        "uptodate": rng.random() < 0.5,
+                        "owner": rng.choice(OWNERS),
+                        "score": rng.randrange(4),
+                    },
+                )
+    oids = list(db.oids())
+    for _ in range(n_blocks):
+        source, dest = rng.sample(oids, 2)
+        try:
+            db.add_link(source, dest, LinkClass.DERIVE, propagates=("outofdate",))
+        except Exception:
+            pass  # duplicate pair: skip
+    return db
+
+
+def mutate(db: MetaDatabase, rng: random.Random) -> None:
+    """One deterministic mutation script (same rng seed → same script)."""
+    oids = sorted(db.oids())
+    for oid in oids:
+        roll = rng.random()
+        if roll < 0.25:
+            db.get(oid).set("uptodate", not db.get(oid).get("uptodate"))
+        elif roll < 0.35:
+            db.get(oid).set("owner", rng.choice(OWNERS))
+        elif roll < 0.42:
+            db.get(oid).set("score", rng.randrange(6))
+        elif roll < 0.47 and db.find(oid) is not None:
+            db.remove_object(oid)
+    survivors = sorted(db.oids())
+    for _ in range(5):
+        source, dest = rng.sample(survivors, 2)
+        try:
+            db.add_link(source, dest, LinkClass.DERIVE)
+        except Exception:
+            pass
+    block = f"n{rng.randrange(100)}"
+    db.create_object(OID(block, "rtl", 1), {"uptodate": False, "owner": "new"})
+
+
+def query_battery(db: MetaDatabase) -> list:
+    """Observable behaviour: everything equivalence is judged on."""
+    results = []
+    queries = [
+        Query(db).view("rtl"),
+        Query(db).block("b3"),
+        Query(db).where_property("uptodate", False),
+        Query(db).where_property("uptodate", False).latest_only(),
+        Query(db).view("gate").where_property("owner", "bob"),
+        Query(db).where_property("score", 2).latest_only(),
+        Query(db).where(lambda obj: obj.version >= 2).view("layout"),
+    ]
+    for query in queries:
+        selected = query.select()
+        results.append([obj.oid for obj in selected])
+        assert [o.oid for o in query.select(force_scan=True)] == [
+            o.oid for o in selected
+        ]
+    results.append([obj.oid for obj in stale_objects(db)])
+    results.append(sorted(db.stale_set()))
+    results.append(sorted((o.oid, tuple(sorted(o.properties.items()))) for o in db.objects()))
+    results.append(
+        sorted(
+            (l.source, l.dest, l.link_class.value, tuple(sorted(l.propagates)))
+            for l in db.links()
+        )
+    )
+    assert db.check_integrity() == []
+    return results
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_three_way_equivalence(seed, tmp_path):
+    rng = random.Random(seed)
+    base = seeded_db(rng)
+    json_path = save_database(base, tmp_path / "db.json")
+    sqlite_path = save_database(base, tmp_path / "db.sqlite")
+
+    eager_json, _ = load_database(json_path)
+    eager_sqlite, _ = load_database(sqlite_path)
+    lazy_sqlite, _ = load_database(sqlite_path, lazy=True)
+
+    reference = None
+    for db in (eager_json, eager_sqlite, lazy_sqlite):
+        mutate(db, random.Random(seed + 1000))  # identical script each time
+        observed = query_battery(db)
+        if reference is None:
+            reference = observed
+        else:
+            assert observed == reference
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_lazy_with_eviction_pressure_is_equivalent(seed, tmp_path):
+    """A tiny LRU window (constant thrash) must not change any answer."""
+    rng = random.Random(seed)
+    base = seeded_db(rng)
+    path = save_database(base, tmp_path / "db.sqlite")
+    eager, _ = load_database(path)
+    lazy, _ = load_database(path, lazy=True, cache_lineages=3)
+    queries = [
+        lambda d: [o.oid for o in stale_objects(d)],
+        lambda d: [o.oid for o in Query(d).where_property("owner", "ana").select()],
+        lambda d: [o.oid for o in Query(d).view("gate").latest_only().select()],
+        lambda d: sorted(d.stale_set()),
+    ]
+    for _ in range(3):  # repeat: answers must survive evict/refault cycles
+        for query in queries:
+            assert query(lazy) == query(eager)
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_flush_round_trip_equivalence(seed, tmp_path):
+    """Mutating lazily + flushing equals mutating eagerly + saving."""
+    rng = random.Random(seed)
+    base = seeded_db(rng)
+    path_a = save_database(base, tmp_path / "a.sqlite")
+    path_b = save_database(base, tmp_path / "b.sqlite")
+
+    eager, eager_registry = load_database(path_a)
+    mutate(eager, random.Random(seed + 7))
+    save_database(eager, path_a, eager_registry)
+
+    lazy, lazy_registry = load_database(path_b, lazy=True)
+    mutate(lazy, random.Random(seed + 7))
+    save_database(lazy, path_b, lazy_registry)
+    lazy.close()
+
+    from_a, _ = load_database(path_a)
+    from_b, _ = load_database(path_b)
+    assert query_battery(from_a) == query_battery(from_b)

@@ -205,3 +205,140 @@ class TestServe:
         out = capsys.readouterr().out
         assert "--port" in out
         assert "subscribe" in out or "STALE" in out
+
+
+class TestLazyAndExplain:
+    """--lazy/--blocks/--views window options and planner surfacing."""
+
+    @pytest.fixture
+    def sqlite_database(self, tmp_path):
+        blueprint = Blueprint.from_source(chain_blueprint_source(3))
+        db = MetaDatabase(name="cli-lazy")
+        BlueprintEngine(db, blueprint)
+        for block in ("core", "alu", "mem"):
+            for index in range(3):
+                db.create_object(OID(block, f"v{index}", 1))
+        for obj in db.objects():
+            obj.set("uptodate", obj.block != "alu")
+        path = tmp_path / "db.sqlite"
+        save_database(db, path)
+        chain_path = tmp_path / "chain.bp"
+        chain_path.write_text(chain_blueprint_source(3))
+        return str(path), str(chain_path)
+
+    def test_find_explain_eager(self, sqlite_database, capsys):
+        db_path, _bp = sqlite_database
+        main([
+            "find", db_path, "$uptodate == false", "--explain", "--all-versions"
+        ])
+        out = capsys.readouterr().out
+        assert out.startswith("plan: index property~uptodate=False")
+        assert "alu.v0.1" in out
+
+    def test_find_explain_lazy_reports_pushdown(self, sqlite_database, capsys):
+        db_path, _bp = sqlite_database
+        main([
+            "find", db_path, "$uptodate == false", "--lazy", "--explain",
+            "--all-versions",
+        ])
+        out = capsys.readouterr().out
+        assert out.startswith("plan: sql-pushdown property~uptodate=False")
+        assert out.count("alu") == 3
+
+    def test_find_scan_plan_visible(self, sqlite_database, capsys):
+        db_path, _bp = sqlite_database
+        main([
+            "find", db_path, "$version >= 1", "--explain", "--all-versions"
+        ])
+        assert capsys.readouterr().out.startswith("plan: scan")
+
+    def test_query_explain(self, sqlite_database, capsys):
+        db_path, _bp = sqlite_database
+        assert main(["query", db_path, "alu,v1,1", "--lazy", "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "plan: sql-pushdown" in out
+        assert "uptodate = false" in out
+
+    def test_blocks_window_restricts_find(self, sqlite_database, capsys):
+        db_path, _bp = sqlite_database
+        code = main([
+            "find", db_path, "$uptodate == false", "--lazy", "--blocks",
+            "core,mem", "--all-versions",
+        ])
+        out = capsys.readouterr().out
+        assert code == 1  # no stale objects inside the window
+        assert "0 match(es)" in out
+
+    def test_status_lazy(self, sqlite_database, capsys):
+        db_path, bp_path = sqlite_database
+        assert main(["status", db_path, bp_path, "--lazy"]) == 0
+        assert "v0" in capsys.readouterr().out
+
+    def test_pending_lazy_with_views_window(self, sqlite_database, capsys):
+        db_path, bp_path = sqlite_database
+        main(["pending", db_path, bp_path, "--lazy", "--views", "v0,v1,v2"])
+        assert "alu" in capsys.readouterr().out
+
+    def test_lazy_requires_sqlite_backend(self, database_file, capsys):
+        db_path, _bp = database_file  # a .json database
+        assert main(["query", db_path, "core,v0,1", "--lazy"]) == 1
+        assert "cannot open lazily" in capsys.readouterr().out
+
+    def test_serve_lazy_round_trip(self, sqlite_database, capsys):
+        """damocles serve --lazy answers stale from the pushdown and
+        writes posted events back incrementally on shutdown."""
+        import threading
+
+        from repro import cli as cli_module
+        from repro.network.client import BlueprintClient
+
+        db_path, bp_path = sqlite_database
+        result: dict = {}
+
+        def run_server():
+            result["code"] = main([
+                "serve", db_path, bp_path, "--port", "0", "--lazy",
+                "--serve-seconds", "5",
+            ])
+
+        thread = threading.Thread(target=run_server)
+        thread.start()
+        try:
+            import re
+            import time
+
+            port = None
+            deadline = time.time() + 4
+            while port is None and time.time() < deadline:
+                out = capsys.readouterr().out
+                match = re.search(r"on 127\.0\.0\.1:(\d+)", out)
+                if match:
+                    port = int(match.group(1))
+                time.sleep(0.05)
+            assert port is not None
+            client = BlueprintClient("127.0.0.1", port)
+            stale = client.stale()
+            assert OID("alu", "v0", 1) in stale
+            client.post_event("uptodate", OID("core", "v0", 1), direction="down")
+        finally:
+            cli_module.stop_serving()
+            thread.join(timeout=5)
+        assert result["code"] == 0
+        reloaded, _ = load_database(db_path)
+        assert reloaded.get(OID("core", "v0", 1)).get("uptodate") is True
+
+    def test_serve_eager_window_refuses_destructive_save(
+        self, sqlite_database, capsys
+    ):
+        """Serving an eager partial load must not overwrite the database
+        file with just the window on shutdown."""
+        db_path, bp_path = sqlite_database
+        before, _ = load_database(db_path)
+        assert main([
+            "serve", db_path, bp_path, "--port", "0", "--blocks", "core",
+            "--serve-seconds", "0.1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "NOT saving back" in out
+        after, _ = load_database(db_path)
+        assert after.object_count == before.object_count
