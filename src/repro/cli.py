@@ -224,23 +224,106 @@ def stop_serving() -> None:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """Serve a database + blueprint over TCP (the project-server mode)."""
+    """Serve a database + blueprint over TCP (the project-server mode).
+
+    With ``--journal DIR`` the server is crash-safe: every admitted
+    event is fsync'd to a write-ahead journal *before* its wave runs,
+    periodic checkpoints persist the database and truncate the covered
+    journal tail, and startup replays whatever the last crash left
+    past the database's durable watermark (``db.wal_seq``).
+    """
     from repro.core.engine import BlueprintEngine
     from repro.network.server import ProjectServer
+    from repro.testing.faults import crash_point
+
+    windowed = getattr(args, "blocks", None) or getattr(args, "views", None)
+    journal_path = getattr(args, "journal", None)
+    if journal_path and windowed:
+        # Replayed events may target objects outside the shard window;
+        # recovery against a partial database would silently diverge.
+        print(
+            "damocles: --journal cannot be combined with --blocks/--views "
+            "(recovery needs the whole database)"
+        )
+        return 2
 
     db, registry = _load_db(args)
     blueprint = _load_blueprint(args.blueprint)
     engine = BlueprintEngine(db, blueprint)
+
+    wal = None
+    checkpointer = None
+    if journal_path:
+        from repro.network.wal import WriteAheadLog
+
+        wal = WriteAheadLog(journal_path)
+
+        def checkpointer() -> bool:
+            # Ordering is the whole game: capture the watermark, persist
+            # the database carrying it, only then truncate the journal.
+            # A crash between the save and the truncate re-replays
+            # nothing (the saved wal_seq fences replay); a failure
+            # leaves the journal intact — never shorter than the DB.
+            # The watermark is the bus's APPLIED seq, not wal.last_seq:
+            # under group commit an entry can be journaled while its
+            # wave is still waiting its turn, and a checkpoint must not
+            # claim database coverage for a wave that has not run.
+            seq = server.bus.applied_seq
+            db.wal_seq = seq
+            try:
+                if getattr(db, "lazy", False):
+                    db.flush(registry)
+                else:
+                    save_database(
+                        db,
+                        args.database,
+                        registry,
+                        backend=getattr(args, "backend", None),
+                    )
+                crash_point("mid-flush")
+                wal.checkpoint(seq)
+            except Exception as exc:  # noqa: BLE001 — keep serving, keep journal
+                print(f"damocles: checkpoint failed ({exc}); journal kept")
+                return False
+            return True
+
     stop = threading.Event()
     _serve_stops.append(stop)  # before the port opens: an early stop_serving() must see it
-    server = ProjectServer(engine, host=args.host, port=args.port).start()
+    server = ProjectServer(
+        engine,
+        host=args.host,
+        port=args.port,
+        wal=wal,
+        busy_limit=getattr(args, "busy_limit", None),
+        checkpoint_every=getattr(args, "checkpoint_every", None),
+        checkpointer=checkpointer,
+    )
+    if wal is not None:
+        # Replay the tail the last process lost: entries past the
+        # database's durable watermark, through the same admission code
+        # the wire uses.  Runs before the port opens, so clients never
+        # observe half-recovered state.
+        replayed = 0
+        for entry in wal.entries_after(db.wal_seq):
+            server.bus.apply_journal_entry(entry)
+            replayed += 1
+        if replayed or wal.recovered_torn_line:
+            torn = " (repaired a torn tail line)" if wal.recovered_torn_line else ""
+            print(
+                f"damocles: recovered {replayed} journaled event(s) "
+                f"past seq {db.wal_seq}{torn}",
+                flush=True,
+            )
+    server.start()
     print(
         f"damocles: serving {blueprint.name!r} "
-        f"({db.object_count} objects) on {server.host}:{server.port}"
+        f"({db.object_count} objects) on {server.host}:{server.port}",
+        flush=True,
     )
     print(
         "commands: postEvent | batch | query OID | stale | pending | "
-        "status | subscribe | ping | quit"
+        "status | health | subscribe | ping | quit",
+        flush=True,
     )
     try:
         stop.wait(args.serve_seconds)  # None waits until set
@@ -249,7 +332,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     finally:
         _serve_stops.remove(stop)
         server.stop()
-    windowed = getattr(args, "blocks", None) or getattr(args, "views", None)
+    exit_code = 0
     if not args.no_save:
         if windowed and not getattr(args, "lazy", False):
             # An eager partial load holds only the window; saving it back
@@ -260,16 +343,40 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 "partial database (use --lazy for incremental write-back, "
                 "or --no-save to silence this)"
             )
+        elif wal is not None:
+            # A final checkpoint both saves the database and truncates
+            # the covered journal.  If the save fails the journal is
+            # kept untouched — it still holds every admitted event, so
+            # nothing is lost; the next start replays it.
+            if server.bus.run_checkpoint():
+                print(
+                    f"damocles: saved {db.object_count} objects back to "
+                    f"{args.database} (journal checkpointed at "
+                    f"{wal.checkpoint_seq})"
+                )
+            else:
+                print(
+                    "damocles: shutdown save FAILED — journal retained at "
+                    f"{journal_path}; restart will recover posted events"
+                )
+                exit_code = 1
         else:
             # The database IS the project state: events posted over the
             # wire would otherwise be lost the moment the server exits.
-            save_database(
-                db, args.database, registry, backend=getattr(args, "backend", None)
-            )
-            print(
-                f"damocles: saved {db.object_count} objects back to {args.database}"
-            )
-    return 0
+            try:
+                save_database(
+                    db, args.database, registry, backend=getattr(args, "backend", None)
+                )
+            except Exception as exc:  # noqa: BLE001 — report, don't crash out
+                print(f"damocles: shutdown save FAILED ({exc})")
+                exit_code = 1
+            else:
+                print(
+                    f"damocles: saved {db.object_count} objects back to {args.database}"
+                )
+    if wal is not None:
+        wal.close()
+    return exit_code
 
 
 def cmd_convert(args: argparse.Namespace) -> int:
@@ -421,6 +528,22 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--no-save", action="store_true",
         help="do not write posted events back to DATABASE on shutdown",
+    )
+    serve.add_argument(
+        "--journal", default=None, metavar="DIR",
+        help="write-ahead journal directory: every admitted event is "
+        "fsync'd before its wave runs, and startup replays whatever a "
+        "crash left past the database's durable watermark",
+    )
+    serve.add_argument(
+        "--checkpoint-every", type=int, default=256, metavar="N",
+        help="checkpoint (save database + truncate journal) after every "
+        "N admitted events (default 256; only meaningful with --journal)",
+    )
+    serve.add_argument(
+        "--busy-limit", type=int, default=None, metavar="N",
+        help="shed load with 'ERR busy' when the engine queue or the "
+        "writer backlog reaches N (default: never)",
     )
     serve.set_defaults(func=cmd_serve)
 

@@ -63,6 +63,12 @@ class MetaDatabase:
     _lineages: dict[tuple[str, str], list[int]] = field(default_factory=dict)
     _seq: int = 0
     _next_link_id: int = 1
+    #: Sequence number of the last write-ahead-log entry whose effects
+    #: are durably included in this database's persisted state.  The
+    #: project server's recovery replays only journal entries *after*
+    #: this watermark, so it must travel with every save/flush (all
+    #: backends persist it alongside the clock).
+    wal_seq: int = 0
     object_hooks: list[ObjectHook] = field(default_factory=list)
     link_hooks: list[LinkHook] = field(default_factory=list)
     #: The residency layer (see :mod:`repro.metadb.store`).  ``None``

@@ -20,6 +20,7 @@ loudly rather than guessing.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Callable, Protocol, runtime_checkable
 
@@ -80,6 +81,7 @@ def database_to_dict(
         # and regressed the logical clock configurations compare by.
         "clock": db.clock,
         "next_link_id": db._next_link_id,
+        "wal_seq": db.wal_seq,
         "objects": objects,
         "links": links,
         "configurations": configurations,
@@ -148,6 +150,7 @@ def database_from_dict(
     # were stored (where replayed mutations already advanced them) valid.
     db._seq = max(db._seq, int(data.get("clock", 0)))
     db._next_link_id = max(db._next_link_id, int(data.get("next_link_id", 1)))
+    db.wal_seq = int(data.get("wal_seq", 0))
     return db, registry
 
 
@@ -197,7 +200,15 @@ class JsonBackend:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = database_to_dict(db, registry)
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        # Atomic replace: a process killed mid-save (checkpoint under
+        # fault injection, power loss) must leave either the old file or
+        # the new one, never a truncated half-write.
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, indent=2, sort_keys=True))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
         return path
 
     def load(self, path: Path | str) -> tuple[MetaDatabase, ConfigurationRegistry]:

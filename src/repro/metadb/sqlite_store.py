@@ -135,6 +135,9 @@ class SqliteBackend:
                     # clock (configurations compare created_clock).
                     ("clock", str(db.clock)),
                     ("next_link_id", str(db._next_link_id)),
+                    # Journal watermark: recovery replays WAL entries
+                    # strictly after this seq (see repro.network.wal).
+                    ("wal_seq", str(db.wal_seq)),
                 ],
             )
             object_rows = []
@@ -317,6 +320,7 @@ class SqliteBackend:
         # replayed mutations already advanced past the stored values.
         db._seq = max(db._seq, int(meta.get("clock", 0)))
         db._next_link_id = max(db._next_link_id, int(meta.get("next_link_id", 1)))
+        db.wal_seq = int(meta.get("wal_seq", 0))
         return db, registry
 
     # ------------------------------------------------------------------
@@ -380,6 +384,7 @@ class SqliteBackend:
                     "SELECT COALESCE(MAX(id), 0) FROM links"
                 ).fetchone()
                 db._next_link_id = max_id + 1
+            db.wal_seq = int(meta.get("wal_seq", 0))
             registry = self._load_configurations_lazy(connection, db, store)
             return db, registry
         except sqlite3.DatabaseError as exc:

@@ -872,6 +872,11 @@ class LazySqliteStore:
                     ("clock", str(db.clock)),
                     ("next_link_id", str(db._next_link_id)),
                     ("name", db.name),
+                    # Journal watermark: travels with the same flush
+                    # transaction as the data it vouches for, so a crash
+                    # between flush and journal truncation replays only
+                    # the entries the flush did not cover.
+                    ("wal_seq", str(db.wal_seq)),
                 ],
             )
             for lineage in sorted(self._dirty_lineages):

@@ -21,6 +21,21 @@ Beyond posting, the bus is the server's command back end:
 * engine failures (strict-mode :class:`EngineError`, database errors)
   are converted to ``ERR`` responses instead of escaping to the
   transport — a bad post must never kill the connection.
+
+Durability (the crash-safe server): when a :class:`WriteAheadLog` is
+attached, every admitted ``postEvent`` / ``batch`` is fsync'd to the
+journal *before* the wave runs — an ``OK`` therefore implies the event
+survives a process kill — and :meth:`apply_journal_entry` re-admits
+recovered entries through the exact same code paths, so replay is the
+live semantics, not a reimplementation of them.  The TCP server splits
+the write path in two (:meth:`admit_durable` outside its exclusive
+lock, :meth:`apply_admitted` inside it) so concurrent clients share
+fsync barriers — group commit — while the seq-ordered apply gate keeps
+wave order identical to journal order.  A bounded writer queue
+(``busy_limit``) turns overload into an explicit ``ERR busy`` with a
+retry hint instead of unbounded growth, and ``health`` reports the
+gauges (journal lag, queue depth, rejection counts) a load balancer or
+self-healing client needs.
 """
 
 from __future__ import annotations
@@ -31,12 +46,14 @@ from typing import Callable
 
 from repro.core.engine import BlueprintEngine, EngineError
 from repro.core.events import EventMessage
+from repro.core.journal import JournalEntry, JournalError
 from repro.metadb.errors import MetaDBError
 from repro.metadb.links import Direction
 from repro.metadb.oid import OID
 from repro.network.protocol import (
     Command,
     ProtocolError,
+    busy_response,
     err_response,
     format_notification,
     format_pending_response,
@@ -46,6 +63,8 @@ from repro.network.protocol import (
     ok_response,
     parse_command,
 )
+from repro.network.wal import WriteAheadLog, payload_event
+from repro.testing.faults import crash_point
 
 #: Subscriber signature: receives one formatted notification line.
 Subscriber = Callable[[str], None]
@@ -60,8 +79,31 @@ class EventBus:
     lines_seen: int = 0
     errors: list[str] = field(default_factory=list)
     stats: dict[str, int] = field(default_factory=dict)
+    #: Write-ahead journal: admitted posts/batches are fsync'd here
+    #: before their wave runs (None = no durability layer).
+    wal: WriteAheadLog | None = None
+    #: Reject posts with ``ERR busy`` once the engine queue holds this
+    #: many events (None = unbounded; the pre-crash-safety behaviour).
+    busy_limit: int | None = None
+    #: Retry hint carried in the busy rejection.
+    retry_after: float = 0.1
+    #: Run ``checkpointer`` after this many journaled events so the
+    #: journal stays bounded (None = only explicit checkpoints).
+    checkpoint_every: int | None = None
+    #: Persists the database and truncates the journal; returns True on
+    #: success.  Supplied by ``damocles serve`` (it owns paths/backends).
+    checkpointer: Callable[[], bool] | None = None
 
     def __post_init__(self) -> None:
+        self._events_since_checkpoint = 0
+        # Apply gate for group commit: journaled writes may be admitted
+        # (validated + fsync'd) by many threads at once, but their waves
+        # must run in journal order or replay would reconstruct a
+        # different state.  ``_next_apply`` is the journal seq whose wave
+        # may run next; the TCP server admits outside its exclusive lock
+        # and then waits its turn here before taking the lock.
+        self._apply_cond = threading.Condition()
+        self._next_apply = (self.wal.last_seq + 1) if self.wal is not None else 1
         # Wire-format mirror of the incremental stale set.  The listener
         # fires from whichever thread runs the wave; readers take the
         # same small lock, so `stale` answers consistently without ever
@@ -189,21 +231,33 @@ class EventBus:
             self.errors.append(str(exc))
             raise
 
-    def handle_line(self, line: str, subscriber: Subscriber | None = None) -> str:
+    def handle_line(
+        self,
+        line: str,
+        subscriber: Subscriber | None = None,
+        health_extra: dict[str, int] | None = None,
+    ) -> str:
         """Process one wire line, returning the response line."""
         try:
             command = self.parse_line(line)
         except ProtocolError as exc:
             return err_response(str(exc))
-        return self.handle_command(command, subscriber=subscriber)
+        return self.handle_command(
+            command, subscriber=subscriber, health_extra=health_extra
+        )
 
     def handle_command(
-        self, command: Command, subscriber: Subscriber | None = None
+        self,
+        command: Command,
+        subscriber: Subscriber | None = None,
+        health_extra: dict[str, int] | None = None,
     ) -> str:
         if command.kind == "ping":
             return "PONG"
         if command.kind == "quit":
             return "BYE"
+        if command.kind == "health":
+            return format_status_response(self.health_counters(health_extra))
         if command.kind == "post":
             assert command.event is not None
             return self._handle_post(command.event)
@@ -234,23 +288,127 @@ class EventBus:
 
     # -- command back ends ----------------------------------------------------
 
-    def _handle_post(self, event: EventMessage) -> str:
-        # Validate the target at post time: silently dropping the event
-        # in _deliver (non-strict) or killing the connection (strict)
-        # are both worse than an honest ERR.
-        if self.engine.db.find(event.target) is None:
-            self._count("posts_rejected")
-            return err_response(f"unknown OID {event.target.wire()}")
+    def _busy(self) -> str | None:
+        """Backpressure: reject before admission when the queue is full.
+
+        A busy rejection happens *before* validation and journaling, so
+        the event provably did not run — which is what makes it safe for
+        a client to retry even a non-idempotent post.
+        """
+        if self.busy_limit is None:
+            return None
+        depth = len(self.engine.queue)
+        if depth < self.busy_limit:
+            return None
+        return self.reject_busy(f"queue depth {depth}")
+
+    def reject_busy(self, detail: str) -> str:
+        """Count and format one backpressure rejection (server + bus)."""
+        self._count("busy_rejections")
+        return busy_response(self.retry_after, detail)
+
+    def _journal(
+        self, append: Callable[[], JournalEntry], entries: int
+    ) -> tuple[JournalEntry | None, str | None]:
+        """Make the admission durable; an ERR here means the wave will
+        not run in this process (though an entry whose fsync failed
+        after the write may still be recovered after a restart).
+
+        Returns ``(entry, None)`` on success, ``(None, response)`` on
+        failure.
+        """
         try:
-            stamped = self.post_message(event)
-        except (EngineError, MetaDBError) as exc:
-            self._count("engine_errors")
-            return err_response(f"engine: {exc}")
-        return ok_response(str(stamped.seq))
+            entry = append()
+        except (OSError, JournalError) as exc:
+            self._count("journal_errors")
+            return None, err_response(
+                f"journal append failed: {exc}; event not admitted"
+            )
+        self._count("journal_appends", entries)
+        self._events_since_checkpoint += entries
+        return entry, None
+
+    def _handle_post(self, event: EventMessage) -> str:
+        return self._handle_write("post", (event,))
 
     def _handle_batch(self, events: tuple[EventMessage, ...]) -> str:
-        if not events:
+        return self._handle_write("batch", events)
+
+    def _handle_write(self, kind: str, events: tuple[EventMessage, ...]) -> str:
+        """Serialized write path (in-process bus, lazy databases)."""
+        admitted = self._admit_write(kind, events)
+        if isinstance(admitted, str):
+            return admitted
+        if admitted is None:  # no journal attached
+            try:
+                return self._apply_write(kind, events)
+            finally:
+                self._maybe_checkpoint()
+        entry = admitted
+        self.wait_turn(entry.seq)
+        return self.apply_admitted(entry, events)
+
+    def admit_durable(
+        self, command: Command
+    ) -> tuple[JournalEntry, tuple[EventMessage, ...]] | str:
+        """Validate + journal a post/batch WITHOUT running its wave.
+
+        The group-commit half of the server's write path: called
+        *outside* the exclusive lock so that concurrent clients' fsync
+        barriers overlap in the journal.  The caller must then
+        :meth:`wait_turn`, run :meth:`apply_admitted` under the
+        exclusive lock, and (on failure paths) :meth:`done_turn`.
+        Returns the response string when the command was rejected
+        before admission (busy, unknown OID, journal failure).
+        """
+        assert self.wal is not None
+        events = (command.event,) if command.kind == "post" else command.events
+        # defer_sync: the wave may run before the disk barrier; the
+        # server holds the client's response in :meth:`ensure_durable`
+        # until the barrier lands, so an OK still implies on-disk.
+        # Deferring lets the fsync overlap the wave AND collect the
+        # entries of every other client that reached the same point —
+        # the pile-up is what makes group commit amortise.
+        admitted = self._admit_write(command.kind, events, defer_sync=True)
+        if isinstance(admitted, str):
+            return admitted
+        assert admitted is not None
+        return admitted, events
+
+    def ensure_durable(self, entry: JournalEntry, response: str) -> str:
+        """Group commit, part two: hold *response* until *entry* is on
+        disk.  On a barrier failure the honest answer replaces it — the
+        wave ran in this process, but a crash could still lose it."""
+        assert self.wal is not None
+        try:
+            self.wal.sync(entry.seq)
+        except (OSError, JournalError) as exc:
+            self._count("journal_errors")
+            return err_response(
+                f"journal sync failed: {exc}; "
+                "event applied in memory but not durable"
+            )
+        return response
+
+    def _admit_write(
+        self,
+        kind: str,
+        events: tuple[EventMessage, ...],
+        defer_sync: bool = False,
+    ) -> JournalEntry | str | None:
+        """Backpressure + validation + durable journal append.
+
+        Returns the journal entry (wal attached), ``None`` (no wal), or
+        a rejection response string.
+        """
+        if kind == "batch" and not events:
             return err_response("batch of zero events")
+        busy = self._busy()
+        if busy is not None:
+            return busy
+        # Validate targets at post time: silently dropping the event in
+        # _deliver (non-strict) or killing the connection (strict) are
+        # both worse than an honest ERR.
         unknown = [
             event.target.wire()
             for event in events
@@ -258,9 +416,87 @@ class EventBus:
         ]
         if unknown:
             self._count("posts_rejected", len(unknown))
+            if kind == "post":
+                return err_response(f"unknown OID {unknown[0]}")
             return err_response(
                 f"unknown OID {' '.join(sorted(set(unknown)))}; nothing posted"
             )
+        if self.wal is None:
+            crash_point("mid-wave")
+            return None
+        if kind == "post":
+            entry, failed = self._journal(
+                lambda: self.wal.append_event(events[0], sync=not defer_sync), 1
+            )
+        else:
+            # One journal entry (one fsync) for the whole batch: replay
+            # then reproduces batch semantics — including
+            # withdraw-on-error — instead of replaying members an
+            # errored batch never ran.
+            entry, failed = self._journal(
+                lambda: self.wal.append_batch(events, sync=not defer_sync),
+                len(events),
+            )
+        if failed is not None:
+            return failed
+        # The event is durable but its wave has not run: a kill here is
+        # the canonical lost-update crash the journal exists to survive.
+        crash_point("mid-wave")
+        return entry
+
+    def wait_turn(self, seq: int) -> None:
+        """Block until journal entry *seq* is next in line to apply."""
+        with self._apply_cond:
+            while seq != self._next_apply:
+                self._apply_cond.wait()
+
+    def done_turn(self, seq: int) -> None:
+        """Advance the apply gate past *seq* (idempotent)."""
+        with self._apply_cond:
+            if self._next_apply == seq:
+                self._next_apply = seq + 1
+                self._apply_cond.notify_all()
+
+    @property
+    def applied_seq(self) -> int:
+        """Highest journal seq whose wave has run (checkpoint watermark).
+
+        Correct as a database watermark only while the caller prevents
+        new waves — the server's checkpointer runs under the exclusive
+        lock, the serialized bus path is single-writer by construction.
+        """
+        if self.wal is None:
+            return 0
+        with self._apply_cond:
+            return self._next_apply - 1
+
+    def apply_admitted(
+        self, entry: JournalEntry, events: tuple[EventMessage, ...]
+    ) -> str:
+        """Run the wave for an already-journaled write (turn held)."""
+        try:
+            try:
+                return self._apply_write(entry.kind, events)
+            finally:
+                self.done_turn(entry.seq)
+        finally:
+            self._maybe_checkpoint()
+
+    def _apply_write(self, kind: str, events: tuple[EventMessage, ...]) -> str:
+        if kind in ("post", "event"):
+            return self._admit_post(events[0])
+        return self._admit_batch(events)
+
+    def _admit_post(self, event: EventMessage) -> str:
+        """Run one admitted event; shared by the wire path and recovery."""
+        try:
+            stamped = self.post_message(event)
+        except (EngineError, MetaDBError) as exc:
+            self._count("engine_errors")
+            return err_response(f"engine: {exc}")
+        return ok_response(str(stamped.seq))
+
+    def _admit_batch(self, events: tuple[EventMessage, ...]) -> str:
         # Atomic accept: stamp everything first, then drain once, so the
         # batch occupies one contiguous FIFO window in the queue.
         stamped = [self.engine.post_message(event) for event in events]
@@ -276,6 +512,77 @@ class EventBus:
             self.engine.queue.discard({event.seq for event in stamped})
             return err_response(f"engine: {exc}")
         return ok_response(" ".join(str(event.seq) for event in stamped))
+
+    # -- durability: recovery and checkpointing -------------------------------
+
+    def apply_journal_entry(self, entry: JournalEntry) -> str:
+        """Re-admit one recovered journal entry (startup replay).
+
+        Runs the exact admission code the wire path runs — engine errors
+        reproduce deterministically as the same ``ERR`` the original
+        client saw — but skips validation, journaling and busy checks:
+        the entry was already admitted once.
+        """
+        if entry.kind == "event":
+            return self._admit_post(payload_event(entry.payload))
+        if entry.kind == "batch":
+            events = tuple(
+                payload_event(payload) for payload in entry.payload["events"]
+            )
+            return self._admit_batch(events)
+        raise JournalError(f"unknown journal entry kind {entry.kind!r}")
+
+    def _maybe_checkpoint(self) -> None:
+        if (
+            self.checkpointer is None
+            or self.checkpoint_every is None
+            or self._events_since_checkpoint < self.checkpoint_every
+        ):
+            return
+        self.run_checkpoint()
+
+    def run_checkpoint(self) -> bool:
+        """Persist the database and truncate the journal (if configured).
+
+        Failure is survivable by design: the journal is kept, the
+        counter keeps accumulating, and the next post retries.
+        """
+        if self.checkpointer is None:
+            return False
+        if self.checkpointer():
+            self._count("checkpoints")
+            self._events_since_checkpoint = 0
+            return True
+        self._count("checkpoint_failures")
+        return False
+
+    def health_counters(
+        self, extra: dict[str, int] | None = None
+    ) -> dict[str, int]:
+        """Durability/backpressure gauges; lock-free like ``status``."""
+        counters = {
+            "queue": len(self.engine.queue),
+            "stale": len(self._stale_wire),
+            "subscribers": self.subscriber_count,
+            "busy_rejections": self.stats.get("busy_rejections", 0),
+            "engine_errors": self.stats.get("engine_errors", 0),
+            "journal_appends": self.stats.get("journal_appends", 0),
+            "journal_errors": self.stats.get("journal_errors", 0),
+            "checkpoints": self.stats.get("checkpoints", 0),
+            "checkpoint_failures": self.stats.get("checkpoint_failures", 0),
+            "events_since_checkpoint": self._events_since_checkpoint,
+        }
+        if self.wal is not None:
+            counters["journal_seq"] = self.wal.last_seq
+            counters["journal_durable"] = self.wal.durable_seq
+            counters["journal_applied"] = self.applied_seq
+            counters["journal_checkpoint"] = self.wal.checkpoint_seq
+            counters["journal_lag"] = self.wal.lag
+            counters["journal_segments"] = self.wal.segment_count
+            counters["journal_broken"] = int(self.wal.broken)
+        if extra:
+            counters.update(extra)
+        return counters
 
     def _handle_pending(self) -> str:
         from repro.core.state import pending_work

@@ -6,20 +6,50 @@ the command-line spelling the paper's shell wrappers call::
     postEvent ckin up reg,verilog,4 "logic sim passed"
 
 Beyond one-shot posts and queries, the client speaks the v2 dialect:
-``stale()`` / ``pending()`` / ``status()`` read the server's incremental
-state, ``post_batch()`` ships several events as one atomic FIFO window,
-and ``subscribe()`` opens a persistent connection that yields ``STALE``
-/ ``FRESH`` push notifications as the engine re-buckets objects.
+``stale()`` / ``pending()`` / ``status()`` / ``health()`` read the
+server's incremental state, ``post_batch()`` ships several events as one
+atomic FIFO window, and ``subscribe()`` opens a persistent connection
+that yields ``STALE`` / ``FRESH`` push notifications as the engine
+re-buckets objects.
+
+Self-healing (the resilience layer that pairs with the server's
+write-ahead journal):
+
+* connect and read timeouts are separate knobs, so a hung server is
+  distinguishable from a slow one;
+* with a :class:`RetryPolicy`, *idempotent* commands (``query`` /
+  ``stale`` / ``pending`` / ``status`` / ``health`` / ``ping``) retry
+  transport failures with bounded exponential backoff plus jitter;
+* ``ERR busy`` (the server's explicit backpressure rejection) is retried
+  for **every** command, posts included — a busy rejection guarantees
+  the event was not admitted, so resending cannot double-apply it;
+* a persistent client whose pinned connection died *between* round
+  trips (server restarted) transparently reconnects once and resends —
+  the stale-socket rule, applied regardless of idempotency, because the
+  previous round trip completed and this request never reached a live
+  server;
+* a subscription opened with ``auto_resync=True`` survives server
+  bounces and slow-subscriber kicks: on EOF it reconnects (with
+  backoff), pulls the server's ``stale`` snapshot, and synthesises the
+  ``STALE`` / ``FRESH`` notifications that bring its tracked view — and
+  therefore any mirror built from it — back in step.
+
+What is *never* retried: a ``postEvent`` / ``batch`` that failed after
+reaching a live server (other than ``ERR busy``) — the client cannot
+know whether the wave ran, and the journal may have made it durable.
+See ARCHITECTURE.md's retry matrix.
 """
 
 from __future__ import annotations
 
 import os
+import random
 import select
 import socket
 import time
-from dataclasses import dataclass
-from typing import Iterable, Iterator
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
 
 from repro.core.events import EventMessage
 from repro.metadb.links import Direction
@@ -28,6 +58,7 @@ from repro.network.protocol import (
     ProtocolError,
     format_batch,
     format_post_event,
+    parse_busy,
     parse_notification,
     parse_pending_response,
     parse_query_response,
@@ -38,6 +69,55 @@ from repro.network.protocol import (
 
 class ClientError(RuntimeError):
     """A transport failure or an ERR response from the server."""
+
+
+class TransportError(ClientError):
+    """The request may or may not have reached the server (socket-level).
+
+    Retryable for idempotent commands; never auto-retried for posts
+    except under the stale-pinned-socket rule.
+    """
+
+
+class BusyError(ClientError):
+    """The server shed load before admitting the request.
+
+    Always safe to retry — busy rejections happen before journaling and
+    queueing, so the event provably did not run.
+    """
+
+    def __init__(self, response: str, retry_after: float) -> None:
+        super().__init__(response)
+        self.retry_after = retry_after
+
+
+class SubscriptionClosed(ClientError):
+    """The push stream ended (server restart or slow-subscriber kick)."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with jitter.
+
+    ``attempts`` counts total tries (1 = no retry).  Delay before retry
+    *n* (0-based) is ``base_delay * 2**n`` capped at ``max_delay``, then
+    spread by ``jitter`` (a fraction: 0.25 means ±25%) so a fleet of
+    wrapper scripts bounced by one server restart does not reconnect in
+    lockstep.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    retry_busy: bool = True
+
+    def delay(self, attempt: int) -> float:
+        base = min(self.max_delay, self.base_delay * (2**attempt))
+        if not self.jitter:
+            return base
+        spread = base * self.jitter
+        return max(0.0, base + random.uniform(-spread, spread))
 
 
 @dataclass(frozen=True)
@@ -61,12 +141,33 @@ class Subscription:
 
         with client.subscribe() as sub:
             note = sub.next(timeout=5.0)
+
+    With *resubscribe* / *resync* callables attached (see
+    ``BlueprintClient.subscribe(auto_resync=True)``), an EOF triggers
+    reconnect-and-reconcile instead of an error: the subscription
+    tracks the set of OIDs it has reported stale (``view``), fetches
+    the server's stale snapshot after reconnecting, and emits synthetic
+    notifications for the difference — so a digital-twin mirror driven
+    by this stream converges to the true state even across a gap.
     """
 
-    def __init__(self, conn: socket.socket) -> None:
+    def __init__(
+        self,
+        conn: socket.socket,
+        *,
+        resubscribe: Callable[[], socket.socket] | None = None,
+        resync: Callable[[], list[OID]] | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         self._conn = conn
         self._buffer = bytearray()
         self._closed = False
+        self._resubscribe = resubscribe
+        self._resync = resync
+        self._retry = retry or RetryPolicy(attempts=8)
+        self.view: set[OID] = set()
+        self._synthetic: deque[Notification] = deque()
+        self.resyncs = 0
 
     def _readline(self, timeout: float | None) -> str:
         """Read one newline-terminated line, honouring *timeout*.
@@ -92,19 +193,75 @@ class Subscription:
             try:
                 chunk = self._conn.recv(4096)
             except OSError as exc:
-                raise ClientError(f"no notification: {exc}") from exc
+                raise SubscriptionClosed(f"no notification: {exc}") from exc
             if not chunk:
-                raise ClientError("subscription closed by server")
+                raise SubscriptionClosed("subscription closed by server")
             self._buffer.extend(chunk)
 
     def next(self, timeout: float | None = None) -> Notification:
-        """Block until the next notification (ClientError on timeout/EOF)."""
-        line = self._readline(timeout).strip()
+        """Block until the next notification.
+
+        Raises :class:`ClientError` on timeout; :class:`SubscriptionClosed`
+        on EOF unless resubscribe-with-resync is attached, in which case
+        the gap is healed transparently (synthetic notifications first).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if self._synthetic:
+                return self._track(self._synthetic.popleft())
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            try:
+                line = self._readline(remaining).strip()
+            except SubscriptionClosed:
+                if self._resubscribe is None or self._closed:
+                    raise
+                self._recover()
+                continue
+            try:
+                verb, oid = parse_notification(line)
+            except ProtocolError as exc:
+                raise ClientError(str(exc)) from exc
+            return self._track(Notification(verb, oid))
+
+    def _track(self, note: Notification) -> Notification:
+        if note.is_stale:
+            self.view.add(note.oid)
+        else:
+            self.view.discard(note.oid)
+        return note
+
+    def _recover(self) -> None:
+        """Reconnect (with backoff) and reconcile the tracked view."""
         try:
-            verb, oid = parse_notification(line)
-        except ProtocolError as exc:
-            raise ClientError(str(exc)) from exc
-        return Notification(verb, oid)
+            self._conn.close()
+        except OSError:
+            pass
+        self._buffer.clear()
+        attempt = 0
+        while True:
+            try:
+                self._conn = self._resubscribe()
+                break
+            except ClientError:
+                attempt += 1
+                if attempt >= self._retry.attempts:
+                    raise SubscriptionClosed(
+                        f"resubscribe failed after {attempt} attempts"
+                    ) from None
+                time.sleep(self._retry.delay(attempt - 1))
+        self.resyncs += 1
+        if self._resync is None:
+            return
+        snapshot = set(self._resync())
+        # Everything that went stale during the gap (or whose STALE line
+        # we lost) first, then everything that went fresh; inside each
+        # group, deterministic OID order.
+        for oid in sorted(snapshot - self.view, key=OID.sort_key):
+            self._synthetic.append(Notification("STALE", oid))
+        for oid in sorted(self.view - snapshot, key=OID.sort_key):
+            self._synthetic.append(Notification("FRESH", oid))
 
     def __iter__(self) -> Iterator[Notification]:
         while True:
@@ -138,26 +295,45 @@ class BlueprintClient:
     so this is roughly an order of magnitude more events/sec.  A
     persistent client is not thread-safe; give each thread its own.
     ``subscribe()`` always hands back its own dedicated connection.
+
+    ``timeout`` is the legacy single knob; ``connect_timeout`` /
+    ``read_timeout`` override it separately.  Pass ``retry`` to opt
+    into self-healing (see the module docstring for exactly what is
+    and is not retried).
     """
 
     host: str = "127.0.0.1"
     port: int = 7865
     timeout: float = 5.0
     persistent: bool = False
+    connect_timeout: float | None = None
+    read_timeout: float | None = None
+    retry: RetryPolicy | None = None
 
     def __post_init__(self) -> None:
         self._conn: socket.socket | None = None
         self._file = None
+        self._pinned_used = False
+
+    @property
+    def _connect_timeout(self) -> float:
+        return self.connect_timeout if self.connect_timeout is not None else self.timeout
+
+    @property
+    def _read_timeout(self) -> float:
+        return self.read_timeout if self.read_timeout is not None else self.timeout
 
     def _connect(self) -> socket.socket:
         try:
-            return socket.create_connection(
-                (self.host, self.port), timeout=self.timeout
+            conn = socket.create_connection(
+                (self.host, self.port), timeout=self._connect_timeout
             )
         except OSError as exc:
-            raise ClientError(
+            raise TransportError(
                 f"cannot reach project server at {self.host}:{self.port}: {exc}"
             ) from exc
+        conn.settimeout(self._read_timeout)
+        return conn
 
     def close(self) -> None:
         """Drop the pinned connection (no-op for one-shot clients)."""
@@ -173,12 +349,15 @@ class BlueprintClient:
             except OSError:
                 pass
             self._conn = None
+        self._pinned_used = False
 
     def __enter__(self) -> "BlueprintClient":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+    # -- transport ------------------------------------------------------------
 
     def _roundtrip(self, line: str) -> str:
         if self.persistent:
@@ -189,37 +368,87 @@ class BlueprintClient:
                 file = conn.makefile("r", encoding="utf-8")
                 response = file.readline().strip()
             except OSError as exc:
-                raise ClientError(
+                raise TransportError(
                     f"project server at {self.host}:{self.port} dropped: {exc}"
                 ) from exc
         if not response:
-            raise ClientError("empty response from project server")
+            raise TransportError("empty response from project server")
         return response
 
     def _roundtrip_persistent(self, line: str) -> str:
-        if self._conn is None:
-            self._conn = self._connect()
-            self._file = self._conn.makefile("r", encoding="utf-8")
-        try:
-            self._conn.sendall((line + "\n").encode("utf-8"))
-            response = self._file.readline().strip()
-        except OSError as exc:
-            self.close()
-            raise ClientError(
-                f"project server at {self.host}:{self.port} dropped: {exc}"
-            ) from exc
-        if not response:
-            # server closed mid-conversation; next call reconnects
-            self.close()
-            raise ClientError("empty response from project server")
-        return response
+        """One round trip on the pinned connection.
 
-    def _ok_body(self, line: str) -> str:
+        A pinned socket that already served a round trip can die
+        between calls — typically because the server restarted.  That
+        failure mode is detected here (error on a *reused* socket) and
+        healed with exactly one reconnect-and-resend, for any command:
+        the previous round trip completed, so this request was never
+        processed by a live server.  A fresh connection that fails gets
+        no such retry — the server is actually unreachable or dropped
+        this very request mid-flight.
+        """
+        for attempt in (0, 1):
+            reused = self._conn is not None and self._pinned_used
+            if self._conn is None:
+                self._conn = self._connect()
+                self._file = self._conn.makefile("r", encoding="utf-8")
+                self._pinned_used = False
+            try:
+                self._conn.sendall((line + "\n").encode("utf-8"))
+                response = self._file.readline().strip()
+                if not response:
+                    raise OSError("server closed the connection")
+            except OSError as exc:
+                self.close()
+                if reused and attempt == 0:
+                    continue  # stale pinned socket: reconnect once
+                raise TransportError(
+                    f"project server at {self.host}:{self.port} dropped: {exc}"
+                ) from exc
+            self._pinned_used = True
+            return response
+        raise TransportError("unreachable")  # pragma: no cover
+
+    def _request(self, line: str, *, idempotent: bool) -> str:
+        """Round-trip with the retry policy applied.
+
+        Transport failures retry only for idempotent commands; ``ERR
+        busy`` retries for everything (explicit non-admission), honouring
+        the server's retry-after hint.
+        """
+        policy = self.retry
+        attempts = policy.attempts if policy is not None else 1
+        attempt = 0
+        while True:
+            try:
+                response = self._roundtrip(line)
+            except TransportError:
+                attempt += 1
+                if policy is None or not idempotent or attempt >= attempts:
+                    raise
+                time.sleep(policy.delay(attempt - 1))
+                continue
+            hint = parse_busy(response)
+            if hint is not None:
+                attempt += 1
+                if (
+                    policy is None
+                    or not policy.retry_busy
+                    or attempt >= attempts
+                ):
+                    raise BusyError(response, hint)
+                time.sleep(max(hint, policy.delay(attempt - 1)))
+                continue
+            return response
+
+    def _ok_body(self, line: str, *, idempotent: bool = False) -> str:
         """Send *line*; return the body of the OK response or raise."""
-        response = self._roundtrip(line)
+        response = self._request(line, idempotent=idempotent)
         if not response.startswith("OK"):
             raise ClientError(response)
         return response[2:].strip()
+
+    # -- commands -------------------------------------------------------------
 
     @staticmethod
     def _as_event(
@@ -277,7 +506,7 @@ class BlueprintClient:
         paper's ``"logic sim passed"``-style strings round-trip intact.
         """
         oid = OID.parse(oid) if isinstance(oid, str) else oid
-        body = self._ok_body(f"query {oid.wire()}")
+        body = self._ok_body(f"query {oid.wire()}", idempotent=True)
         try:
             return parse_query_response(body)
         except ProtocolError as exc:
@@ -286,51 +515,93 @@ class BlueprintClient:
     def stale(self) -> list[OID]:
         """The server's incremental stale set (sorted), no scan involved."""
         try:
-            return parse_stale_response(self._ok_body("stale"))
+            return parse_stale_response(self._ok_body("stale", idempotent=True))
         except ProtocolError as exc:
             raise ClientError(str(exc)) from exc
 
     def pending(self) -> dict[OID, tuple[str, ...]]:
         """What still blocks the planned state: OID → failing checks."""
         try:
-            return parse_pending_response(self._ok_body("pending"))
+            return parse_pending_response(
+                self._ok_body("pending", idempotent=True)
+            )
         except ProtocolError as exc:
             raise ClientError(str(exc)) from exc
 
     def status(self) -> dict[str, int]:
         """Server/engine counters (objects, stale, queue, waves, ...)."""
         try:
-            return parse_status_response(self._ok_body("status"))
+            return parse_status_response(
+                self._ok_body("status", idempotent=True)
+            )
         except ProtocolError as exc:
             raise ClientError(str(exc)) from exc
 
-    def subscribe(self) -> Subscription:
-        """Open a persistent connection receiving push notifications.
+    def health(self) -> dict[str, int]:
+        """Durability/backpressure gauges: journal lag, queue depths,
+        lock waits, busy rejections.  Answered lock-free by the server,
+        so it works even when writers are wedged."""
+        try:
+            return parse_status_response(
+                self._ok_body("health", idempotent=True)
+            )
+        except ProtocolError as exc:
+            raise ClientError(str(exc)) from exc
 
-        The server acknowledges with ``OK subscribed`` and then writes
-        ``STALE <oid>`` / ``FRESH <oid>`` lines the moment a wave
-        re-buckets an object — no polling.
-        """
+    def _open_subscription(self) -> socket.socket:
+        """Connect, send ``subscribe``, consume the ack; returns the socket."""
         conn = self._connect()
         conn.settimeout(None)  # blocking; Subscription handles timeouts
         try:
             conn.sendall(b"subscribe\n")
         except OSError as exc:
             conn.close()
-            raise ClientError(f"subscribe failed: {exc}") from exc
-        subscription = Subscription(conn)
+            raise TransportError(f"subscribe failed: {exc}") from exc
+        probe = Subscription(conn)
         try:
-            ack = subscription._readline(self.timeout).strip()
+            ack = probe._readline(self.timeout).strip()
         except ClientError:
-            subscription.close()
+            conn.close()
             raise
         if not ack.startswith("OK"):
-            subscription.close()
+            conn.close()
             raise ClientError(ack or "empty response from project server")
-        return subscription
+        return conn
+
+    def subscribe(self, *, auto_resync: bool = False) -> Subscription:
+        """Open a persistent connection receiving push notifications.
+
+        The server acknowledges with ``OK subscribed`` and then writes
+        ``STALE <oid>`` / ``FRESH <oid>`` lines the moment a wave
+        re-buckets an object — no polling.
+
+        With ``auto_resync=True`` the subscription heals itself: on EOF
+        (server bounce, slow-subscriber kick) it reconnects with
+        backoff, re-subscribes, fetches the ``stale`` snapshot over a
+        separate one-shot exchange, and yields synthetic notifications
+        reconciling its tracked view — a mirror driven by this stream
+        converges even across the gap.
+        """
+        conn = self._open_subscription()
+        if not auto_resync:
+            return Subscription(conn)
+        snapshot_client = BlueprintClient(
+            host=self.host,
+            port=self.port,
+            timeout=self.timeout,
+            connect_timeout=self.connect_timeout,
+            read_timeout=self.read_timeout,
+            retry=self.retry or RetryPolicy(),
+        )
+        return Subscription(
+            conn,
+            resubscribe=self._open_subscription,
+            resync=snapshot_client.stale,
+            retry=self.retry or RetryPolicy(attempts=8),
+        )
 
     def ping(self) -> bool:
-        return self._roundtrip("ping") == "PONG"
+        return self._request("ping", idempotent=True) == "PONG"
 
 
 def post_event_main(argv: list[str] | None = None) -> int:
@@ -338,7 +609,8 @@ def post_event_main(argv: list[str] | None = None) -> int:
 
     Usage: ``postEvent EVENT up|down BLOCK,VIEW,VERSION ["ARG"]``.
     Server location comes from ``$BLUEPRINT_HOST`` / ``$BLUEPRINT_PORT``
-    (defaults 127.0.0.1:7865).
+    (defaults 127.0.0.1:7865); ``$BLUEPRINT_RETRIES`` enables the retry
+    policy with that many attempts.
     """
     import argparse
 
@@ -347,7 +619,7 @@ def post_event_main(argv: list[str] | None = None) -> int:
         description="post a design event to the BluePrint",
         epilog=(
             "The server also answers: query OID | stale | pending | "
-            "status | subscribe (push STALE/FRESH lines) | "
+            "status | health | subscribe (push STALE/FRESH lines) | "
             'batch "postEvent ..." ... — see damocles serve.'
         ),
     )
@@ -358,9 +630,11 @@ def post_event_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--user", default=os.environ.get("USER", ""))
     args = parser.parse_args(argv)
 
+    retries = int(os.environ.get("BLUEPRINT_RETRIES", "0"))
     client = BlueprintClient(
         host=os.environ.get("BLUEPRINT_HOST", "127.0.0.1"),
         port=int(os.environ.get("BLUEPRINT_PORT", "7865")),
+        retry=RetryPolicy(attempts=retries) if retries > 0 else None,
     )
     try:
         seq = client.post_event(

@@ -19,10 +19,18 @@ server speaks a line-oriented dialect around it:
 * ``pending``  → ``OK <oid>:<check>+<check> ...`` — what still blocks
   the planned state, per the query planner
 * ``status``  → ``OK <counter>=<n> ...`` server/engine counters
+* ``health``  → ``OK <gauge>=<n> ...`` durability/backpressure gauges
+  (journal lag, writer backlog, lock waits) — answered lock-free so it
+  works even while the server is wedged under load
 * ``subscribe``  → ``OK subscribed``; the connection then receives
   ``STALE <oid>`` / ``FRESH <oid>`` push lines as waves re-bucket objects
 * ``ping``  → ``PONG``
 * ``quit``  → closes the connection
+
+When the writer backlog exceeds the server's bound, ``postEvent`` /
+``batch`` are rejected with ``ERR busy: retry after <seconds>s``
+instead of queueing without limit; a rejected event was *not* admitted,
+so retrying it is always safe (:func:`parse_busy` extracts the hint).
 
 All messages are UTF-8 lines terminated by ``\\n``.  The server applies
 a reader-writer lock discipline per command kind: :data:`LOCK_EXCLUSIVE`
@@ -34,6 +42,7 @@ all (so they complete even while a wave is running).
 
 from __future__ import annotations
 
+import re
 import shlex
 from dataclasses import dataclass
 
@@ -53,6 +62,7 @@ QUIT = "quit"
 STALE = "stale"
 PENDING = "pending"
 STATUS = "status"
+HEALTH = "health"
 SUBSCRIBE = "subscribe"
 BATCH = "batch"
 
@@ -189,13 +199,14 @@ def parse_command(line: str) -> Command:
             return Command(kind="query", oid=OID.parse(parts[1]))
         except Exception as exc:
             raise ProtocolError(f"bad OID {parts[1]!r}: {exc}") from exc
-    if head in (STALE, PENDING, STATUS, SUBSCRIBE, PING, QUIT):
+    if head in (STALE, PENDING, STATUS, HEALTH, SUBSCRIBE, PING, QUIT):
         if stripped != head:
             raise ProtocolError(f"'{head}' takes no arguments")
         kinds = {
             STALE: "stale",
             PENDING: "pending",
             STATUS: "status",
+            HEALTH: "health",
             SUBSCRIBE: "subscribe",
             PING: "ping",
             QUIT: "quit",
@@ -210,6 +221,32 @@ def ok_response(detail: str = "") -> str:
 
 def err_response(reason: str) -> str:
     return "ERR " + reason.replace("\n", " ")
+
+
+BUSY_PREFIX = "ERR busy"
+
+
+def busy_response(retry_after: float, detail: str = "") -> str:
+    """The backpressure rejection: explicit non-admission plus a hint.
+
+    The event was NOT queued, so the client may retry it — even a
+    ``postEvent`` — after roughly *retry_after* seconds.
+    """
+    suffix = f" ({detail})" if detail else ""
+    return f"{BUSY_PREFIX}: retry after {retry_after:g}s{suffix}"
+
+
+def parse_busy(response: str) -> float | None:
+    """Retry-after seconds if *response* is a busy rejection, else None."""
+    if not response.startswith(BUSY_PREFIX):
+        return None
+    match = re.search(r"retry after ([0-9.]+)s", response)
+    if match:
+        try:
+            return float(match.group(1))
+        except ValueError:
+            pass
+    return 0.1
 
 
 def _wire_token(text: str) -> str:

@@ -31,6 +31,7 @@ import socket
 import socketserver
 import threading
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.engine import BlueprintEngine
 from repro.network.bus import EventBus
@@ -40,6 +41,9 @@ from repro.network.protocol import (
     ProtocolError,
     err_response,
 )
+
+if TYPE_CHECKING:
+    from repro.network.wal import WriteAheadLog
 
 
 class ReadWriteLock:
@@ -58,10 +62,28 @@ class ReadWriteLock:
         self._writer = False
         self._next_ticket = 0
         self._serving = 0
+        # Contention gauges for the ``health`` command.  Plain ints
+        # mutated under the condition lock, read lock-free (GIL-atomic).
+        self.read_waits = 0
+        self.write_waits = 0
+
+    @property
+    def waiting_writers(self) -> int:
+        """Writers ticketed but not yet served — the real write backlog."""
+        return max(0, self._next_ticket - self._serving - (1 if self._writer else 0))
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "lock_read_waits": self.read_waits,
+            "lock_write_waits": self.write_waits,
+            "waiting_writers": self.waiting_writers,
+        }
 
     def acquire_read(self) -> None:
         with self._cond:
             # _next_ticket > _serving means a writer is waiting or active.
+            if self._writer or self._next_ticket > self._serving:
+                self.read_waits += 1
             while self._writer or self._next_ticket > self._serving:
                 self._cond.wait()
             self._readers += 1
@@ -76,6 +98,8 @@ class ReadWriteLock:
         with self._cond:
             ticket = self._next_ticket
             self._next_ticket += 1
+            if self._writer or self._readers or ticket != self._serving:
+                self.write_waits += 1
             while self._writer or self._readers or ticket != self._serving:
                 self._cond.wait()
             self._writer = True
@@ -114,6 +138,9 @@ SUBSCRIBER_QUEUE_DEPTH = 256
 class _Handler(socketserver.StreamRequestHandler):
     def setup(self) -> None:
         super().setup()
+        server: "_TCPServer" = self.server  # type: ignore[assignment]
+        with server.active_lock:
+            server.active_connections.add(self.connection)
         # Push notifications arrive from other threads (whichever handler
         # runs the wave); responses come from this one.  One mutex per
         # connection keeps the two line streams from interleaving.
@@ -153,6 +180,54 @@ class _Handler(socketserver.StreamRequestHandler):
             command = bus.parse_line(line)
         except ProtocolError as exc:
             return err_response(str(exc))
+        if command.kind == "health":
+            # Lock-free on purpose: health must answer even when every
+            # writer slot is wedged — that is exactly when it matters.
+            return bus.handle_command(command, health_extra=server.rwlock.stats())
+        if (
+            command.kind in LOCK_EXCLUSIVE
+            and bus.busy_limit is not None
+            and server.rwlock.waiting_writers >= bus.busy_limit
+        ):
+            # Writer backlog bound: shed load before ticketing another
+            # writer, so the queue of blocked handler threads (and the
+            # memory of their pending events) stays bounded.
+            return bus.reject_busy(
+                f"writer backlog {server.rwlock.waiting_writers}"
+            )
+        if (
+            command.kind in LOCK_EXCLUSIVE
+            and bus.wal is not None
+            and not bus.engine.db.lazy
+        ):
+            # Group commit: validate + journal + fsync OUTSIDE the
+            # exclusive lock, so concurrent posts overlap their disk
+            # barriers (one fsync covers many entries) instead of
+            # serializing one fsync per event behind the lock.  The
+            # seq-ordered turn gate then keeps wave order identical to
+            # journal order (replay equivalence); waiting happens
+            # BEFORE taking the write lock or two out-of-order writers
+            # would deadlock.  Lazy databases stay on the fully-locked
+            # path below: their validation faults shards in, which is a
+            # mutation.
+            admitted = bus.admit_durable(command)
+            if isinstance(admitted, str):
+                return admitted
+            entry, events = admitted
+            try:
+                bus.wait_turn(entry.seq)
+                with server.rwlock.writing():
+                    response = bus.apply_admitted(entry, events)
+            finally:
+                # Normally a no-op (apply_admitted advanced the gate);
+                # on an exception path it keeps later writers from
+                # hanging on a turn that will never come.
+                bus.done_turn(entry.seq)
+            # The disk barrier is LAST: it overlaps the waves of later
+            # entries, and every handler that reaches this point since
+            # the previous barrier shares one fsync.  The client sees
+            # OK only after its entry is durable.
+            return bus.ensure_durable(entry, response)
         if command.kind in LOCK_EXCLUSIVE or (
             command.kind in ("query", "pending") and bus.engine.db.lazy
         ):
@@ -227,8 +302,10 @@ class _Handler(socketserver.StreamRequestHandler):
         return None
 
     def finish(self) -> None:
+        server: "_TCPServer" = self.server  # type: ignore[assignment]
+        with server.active_lock:
+            server.active_connections.discard(self.connection)
         if self._subscriber is not None:
-            server: "_TCPServer" = self.server  # type: ignore[assignment]
             server.bus.unsubscribe(self._subscriber)
             self._subscriber = None
         if self._notify_queue is not None:
@@ -249,6 +326,20 @@ class _TCPServer(socketserver.ThreadingTCPServer):
         super().__init__(address, _Handler)
         self.bus = bus
         self.rwlock = ReadWriteLock()
+        # Live connections, so stop() can shut them down and give every
+        # client (especially subscribers mid-read) a deterministic EOF
+        # instead of a socket that lingers until its daemon thread dies.
+        self.active_lock = threading.Lock()
+        self.active_connections: set[socket.socket] = set()
+
+    def close_active_connections(self) -> None:
+        with self.active_lock:
+            connections = list(self.active_connections)
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
 
 
 @dataclass
@@ -265,11 +356,23 @@ class ProjectServer:
     engine: BlueprintEngine
     host: str = "127.0.0.1"
     port: int = 0  # 0 = pick a free port
+    #: Durability/backpressure knobs, forwarded to the bus (see
+    #: :class:`~repro.network.bus.EventBus` for semantics).
+    wal: "WriteAheadLog | None" = None
+    busy_limit: int | None = None
+    checkpoint_every: int | None = None
+    checkpointer: "Callable[[], bool] | None" = None
 
     def __post_init__(self) -> None:
         self._server: _TCPServer | None = None
         self._thread: threading.Thread | None = None
-        self.bus = EventBus(self.engine)
+        self.bus = EventBus(
+            self.engine,
+            wal=self.wal,
+            busy_limit=self.busy_limit,
+            checkpoint_every=self.checkpoint_every,
+            checkpointer=self.checkpointer,
+        )
 
     @property
     def rwlock(self) -> ReadWriteLock | None:
@@ -293,6 +396,10 @@ class ProjectServer:
             return
         self._server.shutdown()
         self._server.server_close()
+        # Give every connected client a clean EOF; without this a
+        # subscriber blocked in recv() would never learn the server died
+        # (its handler thread is a daemon and simply lingers).
+        self._server.close_active_connections()
         if self._thread is not None:
             self._thread.join(timeout=5)
         self._server = None

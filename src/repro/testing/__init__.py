@@ -1,0 +1,7 @@
+"""Test-support package: fault injection for crash-safety suites.
+
+Shipped inside the main package (not under ``tests/``) because the
+production modules carry named crash points — see
+:mod:`repro.testing.faults` — that must be importable wherever the
+server runs, including the subprocess a crash-recovery test SIGKILLs.
+"""

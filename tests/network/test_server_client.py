@@ -300,19 +300,29 @@ class TestPersistentClient:
             assert pinned._conn is first_conn  # same socket across calls
         assert pinned._conn is None  # context exit released it
 
-    def test_reconnects_after_dropped_socket(self, push_server):
+    def test_heals_dropped_socket_transparently(self, push_server):
+        # The stale-pinned-socket rule: a connection that already served
+        # a round trip and died between calls is reconnected once and
+        # the request resent — the caller never sees the failure.
         pinned = BlueprintClient(
             host=push_server.host, port=push_server.port, persistent=True
         )
         assert pinned.ping() is True
+        first_conn = pinned._conn
         # simulate the network dropping the pinned connection
         pinned._conn.shutdown(socket.SHUT_RDWR)
         pinned._conn.close()
+        assert pinned.ping() is True  # healed, not raised
+        assert pinned._conn is not first_conn  # on a fresh socket
+        pinned.close()
+
+    def test_fresh_connection_failure_still_raises(self):
+        # No server at all: the reconnect-once rule must not apply to a
+        # connection that never served a round trip.
+        pinned = BlueprintClient(host="127.0.0.1", port=1, timeout=0.2, persistent=True)
         with pytest.raises(ClientError):
             pinned.ping()
-        assert pinned._conn is None  # poisoned socket released...
-        assert pinned.ping() is True  # ...and the next call reconnected
-        pinned.close()
+        assert pinned._conn is None
 
     def test_err_does_not_poison_connection(self, push_server):
         with BlueprintClient(

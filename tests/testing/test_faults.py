@@ -1,0 +1,185 @@
+"""The fault-injection harness itself: crash points, flaky I/O proxies."""
+
+import socket
+import sqlite3
+import threading
+
+import pytest
+
+from repro.testing.faults import (
+    FaultyConnection,
+    FlakySocket,
+    InjectedCrash,
+    SocketFaultPlan,
+    SqliteFaultPlan,
+    armed_crash_points,
+    clear_crash_points,
+    crash_point,
+    install_crash_point,
+    load_crash_points_from_env,
+)
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    clear_crash_points()
+    yield
+    clear_crash_points()
+
+
+class TestCrashPoints:
+    def test_unarmed_is_noop(self):
+        crash_point("never-armed")  # must not raise
+
+    def test_armed_raises_injected_crash(self):
+        install_crash_point("boom")
+        with pytest.raises(InjectedCrash):
+            crash_point("boom")
+
+    def test_fires_on_nth_hit_only(self):
+        install_crash_point("boom", nth=3)
+        crash_point("boom")
+        crash_point("boom")
+        with pytest.raises(InjectedCrash):
+            crash_point("boom")
+
+    def test_disarms_after_firing(self):
+        install_crash_point("boom")
+        with pytest.raises(InjectedCrash):
+            crash_point("boom")
+        crash_point("boom")  # spent: no-op again
+        assert armed_crash_points() == {}
+
+    def test_injected_crash_is_not_an_exception(self):
+        # The whole point: `except Exception` recovery paths must not
+        # swallow a simulated crash.
+        assert not issubclass(InjectedCrash, Exception)
+
+    def test_env_parsing(self):
+        armed = load_crash_points_from_env("mid-wave:2, mid-flush")
+        assert armed == 2
+        assert armed_crash_points() == {"mid-wave": 2, "mid-flush": 1}
+
+    def test_env_empty_arms_nothing(self):
+        assert load_crash_points_from_env("") == 0
+
+    def test_bad_nth_rejected(self):
+        with pytest.raises(ValueError):
+            install_crash_point("boom", nth=0)
+        with pytest.raises(ValueError):
+            install_crash_point("boom", action="explode")
+
+
+def socket_pair():
+    server = socket.socket()
+    server.bind(("127.0.0.1", 0))
+    server.listen(1)
+    result = {}
+
+    def accept():
+        result["peer"], _ = server.accept()
+
+    thread = threading.Thread(target=accept)
+    thread.start()
+    left = socket.create_connection(server.getsockname(), timeout=2)
+    thread.join()
+    server.close()
+    right = result["peer"]
+    right.settimeout(2)
+    return left, right
+
+
+class TestFlakySocket:
+    def test_passthrough_when_no_faults(self):
+        left, right = socket_pair()
+        with FlakySocket(left), right:
+            FlakySocket(left).sendall(b"hello")
+            assert right.recv(16) == b"hello"
+
+    def test_fail_sends(self):
+        left, right = socket_pair()
+        with FlakySocket(left, SocketFaultPlan(fail_sends=2)) as flaky, right:
+            with pytest.raises(OSError):
+                flaky.sendall(b"one")
+            with pytest.raises(OSError):
+                flaky.sendall(b"two")
+            flaky.sendall(b"three")  # plan exhausted
+            assert right.recv(16) == b"three"
+            assert flaky.injected == ["send-fail", "send-fail"]
+
+    def test_partial_first_send(self):
+        left, right = socket_pair()
+        plan = SocketFaultPlan(partial_first_send=3)
+        with FlakySocket(left, plan) as flaky, right:
+            with pytest.raises(OSError):
+                flaky.sendall(b"abcdef")
+            assert right.recv(16) == b"abc"  # torn write reached the wire
+
+    def test_fail_recvs(self):
+        left, right = socket_pair()
+        with FlakySocket(left, SocketFaultPlan(fail_recvs=1)) as flaky, right:
+            right.sendall(b"data")
+            with pytest.raises(OSError):
+                flaky.recv(16)
+            assert flaky.recv(16) == b"data"
+
+    def test_drop_after_sends(self):
+        left, right = socket_pair()
+        with FlakySocket(left, SocketFaultPlan(drop_after_sends=1)) as flaky, right:
+            flaky.sendall(b"last words")
+            assert right.recv(16) == b"last words"
+            assert right.recv(16) == b""  # peer sees EOF after the drop
+
+    def test_delegates_everything_else(self):
+        left, right = socket_pair()
+        with FlakySocket(left) as flaky, right:
+            assert flaky.fileno() == left.fileno()
+            assert flaky.getpeername() == left.getpeername()
+
+
+class TestFaultyConnection:
+    def make(self, plan=None):
+        conn = FaultyConnection(sqlite3.connect(":memory:"), plan)
+        conn.execute("CREATE TABLE t (x INTEGER)") if plan is None else None
+        return conn
+
+    def test_passthrough_when_no_faults(self):
+        conn = self.make()
+        conn.execute("INSERT INTO t VALUES (1)")
+        assert conn.execute("SELECT count(*) FROM t").fetchone()[0] == 1
+
+    def test_fail_after_statements(self):
+        plan = SqliteFaultPlan(fail_after_statements=1)
+        conn = FaultyConnection(sqlite3.connect(":memory:"), plan)
+        conn.execute("CREATE TABLE t (x INTEGER)")
+        with pytest.raises(sqlite3.OperationalError):
+            conn.execute("INSERT INTO t VALUES (1)")
+        assert plan.raised == 1
+
+    def test_fail_matching_substring(self):
+        plan = SqliteFaultPlan(fail_matching="INSERT INTO t")
+        conn = FaultyConnection(sqlite3.connect(":memory:"), plan)
+        conn.execute("CREATE TABLE t (x INTEGER)")  # does not match
+        with pytest.raises(sqlite3.OperationalError):
+            conn.execute("INSERT INTO t VALUES (1)")
+        conn.execute("SELECT 1")  # still selective, not poisoned
+
+    def test_bounded_error_count_recovers(self):
+        plan = SqliteFaultPlan(fail_matching="INSERT", operational_errors=1)
+        conn = FaultyConnection(sqlite3.connect(":memory:"), plan)
+        conn.execute("CREATE TABLE t (x INTEGER)")
+        with pytest.raises(sqlite3.OperationalError):
+            conn.execute("INSERT INTO t VALUES (1)")
+        conn.execute("INSERT INTO t VALUES (2)")  # budget spent: succeeds
+        assert conn.execute("SELECT count(*) FROM t").fetchone()[0] == 1
+
+    def test_transaction_context_passes_through(self):
+        conn = FaultyConnection(sqlite3.connect(":memory:"))
+        conn.execute("CREATE TABLE t (x INTEGER)")
+        with pytest.raises(sqlite3.OperationalError):
+            with conn:
+                conn.execute("INSERT INTO t VALUES (1)")
+                # a failing statement inside `with conn:` rolls back
+                conn.plan.fail_matching = "INSERT INTO t VALUES (2)"
+                conn.execute("INSERT INTO t VALUES (2)")
+        assert conn.execute("SELECT count(*) FROM t").fetchone()[0] == 0
