@@ -289,15 +289,32 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     stop = threading.Event()
     _serve_stops.append(stop)  # before the port opens: an early stop_serving() must see it
-    server = ProjectServer(
-        engine,
-        host=args.host,
-        port=args.port,
-        wal=wal,
-        busy_limit=getattr(args, "busy_limit", None),
-        checkpoint_every=getattr(args, "checkpoint_every", None),
-        checkpointer=checkpointer,
-    )
+    transport = getattr(args, "transport", "lines") or "lines"
+    if transport == "lines":
+        server = ProjectServer(
+            engine,
+            host=args.host,
+            port=args.port,
+            wal=wal,
+            busy_limit=getattr(args, "busy_limit", None),
+            checkpoint_every=getattr(args, "checkpoint_every", None),
+            checkpointer=checkpointer,
+        )
+    else:
+        # frames/auto: the asyncio server (multiplexed framing with a
+        # line compat shim on the same port when transport == "auto").
+        from repro.network.async_server import AsyncProjectServer
+
+        server = AsyncProjectServer(
+            engine,
+            host=args.host,
+            port=args.port,
+            wal=wal,
+            busy_limit=getattr(args, "busy_limit", None),
+            checkpoint_every=getattr(args, "checkpoint_every", None),
+            checkpointer=checkpointer,
+            transport=transport,
+        )
     if wal is not None:
         # Replay the tail the last process lost: entries past the
         # database's durable watermark, through the same admission code
@@ -544,6 +561,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--busy-limit", type=int, default=None, metavar="N",
         help="shed load with 'ERR busy' when the engine queue or the "
         "writer backlog reaches N (default: never)",
+    )
+    serve.add_argument(
+        "--transport", choices=("lines", "frames", "auto"), default="lines",
+        help="wire dialect: 'lines' is the classic threaded line-protocol "
+        "server; 'frames' is the asyncio frame transport (multiplexed "
+        "requests, pipelined group commit, credit-based subscriber "
+        "backpressure); 'auto' runs the async server classifying each "
+        "connection from its first byte, so both dialects share one "
+        "port (default: lines)",
     )
     serve.set_defaults(func=cmd_serve)
 

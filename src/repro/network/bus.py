@@ -221,6 +221,13 @@ class EventBus:
 
     # -- line protocol -----------------------------------------------------------
 
+    def note_wire_message(self) -> None:
+        """Count one non-line wire message (framed transport requests),
+        so ``lines_seen`` stays the total-messages gauge it has always
+        been regardless of transport."""
+        with self._stats_lock:
+            self.lines_seen += 1
+
     def parse_line(self, line: str) -> Command:
         """Count and parse one wire line (shared with the TCP handler)."""
         with self._stats_lock:
@@ -580,6 +587,7 @@ class EventBus:
             counters["journal_lag"] = self.wal.lag
             counters["journal_segments"] = self.wal.segment_count
             counters["journal_broken"] = int(self.wal.broken)
+            counters["journal_barriers"] = self.wal.sync_barriers
         if extra:
             counters.update(extra)
         return counters

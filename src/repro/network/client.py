@@ -38,6 +38,17 @@ What is *never* retried: a ``postEvent`` / ``batch`` that failed after
 reaching a live server (other than ``ERR busy``) — the client cannot
 know whether the wave ran, and the journal may have made it durable.
 See ARCHITECTURE.md's retry matrix.
+
+Transports: the default ``transport="lines"`` speaks the paper's line
+dialect.  ``transport="frames"`` speaks the length-prefixed framed
+dialect of :mod:`repro.network.framing` against the async server — the
+sync API, error taxonomy, and the entire retry matrix are unchanged
+(framed responses carry the same ``OK``/``ERR`` bodies), but the
+connection multiplexes: :meth:`BlueprintClient.post_many` keeps a
+window of posts in flight so a burst pays one round trip per *window*
+instead of one per event, and a framed subscription is never kicked
+for being slow — the server coalesces its backlog instead
+(:class:`Notification.coalesced` marks catch-up deltas).
 """
 
 from __future__ import annotations
@@ -54,11 +65,21 @@ from typing import Callable, Iterable, Iterator
 from repro.core.events import EventMessage
 from repro.metadb.links import Direction
 from repro.metadb.oid import OID
+from repro.network.framing import (
+    CREDIT_PAUSE,
+    CREDIT_RESUME,
+    FrameChannel,
+    FramingError,
+    command_to_request,
+    event_to_payload,
+)
 from repro.network.protocol import (
+    OVERLOAD_LINE,
     ProtocolError,
     format_batch,
     format_post_event,
     parse_busy,
+    parse_command,
     parse_notification,
     parse_pending_response,
     parse_query_response,
@@ -122,10 +143,17 @@ class RetryPolicy:
 
 @dataclass(frozen=True)
 class Notification:
-    """One push line from a subscribed connection."""
+    """One push line from a subscribed connection.
+
+    ``coalesced`` is True for catch-up deltas: the framed server's
+    backpressure replay (latest state per OID, intermediate flaps
+    elided) and a subscription's own resync synthetics.  A live
+    transition always has ``coalesced=False``.
+    """
 
     verb: str  # "STALE" | "FRESH"
     oid: OID
+    coalesced: bool = False
 
     @property
     def is_stale(self) -> bool:
@@ -219,6 +247,14 @@ class Subscription:
                     raise
                 self._recover()
                 continue
+            if line == OVERLOAD_LINE:
+                # The server's slow-subscriber kick, announced before
+                # the close: recoverable exactly like the EOF it
+                # precedes (resync heals the dropped notifications).
+                if self._resubscribe is None or self._closed:
+                    raise SubscriptionClosed(line)
+                self._recover()
+                continue
             try:
                 verb, oid = parse_notification(line)
             except ProtocolError as exc:
@@ -283,6 +319,158 @@ class Subscription:
         self.close()
 
 
+class FramedSubscription:
+    """The push stream over the framed transport.
+
+    Same surface as :class:`Subscription` (``next(timeout)``,
+    iteration, tracked ``view``, optional auto-resync), different
+    contract underneath: the framed server never disconnects a slow
+    subscriber.  When this client falls behind, the server sends a
+    ``PAUSE`` credit frame (visible as :attr:`paused`), collapses the
+    backlog to one latest-state delta per OID, and replays them with
+    ``coalesced=True`` once the socket drains, ending with ``RESUME``.
+    Every stale/fresh transition is therefore eventually observed —
+    possibly coalesced — and the tracked view always converges.
+    :meth:`pause` / :meth:`resume` send the same credits client-side to
+    explicitly gate the stream (pausing around an expensive rebuild,
+    say).
+    """
+
+    def __init__(
+        self,
+        channel: FrameChannel,
+        *,
+        resubscribe: Callable[[], FrameChannel] | None = None,
+        resync: Callable[[], list[OID]] | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        self._channel = channel
+        self._closed = False
+        self._resubscribe = resubscribe
+        self._resync = resync
+        self._retry = retry or RetryPolicy(attempts=8)
+        self.view: set[OID] = set()
+        self._synthetic: deque[Notification] = deque()
+        self.resyncs = 0
+        #: True between the server's PAUSE and RESUME credits: pushes
+        #: arriving now are coalesced replay, not the live stream.
+        self.paused = False
+
+    def _read_frame(self, timeout: float | None) -> dict:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            frame = self._channel.recv_buffered()
+            if frame is not None:
+                return frame
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not select.select(
+                    [self._channel.conn], [], [], remaining
+                )[0]:
+                    raise ClientError("no notification: timed out")
+            try:
+                chunk = self._channel.conn.recv(65536)
+            except OSError as exc:
+                raise SubscriptionClosed(f"no notification: {exc}") from exc
+            if not chunk:
+                raise SubscriptionClosed("subscription closed by server")
+            try:
+                self._channel.feed(chunk)
+            except FramingError as exc:
+                raise SubscriptionClosed(f"push stream corrupt: {exc}") from exc
+
+    def next(self, timeout: float | None = None) -> Notification:
+        """Block until the next notification (credit frames are
+        absorbed into :attr:`paused` rather than surfaced)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if self._synthetic:
+                return self._track(self._synthetic.popleft())
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            try:
+                payload = self._read_frame(remaining)
+            except SubscriptionClosed:
+                if self._resubscribe is None or self._closed:
+                    raise
+                self._recover()
+                continue
+            credit = payload.get("credit")
+            if credit is not None:
+                self.paused = credit == CREDIT_PAUSE
+                continue
+            push = payload.get("push")
+            if push is None:
+                continue  # stray response frame on a dedicated socket
+            try:
+                verb, oid = parse_notification(push)
+            except ProtocolError as exc:
+                raise ClientError(str(exc)) from exc
+            return self._track(
+                Notification(verb, oid, bool(payload.get("coalesced")))
+            )
+
+    def _track(self, note: Notification) -> Notification:
+        if note.is_stale:
+            self.view.add(note.oid)
+        else:
+            self.view.discard(note.oid)
+        return note
+
+    def pause(self) -> None:
+        """Ask the server to coalesce this stream until :meth:`resume`."""
+        self._channel.send({"credit": CREDIT_PAUSE})
+
+    def resume(self) -> None:
+        """Lift a client-requested pause; the coalesced backlog replays."""
+        self._channel.send({"credit": CREDIT_RESUME})
+
+    def _recover(self) -> None:
+        """Reconnect (with backoff) and reconcile the tracked view."""
+        self._channel.close()
+        self.paused = False
+        attempt = 0
+        while True:
+            try:
+                self._channel = self._resubscribe()
+                break
+            except ClientError:
+                attempt += 1
+                if attempt >= self._retry.attempts:
+                    raise SubscriptionClosed(
+                        f"resubscribe failed after {attempt} attempts"
+                    ) from None
+                time.sleep(self._retry.delay(attempt - 1))
+        self.resyncs += 1
+        if self._resync is None:
+            return
+        snapshot = set(self._resync())
+        for oid in sorted(snapshot - self.view, key=OID.sort_key):
+            self._synthetic.append(Notification("STALE", oid, True))
+        for oid in sorted(self.view - snapshot, key=OID.sort_key):
+            self._synthetic.append(Notification("FRESH", oid, True))
+
+    def __iter__(self) -> Iterator[Notification]:
+        while True:
+            try:
+                yield self.next(timeout=None)
+            except ClientError:
+                return
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._channel.close()
+
+    def __enter__(self) -> "FramedSubscription":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
 @dataclass
 class BlueprintClient:
     """A small line-protocol client.
@@ -309,11 +497,18 @@ class BlueprintClient:
     connect_timeout: float | None = None
     read_timeout: float | None = None
     retry: RetryPolicy | None = None
+    #: ``"lines"`` (default, works against both servers) or ``"frames"``
+    #: (the async server's multiplexed transport; enables pipelining).
+    transport: str = "lines"
 
     def __post_init__(self) -> None:
+        if self.transport not in ("lines", "frames"):
+            raise ValueError(f"unknown transport {self.transport!r}")
         self._conn: socket.socket | None = None
         self._file = None
         self._pinned_used = False
+        self._channel: FrameChannel | None = None
+        self._request_seq = 0
 
     @property
     def _connect_timeout(self) -> float:
@@ -337,6 +532,9 @@ class BlueprintClient:
 
     def close(self) -> None:
         """Drop the pinned connection (no-op for one-shot clients)."""
+        if self._channel is not None:
+            self._channel.close()
+            self._channel = None
         if self._file is not None:
             try:
                 self._file.close()
@@ -360,6 +558,8 @@ class BlueprintClient:
     # -- transport ------------------------------------------------------------
 
     def _roundtrip(self, line: str) -> str:
+        if self.transport == "frames":
+            return self._roundtrip_frames(line)
         if self.persistent:
             return self._roundtrip_persistent(line)
         with self._connect() as conn:
@@ -405,6 +605,84 @@ class BlueprintClient:
                 raise TransportError(
                     f"project server at {self.host}:{self.port} dropped: {exc}"
                 ) from exc
+            self._pinned_used = True
+            return response
+        raise TransportError("unreachable")  # pragma: no cover
+
+    # -- framed transport ------------------------------------------------------
+
+    def _take_request_id(self) -> int:
+        self._request_seq += 1
+        return self._request_seq
+
+    def _open_channel(self) -> FrameChannel:
+        return FrameChannel(self._connect())
+
+    def _exchange(self, channel: FrameChannel, request: dict) -> str:
+        """One tagged round trip: send, then wait for the matching id.
+
+        Push/credit frames that arrive interleaved (a subscribed
+        connection) are skipped — the dedicated subscription socket is
+        the supported way to consume them, but a stray frame must not
+        desynchronise the request stream.
+        """
+        channel.send(request)
+        while True:
+            payload = channel.recv()
+            if "error" in payload:
+                # The server found our stream unrecoverable and is
+                # closing; not a transport flake, so not retryable.
+                raise ClientError(f"server: {payload['error']}")
+            if payload.get("id") == request["id"] and "response" in payload:
+                response = str(payload["response"])
+                if not response:
+                    raise OSError("empty response from project server")
+                return response
+
+    def _roundtrip_frames(self, line: str) -> str:
+        """The line-dialect request, carried over the framed transport.
+
+        The line is parsed back to a :class:`Command` and re-rendered as
+        a framed request; the response body is the same ``OK``/``ERR``
+        line either transport answers, so everything above this method
+        (retry matrix, busy handling, parsers) is transport-blind.
+        Persistent clients keep the stale-pinned-socket heal-once rule.
+        """
+        try:
+            request = command_to_request(
+                parse_command(line), self._take_request_id()
+            )
+        except ProtocolError as exc:
+            raise ClientError(str(exc)) from exc
+        if not self.persistent:
+            channel = self._open_channel()
+            try:
+                return self._exchange(channel, request)
+            except (OSError, ConnectionError) as exc:
+                raise TransportError(
+                    f"project server at {self.host}:{self.port} dropped: {exc}"
+                ) from exc
+            except FramingError as exc:
+                raise ClientError(f"framed stream corrupt: {exc}") from exc
+            finally:
+                channel.close()
+        for attempt in (0, 1):
+            reused = self._channel is not None and self._pinned_used
+            if self._channel is None:
+                self._channel = self._open_channel()
+                self._pinned_used = False
+            try:
+                response = self._exchange(self._channel, request)
+            except (OSError, ConnectionError) as exc:
+                self.close()
+                if reused and attempt == 0:
+                    continue  # stale pinned channel: reconnect once
+                raise TransportError(
+                    f"project server at {self.host}:{self.port} dropped: {exc}"
+                ) from exc
+            except FramingError as exc:
+                self.close()
+                raise ClientError(f"framed stream corrupt: {exc}") from exc
             self._pinned_used = True
             return response
         raise TransportError("unreachable")  # pragma: no cover
@@ -499,6 +777,172 @@ class BlueprintClient:
         detail = self._ok_body(format_batch(messages))
         return [int(token) for token in detail.split()]
 
+    def post_many(
+        self,
+        events: Iterable[EventMessage | tuple],
+        *,
+        window: int = 64,
+    ) -> list[int]:
+        """Post many *independent* events, pipelined.
+
+        Unlike :meth:`post_batch` (one atomic all-or-nothing command),
+        each event here is its own ``postEvent`` — but on the framed
+        transport up to *window* of them stay in flight at once, so a
+        burst pays one round trip per window rather than one per event
+        (and, on a journaled server, shares fsync barriers across the
+        whole window).  On the lines transport this degrades to a
+        sequential loop with identical semantics.
+
+        Returns the assigned sequence numbers in input order.  ``ERR
+        busy`` rejections are retried per the policy (they are provably
+        un-admitted); the first non-busy ``ERR`` raises
+        :class:`ClientError` after the in-flight window drains, with
+        every already-acknowledged event applied (their seqs are lost to
+        the caller — treat the call as non-atomic).  A transport failure
+        mid-window raises :class:`TransportError` without resending:
+        sent-but-unacknowledged events may or may not have run.
+        """
+        messages = [
+            event
+            if isinstance(event, EventMessage)
+            else self._as_event(*event)
+            for event in events
+        ]
+        if not messages:
+            return []
+        if self.transport != "frames":
+            return [
+                int(self._ok_body(format_post_event(message)) or 0)
+                for message in messages
+            ]
+        policy = self.retry
+        results: list[int | None] = [None] * len(messages)
+        todo = list(range(len(messages)))
+        busy_attempt = 0
+        healed = False
+        own_channel: FrameChannel | None = None
+        try:
+            while todo:
+                if self.persistent:
+                    reused = self._channel is not None and self._pinned_used
+                    if self._channel is None:
+                        self._channel = self._open_channel()
+                        self._pinned_used = False
+                    channel = self._channel
+                else:
+                    reused = own_channel is not None
+                    if own_channel is None:
+                        own_channel = self._open_channel()
+                    channel = own_channel
+                ok: dict[int, int] = {}
+                progress = any(result is not None for result in results)
+                try:
+                    busy, error = self._pipeline_window(
+                        channel, messages, todo, window, ok
+                    )
+                except (OSError, ConnectionError) as exc:
+                    self.close()
+                    if own_channel is not None:
+                        own_channel.close()
+                        own_channel = None
+                    if (
+                        self.persistent
+                        and reused
+                        and not progress
+                        and not ok
+                        and not healed
+                    ):
+                        # Stale pinned channel, nothing from this call
+                        # acknowledged: the server restarted between
+                        # calls, so resending the lot is safe — once.
+                        healed = True
+                        continue
+                    raise TransportError(
+                        f"project server at {self.host}:{self.port} "
+                        f"dropped mid-pipeline: {exc}"
+                    ) from exc
+                except FramingError as exc:
+                    self.close()
+                    raise ClientError(f"framed stream corrupt: {exc}") from exc
+                if self.persistent:
+                    self._pinned_used = True
+                for index, seq in ok.items():
+                    results[index] = seq
+                if error is not None:
+                    raise ClientError(error[1])
+                if not busy:
+                    break
+                busy_attempt += 1
+                hint = max(entry[1] for entry in busy)
+                if (
+                    policy is None
+                    or not policy.retry_busy
+                    or busy_attempt >= policy.attempts
+                ):
+                    raise BusyError(busy[0][2], hint)
+                time.sleep(max(hint, policy.delay(busy_attempt - 1)))
+                todo = [entry[0] for entry in busy]
+        finally:
+            if own_channel is not None:
+                own_channel.close()
+        assert all(result is not None for result in results)
+        return results  # type: ignore[return-value]
+
+    def _pipeline_window(
+        self,
+        channel: FrameChannel,
+        messages: list[EventMessage],
+        todo: list[int],
+        window: int,
+        ok: dict[int, int],
+    ) -> tuple[list[tuple[int, float, str]], tuple[int, str] | None]:
+        """One pipelined pass over *todo*, keeping ≤ *window* in flight.
+
+        Fills *ok* (message index → seq) in place so progress survives a
+        transport exception; returns the busy rejections as
+        ``(index, retry_hint, response)`` and the first hard error as
+        ``(index, response)`` — the in-flight window is always drained,
+        even after an error, so the channel stays usable.
+        """
+        inflight: dict[int, int] = {}
+        send_iter = iter(todo)
+        exhausted = False
+        error: tuple[int, str] | None = None
+        busy: list[tuple[int, float, str]] = []
+        while True:
+            while not exhausted and len(inflight) < window:
+                index = next(send_iter, None)
+                if index is None:
+                    exhausted = True
+                    break
+                request_id = self._take_request_id()
+                inflight[request_id] = index
+                channel.send(
+                    {
+                        "id": request_id,
+                        "cmd": "post",
+                        "event": event_to_payload(messages[index]),
+                    }
+                )
+            if not inflight:
+                return busy, error
+            payload = channel.recv()
+            if "error" in payload:
+                raise FramingError(str(payload["error"]))
+            request_id = payload.get("id")
+            if request_id not in inflight:
+                continue  # push/credit or stale frame: not ours
+            index = inflight.pop(request_id)
+            response = str(payload.get("response", ""))
+            hint = parse_busy(response)
+            if hint is not None:
+                busy.append((index, hint, response))
+            elif response.startswith("OK"):
+                body = response[2:].strip()
+                ok[index] = int(body) if body else 0
+            elif error is None:
+                error = (index, response)
+
     def query(self, oid: OID | str) -> dict[str, str]:
         """Fetch the property state of one OID as text values.
 
@@ -568,12 +1012,55 @@ class BlueprintClient:
             raise ClientError(ack or "empty response from project server")
         return conn
 
-    def subscribe(self, *, auto_resync: bool = False) -> Subscription:
+    def _open_framed_subscription(self) -> FrameChannel:
+        """Connect over frames, subscribe, consume the tagged ack."""
+        conn = self._connect()
+        channel = FrameChannel(conn)
+        try:
+            channel.send({"id": 0, "cmd": "subscribe"})
+            while True:
+                payload = channel.recv()
+                if payload.get("id") == 0:
+                    response = str(payload.get("response", ""))
+                    if not response.startswith("OK"):
+                        raise ClientError(
+                            response or "empty response from project server"
+                        )
+                    break
+        except (OSError, ConnectionError) as exc:
+            channel.close()
+            raise TransportError(f"subscribe failed: {exc}") from exc
+        except FramingError as exc:
+            channel.close()
+            raise ClientError(f"framed stream corrupt: {exc}") from exc
+        except ClientError:
+            channel.close()
+            raise
+        conn.settimeout(None)  # blocking; FramedSubscription handles timeouts
+        return channel
+
+    def _snapshot_client(self) -> "BlueprintClient":
+        """A one-shot twin used for resync snapshots during recovery."""
+        return BlueprintClient(
+            host=self.host,
+            port=self.port,
+            timeout=self.timeout,
+            connect_timeout=self.connect_timeout,
+            read_timeout=self.read_timeout,
+            retry=self.retry or RetryPolicy(),
+            transport=self.transport,
+        )
+
+    def subscribe(
+        self, *, auto_resync: bool = False
+    ) -> "Subscription | FramedSubscription":
         """Open a persistent connection receiving push notifications.
 
-        The server acknowledges with ``OK subscribed`` and then writes
-        ``STALE <oid>`` / ``FRESH <oid>`` lines the moment a wave
-        re-buckets an object — no polling.
+        The server acknowledges with ``OK subscribed`` and then pushes
+        ``STALE <oid>`` / ``FRESH <oid>`` the moment a wave re-buckets
+        an object — no polling.  On the frames transport this returns a
+        :class:`FramedSubscription`, whose stream is never closed for
+        falling behind (the server coalesces instead — see that class).
 
         With ``auto_resync=True`` the subscription heals itself: on EOF
         (server bounce, slow-subscriber kick) it reconnects with
@@ -582,21 +1069,23 @@ class BlueprintClient:
         reconciling its tracked view — a mirror driven by this stream
         converges even across the gap.
         """
+        if self.transport == "frames":
+            framed = self._open_framed_subscription()
+            if not auto_resync:
+                return FramedSubscription(framed)
+            return FramedSubscription(
+                framed,
+                resubscribe=self._open_framed_subscription,
+                resync=self._snapshot_client().stale,
+                retry=self.retry or RetryPolicy(attempts=8),
+            )
         conn = self._open_subscription()
         if not auto_resync:
             return Subscription(conn)
-        snapshot_client = BlueprintClient(
-            host=self.host,
-            port=self.port,
-            timeout=self.timeout,
-            connect_timeout=self.connect_timeout,
-            read_timeout=self.read_timeout,
-            retry=self.retry or RetryPolicy(),
-        )
         return Subscription(
             conn,
             resubscribe=self._open_subscription,
-            resync=snapshot_client.stale,
+            resync=self._snapshot_client().stale,
             retry=self.retry or RetryPolicy(attempts=8),
         )
 

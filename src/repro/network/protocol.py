@@ -70,6 +70,12 @@ BATCH = "batch"
 NOTIFY_STALE = "STALE"
 NOTIFY_FRESH = "FRESH"
 
+#: Final line a line-dialect server writes to a subscriber it is about
+#: to drop for overflow — overload is thereby distinguishable from a
+#: crashed server on the client side.  (The framed transport never
+#: drops slow subscribers; it coalesces instead.)
+OVERLOAD_LINE = "ERR overloaded"
+
 #: Command kinds that mutate engine state: the server runs them under
 #: the exclusive writer lock, so posts from many clients enqueue FIFO.
 LOCK_EXCLUSIVE = frozenset({"post", "batch"})

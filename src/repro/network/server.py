@@ -38,6 +38,7 @@ from repro.network.bus import EventBus
 from repro.network.protocol import (
     LOCK_EXCLUSIVE,
     LOCK_SHARED,
+    OVERLOAD_LINE,
     ProtocolError,
     err_response,
 )
@@ -132,6 +133,8 @@ class ReadWriteLock:
 
 #: Per-subscriber notification buffer: a consumer further behind than
 #: this is dropped rather than allowed to block the publishing wave.
+#: The dropped subscriber gets :data:`~repro.network.protocol.OVERLOAD_LINE`
+#: as its final line before the close.
 SUBSCRIBER_QUEUE_DEPTH = 256
 
 
@@ -268,6 +271,14 @@ class _Handler(socketserver.StreamRequestHandler):
                         self._send(line)
                     except OSError:
                         return
+                    if line == OVERLOAD_LINE:
+                        # The diagnostic was the stream's last line; now
+                        # the EOF the overflow used to deliver silently.
+                        try:
+                            self.connection.shutdown(socket.SHUT_RDWR)
+                        except OSError:
+                            pass
+                        return
 
             self._notify_thread = threading.Thread(
                 target=pump, name="blueprint-notify", daemon=True
@@ -282,12 +293,17 @@ class _Handler(socketserver.StreamRequestHandler):
                 try:
                     self._notify_queue.put_nowait(line)
                 except queue.Full:
-                    # Overflow: close the socket so the client sees EOF
-                    # instead of blocking forever on a stream the bus is
-                    # about to drop (the re-raise unsubscribes us).
+                    # Overflow: drop the oldest queued line to make room
+                    # for a final ``ERR overloaded``, delivered in-order
+                    # by the pump (which then closes the socket).  The
+                    # re-raise unsubscribes us, so this fires once.
                     try:
-                        self.connection.shutdown(socket.SHUT_RDWR)
-                    except OSError:
+                        self._notify_queue.get_nowait()
+                    except queue.Empty:
+                        pass
+                    try:
+                        self._notify_queue.put_nowait(OVERLOAD_LINE)
+                    except queue.Full:
                         pass
                     raise
 

@@ -146,6 +146,9 @@ class WriteAheadLog:
         self.last_seq = 0
         self.checkpoint_seq = 0
         self.recovered_torn_line = False
+        #: Disk barriers actually issued (group-commit amortisation
+        #: gauge: compare against entries appended to see the fan-in).
+        self.sync_barriers = 0
         # Group-commit state: appends write+flush under ``_lock`` (fast),
         # then wait in :meth:`sync` for a disk barrier covering their
         # entry.  One thread fsyncs on everyone's behalf while later
@@ -351,6 +354,7 @@ class WriteAheadLog:
         error: Exception | None = None
         try:
             if handle is not None:
+                self.sync_barriers += 1
                 _sync_file(handle.fileno())
         except (OSError, ValueError) as exc:  # ValueError: closed file
             error = exc
@@ -404,6 +408,7 @@ class WriteAheadLog:
         try:
             handle.flush()
             if self.fsync:
+                self.sync_barriers += 1
                 _sync_file(handle.fileno())
         except (OSError, ValueError) as exc:  # ValueError: closed file
             self._mark_broken()

@@ -1,0 +1,205 @@
+"""The frame codec: unit coverage plus property-based round trips.
+
+Mirrors ``test_protocol_fuzz.py`` for the framed transport: every
+encoded frame decodes back equal, under *arbitrary* fragmentation —
+torn mid-length-header, torn mid-payload, many frames glued into one
+chunk — because TCP guarantees none of the chunk boundaries the encoder
+produced.  Hostile input (oversized length headers, wrong version
+bytes, garbage) must raise :class:`FramingError`, never allocate the
+attacker's length, and never mis-parse.
+"""
+
+import json
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.network.framing import (
+    FRAME_MAGIC,
+    MAX_FRAME,
+    FrameDecoder,
+    FramingError,
+    command_to_request,
+    encode_frame,
+    event_to_payload,
+    is_frame_byte,
+    payload_to_event,
+    request_to_command,
+)
+from repro.network.protocol import Command, parse_command
+from test_protocol_fuzz import events, oids, wire_text
+
+
+# ---------------------------------------------------------------------------
+# unit coverage
+# ---------------------------------------------------------------------------
+
+
+class TestFrameShape:
+    def test_header_is_magic_plus_length(self):
+        frame = encode_frame({"a": 1})
+        magic, length = struct.unpack_from(">BI", frame)
+        assert magic == FRAME_MAGIC
+        assert length == len(frame) - 5
+        assert json.loads(frame[5:]) == {"a": 1}
+
+    def test_magic_outside_utf8_command_space(self):
+        # Transport auto-detection depends on this: no line-dialect
+        # command can begin with a frame byte.
+        assert FRAME_MAGIC >= 0x80
+        assert is_frame_byte(FRAME_MAGIC)
+        for first in b"postEvent batch query stale pending status health ping":
+            assert not is_frame_byte(first)
+
+    def test_oversized_payload_refused_by_encoder(self):
+        with pytest.raises(FramingError, match="exceeds MAX_FRAME"):
+            encode_frame({"pad": "x" * (MAX_FRAME + 1)})
+
+    def test_oversized_length_header_refused_by_decoder(self):
+        # The guard must fire from the header alone — before any
+        # payload bytes arrive, so a hostile length cannot make the
+        # decoder sit on (or allocate for) gigabytes.
+        header = struct.pack(">BI", FRAME_MAGIC, MAX_FRAME + 1)
+        with pytest.raises(FramingError, match="exceeds MAX_FRAME"):
+            FrameDecoder().feed(header)
+
+    def test_version_mismatch_is_diagnosed(self):
+        header = struct.pack(">BI", 0xB7, 0)
+        with pytest.raises(FramingError, match="version mismatch.*v7"):
+            FrameDecoder().feed(header)
+
+    def test_non_frame_byte_is_bad_magic(self):
+        with pytest.raises(FramingError, match="bad frame magic"):
+            FrameDecoder().feed(struct.pack(">BI", 0x7B, 2) + b"{}")
+
+    def test_bad_json_payload(self):
+        with pytest.raises(FramingError, match="bad frame payload"):
+            FrameDecoder().feed(struct.pack(">BI", FRAME_MAGIC, 4) + b"!!!!")
+
+    def test_non_object_payload(self):
+        data = b"[1,2]"
+        with pytest.raises(FramingError, match="must be an object"):
+            FrameDecoder().feed(struct.pack(">BI", FRAME_MAGIC, len(data)) + data)
+
+    def test_torn_header_then_payload(self):
+        decoder = FrameDecoder()
+        frame = encode_frame({"x": "y"})
+        assert decoder.feed(frame[:3]) == []  # mid-length-header
+        assert decoder.buffered == 3
+        assert decoder.feed(frame[3:7]) == []  # mid-payload
+        assert decoder.feed(frame[7:]) == [{"x": "y"}]
+        assert decoder.buffered == 0
+
+    def test_unknown_framed_command_rejected(self):
+        with pytest.raises(FramingError, match="unknown framed command"):
+            request_to_command({"id": 1, "cmd": "reboot"})
+
+    def test_request_without_cmd_rejected(self):
+        with pytest.raises(FramingError, match="no 'cmd'"):
+            request_to_command({"id": 1})
+
+    def test_post_event_escape_hatch_accepts_line(self):
+        command = request_to_command(
+            {"id": 1, "cmd": "post", "event": 'postEvent seen up a,v,1 "x"'}
+        )
+        assert command.kind == "post"
+        assert command.event.name == "seen"
+        assert command.event.arg == "x"
+
+
+# ---------------------------------------------------------------------------
+# property-based round trips
+# ---------------------------------------------------------------------------
+
+# JSON-safe payloads beyond the protocol shapes: the codec itself is
+# payload-agnostic, so fuzz it with arbitrary objects too.
+json_values = st.recursive(
+    st.none() | st.booleans() | st.integers() | st.floats(allow_nan=False) | wire_text,
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(wire_text, children, max_size=4),
+    max_leaves=10,
+)
+payloads = st.dictionaries(wire_text, json_values, max_size=6)
+
+
+@given(payload=payloads)
+def test_encode_decode_round_trip(payload):
+    decoded = FrameDecoder().feed(encode_frame(payload))
+    assert decoded == [payload]
+
+
+@given(batch=st.lists(payloads, min_size=1, max_size=6), data=st.data())
+@settings(max_examples=60)
+def test_round_trip_survives_arbitrary_fragmentation(batch, data):
+    """The decoder must reassemble the exact payload sequence no matter
+    where TCP tears the byte stream — including mid-header."""
+    stream = b"".join(encode_frame(payload) for payload in batch)
+    cuts = sorted(
+        data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(stream)), max_size=8
+            )
+        )
+    )
+    decoder = FrameDecoder()
+    out = []
+    position = 0
+    for cut in cuts + [len(stream)]:
+        out.extend(decoder.feed(stream[position:cut]))
+        position = cut
+    assert out == batch
+    assert decoder.buffered == 0
+
+
+@given(event=events())
+def test_event_payload_round_trip(event):
+    assert payload_to_event(event_to_payload(event)) == event
+
+
+@given(event=events(), request_id=st.integers(min_value=0, max_value=2**31))
+def test_post_request_round_trip(event, request_id):
+    request = command_to_request(Command(kind="post", event=event), request_id)
+    assert request["id"] == request_id
+    command = request_to_command(request)
+    assert command.kind == "post"
+    assert command.event == event
+
+
+@given(members=st.lists(events(), min_size=1, max_size=5))
+def test_batch_request_round_trip(members):
+    request = command_to_request(Command(kind="batch", events=tuple(members)), 7)
+    command = request_to_command(request)
+    assert command.kind == "batch"
+    assert list(command.events) == members
+
+
+@given(oid=oids())
+def test_query_request_round_trip(oid):
+    request = command_to_request(Command(kind="query", oid=oid), 3)
+    command = request_to_command(request)
+    assert command.kind == "query"
+    assert command.oid == oid
+
+
+@given(
+    kind=st.sampled_from(
+        ["stale", "pending", "status", "health", "subscribe", "ping", "quit"]
+    )
+)
+def test_bare_request_round_trip(kind):
+    command = request_to_command(command_to_request(Command(kind=kind), 1))
+    assert command.kind == kind
+
+
+@given(event=events())
+def test_framed_request_matches_line_dialect(event):
+    """A post expressed as a frame and as a line parse to the same
+    Command — the two transports share one command space."""
+    from repro.network.protocol import format_post_event
+
+    framed = request_to_command(
+        command_to_request(Command(kind="post", event=event), 1)
+    )
+    lined = parse_command(format_post_event(event))
+    assert framed.event == lined.event

@@ -1,0 +1,147 @@
+"""Slow-subscriber and shutdown contracts of the threaded server.
+
+Satellites S1 and S2 of the async-transport PR, pinned on the *legacy*
+``ProjectServer`` (the asyncio server's equivalents live in
+``test_async_server.py``):
+
+* S1 — a line-dialect subscriber whose bounded queue overflows is still
+  dropped, but now receives ``ERR overloaded`` as the stream's final
+  line before the close, so wrapper scripts can distinguish "I was too
+  slow" from a server crash.
+* S2 — ``stop()`` delivers prompt EOFs: a subscriber blocked in recv()
+  observes shutdown within its read timeout, bounded stop latency.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.metadb.database import MetaDatabase
+from repro.metadb.oid import OID
+from repro.network import server as server_module
+from repro.network.client import BlueprintClient, ClientError
+from repro.network.protocol import OVERLOAD_LINE
+from repro.network.server import ProjectServer, wait_for_port
+
+from test_server_client import PUSH_SOURCE
+
+
+@pytest.fixture
+def push_server():
+    db = MetaDatabase()
+    engine = BlueprintEngine(db, Blueprint.from_source(PUSH_SOURCE), strict=True)
+    db.create_object(OID("a", "v", 1))
+    db.create_object(OID("b", "v", 1))
+    with ProjectServer(engine) as running:
+        assert wait_for_port(running.host, running.port)
+        yield running
+
+
+class TestOverflowDiagnostic:
+    def test_final_line_is_err_overloaded(self, monkeypatch, push_server):
+        """S1: the overflow kick is announced in-band.  A subscriber
+        that stops reading used to see a bare EOF; now the last line of
+        the stream is ``ERR overloaded``."""
+        monkeypatch.setattr(server_module, "SUBSCRIBER_QUEUE_DEPTH", 8)
+        raw = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        raw.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+        raw.settimeout(10)
+        raw.connect((push_server.host, push_server.port))
+        raw.sendall(b"subscribe\n")
+        file = raw.makefile("r", encoding="utf-8")
+        assert file.readline().strip() == "OK subscribed"
+        # Shrink the server side of THIS connection so the pump thread
+        # wedges in sendall() once both TCP buffers fill, letting the
+        # bounded queue behind it overflow.
+        for conn in list(push_server._server.active_connections):
+            conn.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 4096)
+        poster = BlueprintClient(
+            host=push_server.host, port=push_server.port, persistent=True
+        )
+        with poster:
+            dropped = False
+            for _ in range(3000):
+                poster.post_event("outofdate", "a,v,1", "down")
+                poster.post_event("ckin", "a,v,1", "up")
+                if push_server.bus.stats.get("subscribers_dropped"):
+                    dropped = True
+                    break
+            assert dropped, "subscriber never overflowed"
+        lines = [line.strip() for line in file]  # drains through EOF
+        assert lines, "no final diagnostic before EOF"
+        assert lines[-1] == OVERLOAD_LINE
+        assert all(
+            line.split()[0] in ("STALE", "FRESH") for line in lines[:-1]
+        )
+        raw.close()
+
+    def test_overloaded_subscription_recovers_with_resync(
+        self, monkeypatch, push_server
+    ):
+        """The client treats the diagnostic as a recoverable close: an
+        auto-resync subscription heals instead of raising."""
+        monkeypatch.setattr(server_module, "SUBSCRIBER_QUEUE_DEPTH", 4)
+        # Make the pump slower than the publisher — deterministically,
+        # without depending on TCP buffer sizes: notification sends
+        # dawdle, so the depth-4 queue overflows after a short burst.
+        original_send = server_module._Handler._send
+
+        def dawdling_send(self, line):
+            if line.split(" ", 1)[0] in ("STALE", "FRESH"):
+                time.sleep(0.05)
+            original_send(self, line)
+
+        monkeypatch.setattr(server_module._Handler, "_send", dawdling_send)
+        client = BlueprintClient(host=push_server.host, port=push_server.port)
+        sub = client.subscribe(auto_resync=True)
+        poster = BlueprintClient(
+            host=push_server.host, port=push_server.port, persistent=True
+        )
+        with poster:
+            deadline = time.monotonic() + 20
+            while not push_server.bus.stats.get("subscribers_dropped"):
+                assert time.monotonic() < deadline, "subscriber never overflowed"
+                poster.post_event("outofdate", "a,v,1", "down")
+                poster.post_event("ckin", "a,v,1", "up")
+            poster.post_event("outofdate", "b,v,1", "down")
+            # Reading through the kick: next() swallows the diagnostic,
+            # reconnects, resyncs, and the view still converges.
+            deadline = time.monotonic() + 30
+            while sub.view != {OID("b", "v", 1)}:
+                assert time.monotonic() < deadline
+                sub.next(timeout=5)
+        assert sub.resyncs >= 1
+        sub.close()
+
+
+class TestStopLatency:
+    def test_stop_unblocks_subscriber_within_read_timeout(self, push_server):
+        """S2: a subscriber blocked in recv() sees shutdown promptly —
+        stop() must deliver the EOF, not leave the socket to a 30s
+        client-side timeout."""
+        client = BlueprintClient(host=push_server.host, port=push_server.port)
+        sub = client.subscribe()
+        failures = []
+
+        def wait_for_push():
+            started = time.monotonic()
+            try:
+                sub.next(timeout=30)
+                failures.append("unexpected notification")
+            except ClientError:
+                if time.monotonic() - started > 5:
+                    failures.append("shutdown not observed promptly")
+
+        waiter = threading.Thread(target=wait_for_push)
+        waiter.start()
+        time.sleep(0.2)  # let the waiter block in recv()
+        began = time.monotonic()
+        push_server.stop()
+        assert time.monotonic() - began < 5
+        waiter.join(timeout=10)
+        assert not waiter.is_alive()
+        assert not failures, failures

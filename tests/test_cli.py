@@ -205,6 +205,57 @@ class TestServe:
         out = capsys.readouterr().out
         assert "--port" in out
         assert "subscribe" in out or "STALE" in out
+        assert "--transport" in out
+
+    def test_serve_auto_transport_serves_both_dialects(
+        self, database_file, capsys
+    ):
+        """``--transport auto`` runs the asyncio server: framed and
+        line-dialect clients share the one port, seeing one state."""
+        import threading
+
+        from repro.network.client import BlueprintClient
+        from repro.network.server import wait_for_port
+
+        db_path, chain_path = database_file
+        port = self._free_port()
+        result: list[int] = []
+
+        def run_server():
+            result.append(
+                main(
+                    [
+                        "serve",
+                        db_path,
+                        chain_path,
+                        "--port",
+                        str(port),
+                        "--serve-seconds",
+                        "8",
+                        "--transport",
+                        "auto",
+                        "--no-save",
+                    ]
+                )
+            )
+
+        thread = threading.Thread(target=run_server, daemon=True)
+        thread.start()
+        assert wait_for_port("127.0.0.1", port, timeout=5)
+        framed = BlueprintClient(host="127.0.0.1", port=port, transport="frames")
+        lined = BlueprintClient(host="127.0.0.1", port=port)
+        assert framed.ping() is True and lined.ping() is True
+        stale = framed.stale()
+        assert stale == lined.stale()
+        assert stale
+        framed.post_event("ckin", stale[0].wire(), "up")
+        assert stale[0] not in set(lined.stale())
+        from repro import cli
+
+        cli.stop_serving()
+        thread.join(timeout=30)
+        assert result == [0]
+        assert "serving" in capsys.readouterr().out
 
 
 class TestLazyAndExplain:
