@@ -1,40 +1,52 @@
-"""Project policies: blueprint loosening and tool permissions.
+"""Project policies under governance: propose, classify, approve, audit.
 
 Section 3.2: "early in the design cycle, when the data has not yet been
 validated and changes occur very often, the BluePrint can be 'loosened'
-thereby limiting change propagation."  This example runs the same change
-burst under the strict and the loosened blueprint and counts the
-invalidation traffic, then demonstrates the section 3.3 permission check
-refusing a simulation on stale data.
+thereby limiting change propagation."  Policy engine v2 turns that from
+an editor operation into *change control*: the loosened blueprint is a
+**versioned proposal** whose structural diff the server classifies
+itself (trimming propagate sets is ``breaking``), which therefore parks
+pending until an explicit approval, with every decision — event
+admissions, tool checks, lifecycle transitions — landing in an audit
+journal that replays.
+
+This example runs the whole governed lifecycle against a journaled
+in-process bus:
+
+1. a change burst under the strict blueprint (audited admissions);
+2. ``policy propose breaking loosen outofdate`` → classified breaking,
+   parked pending (the burst keeps running under the *old* rules);
+3. ``policy approve`` → activation; the same burst now propagates less;
+4. an additive ``require`` rule → auto-activated; a post that fails its
+   condition is DENIED and audited;
+5. ``policy rollback`` → the previous document's content returns as a
+   new version (dropping the gate again);
+6. the WAL replays through :func:`repro.core.journal.replay_governed`
+   into a twin — the example *asserts* the twin reproduces the live
+   decision log record for record, and the live database state.
 
 Run:  python examples/policy_loosening.py
 """
 
-from repro.core import Blueprint, BlueprintEngine, PermissionPolicy
-from repro.core.policy import PhasePolicy, ProjectPhase, loosen_blueprint
+import tempfile
+from pathlib import Path
+
+from repro.core import Blueprint, BlueprintEngine
+from repro.core.journal import replay_governed, state_fingerprint
 from repro.flows.generators import chain_blueprint_source
 from repro.metadb import MetaDatabase, OID
+from repro.network.bus import EventBus
+from repro.network.protocol import parse_command
+from repro.network.wal import WriteAheadLog
 
 
-def run_burst(engine: BlueprintEngine, db: MetaDatabase, changes: int) -> dict:
-    for change in range(changes):
-        latest = db.latest_version("core", "v0")
-        oid = OID("core", "v0", latest.version + 1)
-        db.create_object(oid)
-        engine.post("ckin", oid, "up", user="dana")
-        engine.run()  # events process as they arrive, as on a live server
-    return {
-        "propagation_hops": engine.metrics.propagation_hops,
-        "deliveries": engine.metrics.deliveries,
-        "stale": sum(
-            1
-            for obj in db.objects()
-            if obj.get("uptodate") is False
-        ),
-    }
+def seed_project(blueprint: Blueprint) -> tuple[MetaDatabase, BlueprintEngine]:
+    """The fixed starting state: one object per view of the 8-view chain.
 
-
-def make_project(blueprint: Blueprint) -> tuple[MetaDatabase, BlueprintEngine]:
+    Seeding happens *before* the journal starts, for the live project
+    and the replay twin alike — everything after it flows through
+    journaled commands, which is what makes the twin reproducible.
+    """
     db = MetaDatabase()
     engine = BlueprintEngine(db, blueprint)
     for index in range(8):
@@ -42,36 +54,95 @@ def make_project(blueprint: Blueprint) -> tuple[MetaDatabase, BlueprintEngine]:
     return db, engine
 
 
+def send(bus: EventBus, line: str) -> str:
+    """One line-dialect exchange, exactly as the TCP server would run it."""
+    response = bus.handle_command(parse_command(line))
+    print(f"  > {line}")
+    print(f"  < {response}")
+    return response
+
+
+def run_burst(bus: EventBus, db: MetaDatabase, changes: int) -> dict:
+    before = bus.engine.metrics.deliveries
+    for _ in range(changes):
+        bus.handle_command(parse_command("postEvent outofdate up core,v0,1"))
+        bus.handle_command(parse_command("postEvent ckin up core,v0,1"))
+    return {
+        "deliveries": bus.engine.metrics.deliveries - before,
+        "stale": sum(
+            1 for obj in db.objects() if obj.get("uptodate") is False
+        ),
+    }
+
+
 def main() -> None:
     strict = Blueprint.from_source(chain_blueprint_source(8))
-    loosened = loosen_blueprint(strict, block_events={"outofdate"})
+    db, engine = seed_project(strict)
+    journal_dir = Path(tempfile.mkdtemp(prefix="damocles-governed-"))
+    wal = WriteAheadLog(journal_dir)
+    bus = EventBus(engine, wal=wal)
 
-    db_strict, engine_strict = make_project(strict)
-    db_loose, engine_loose = make_project(loosened)
-
-    strict_result = run_burst(engine_strict, db_strict, changes=10)
-    loose_result = run_burst(engine_loose, db_loose, changes=10)
-    print("Change burst of 10 early-phase edits on an 8-view chain:")
-    print(f"  strict blueprint:   {strict_result}")
-    print(f"  loosened blueprint: {loose_result}")
+    print("Strict phase: a 10-edit change burst on the 8-view chain")
+    strict_result = run_burst(bus, db, changes=10)
+    print(f"  {strict_result}")
     print()
 
-    # Phase switching on a live engine
-    phases = PhasePolicy()
-    phases.add_phase(ProjectPhase("bringup", loosened, "changes are cheap"))
-    phases.add_phase(ProjectPhase("signoff", strict, "every change matters"))
-    phases.switch_to("signoff", engine_loose, db_loose)
-    print(f"Switched live project to phase: {phases.current.name}")
+    print("Propose the loosened phase (blocks 'outofdate' propagation):")
+    send(bus, "policy propose breaking loosen outofdate")
+    status = send(bus, "policy status")
+    assert "pending" in status, "trimming propagate sets must park pending"
+    print("  ... classified breaking, so the burst still runs strict:")
+    pending_result = run_burst(bus, db, changes=10)
+    print(f"  {pending_result}")
     print()
 
-    # Section 3.3: permission based on the state of the input data
-    policy = PermissionPolicy()
-    policy.require("simulator", "$uptodate == true", view="v3")
-    stale_input = db_strict.latest_version("core", "v3")
-    decision = policy.check(db_strict, "simulator", [stale_input.oid])
-    print(f"Permission to simulate {stale_input.oid.dotted()}: {decision.granted}")
-    for reason in decision.reasons:
-        print(f"  refused because: {reason}")
+    print("Approve and activate the loosened policy:")
+    send(bus, "policy approve 2")
+    loose_result = run_burst(bus, db, changes=10)
+    print(f"  {loose_result}")
+    assert loose_result["deliveries"] < pending_result["deliveries"], (
+        "the loosened blueprint must propagate less than the strict one"
+    )
+    print()
+
+    print("Section 3.3 as a governed rule: gate simulation on fresh data")
+    send(bus, "policy propose additive require event:simulate "
+              "'$uptodate == true' v3")
+    send(bus, "postEvent outofdate up core,v3,1")  # make the input stale
+    response = send(bus, "postEvent simulate up core,v3,1")
+    assert response.startswith("ERR policy:"), "stale input must be refused"
+    print()
+
+    print("Roll the last revision back (the simulate gate comes out):")
+    send(bus, "policy rollback")
+    send(bus, "policy status")
+    print()
+
+    live_log = [record.wire() for record in bus.policy.audit_tail()]
+    print(f"Audit trail: {len(live_log)} decisions, tail:")
+    for line in live_log[-4:]:
+        print(f"  {line}")
+    print()
+
+    # The journal is the durable form of everything above.  Replay it
+    # into a twin seeded the same way and require the twin to reproduce
+    # both the database and the governance record — the "replayable
+    # audit trail" claim, asserted.
+    twin_db, _twin_engine = seed_project(strict)
+    twin_db, _twin_engine, twin_policy = replay_governed(
+        wal.entries_after(0), strict, db=twin_db
+    )
+    twin_log = [record.wire() for record in twin_policy.audit_tail()]
+    assert twin_log == live_log, "replay must reproduce the decision log"
+    assert state_fingerprint(twin_db) == state_fingerprint(db), (
+        "replay must reproduce the database state"
+    )
+    assert twin_policy.version == bus.policy.version
+    print(
+        f"Replayed {wal.last_seq} journal entries into a twin: "
+        f"decision log ({len(twin_log)} records) and database state match."
+    )
+    wal.close()
 
 
 if __name__ == "__main__":

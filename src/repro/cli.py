@@ -33,6 +33,8 @@ exit code, so tests drive them directly.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import threading
 from pathlib import Path
@@ -67,6 +69,61 @@ def _load_db(args: argparse.Namespace):
         blocks=_csv_set(getattr(args, "blocks", None)),
         views=_csv_set(getattr(args, "views", None)),
     )
+
+
+#: Governance checkpoint sidecar, kept next to the journal segments.
+#: Holds ``{"seq": <watermark>, "policy": <snapshot_payload>}`` so a
+#: restart restores the active/pending/previous documents and the audit
+#: counters without replaying the whole journal.
+POLICY_SIDECAR = "POLICY"
+
+
+def _write_policy_sidecar(journal_dir: Path, seq: int, policy) -> None:
+    """Atomically persist the governance snapshot at watermark *seq*.
+
+    Same tmp + ``os.replace`` + directory-fsync dance as the journal's
+    own CHECKPOINT file: a crash mid-write leaves the previous sidecar
+    intact, never a torn one.
+    """
+    path = journal_dir / POLICY_SIDECAR
+    tmp = journal_dir / (POLICY_SIDECAR + ".tmp")
+    payload = {"seq": seq, "policy": policy.snapshot_payload()}
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, sort_keys=True))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    try:
+        dir_fd = os.open(journal_dir, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+def _restore_policy_sidecar(journal_dir: Path, policy) -> int:
+    """Restore governance state from the sidecar; returns its watermark.
+
+    Fail-closed: a missing sidecar is fine (fresh governance, watermark
+    0 — the journal replays any lifecycle entries), but a corrupt one
+    marks the policy faulted so the server starts up denying everything
+    rather than silently serving under the wrong rules.
+    """
+    path = journal_dir / POLICY_SIDECAR
+    if not path.exists():
+        return 0
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        seq = int(payload["seq"])
+        snapshot = payload["policy"]
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        policy.mark_faulted(f"corrupt policy checkpoint: {exc}")
+        return 0
+    if not policy.restore(snapshot):
+        return 0  # restore() already marked the policy faulted
+    return seq
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -251,12 +308,40 @@ def cmd_serve(args: argparse.Namespace) -> int:
     blueprint = _load_blueprint(args.blueprint)
     engine = BlueprintEngine(db, blueprint)
 
+    policy = None
+    policy_file = getattr(args, "policy", None)
+    if policy_file:
+        from repro.core.policy import GovernedPolicy
+
+        # from_file is fail-closed: an unreadable/corrupt document still
+        # yields a policy — one marked faulted, denying every write.
+        policy = GovernedPolicy.from_file(engine, policy_file)
+        if policy.fault_reason is not None:
+            print(f"damocles: policy FAULTED ({policy.fault_reason}); "
+                  "serving fail-closed until a valid revision activates")
+
     wal = None
     checkpointer = None
+    policy_seq = 0
     if journal_path:
         from repro.network.wal import WriteAheadLog
 
         wal = WriteAheadLog(journal_path)
+        journal_dir = Path(journal_path)
+        if (journal_dir / POLICY_SIDECAR).exists():
+            # A previous checkpoint's governance state supersedes any
+            # --policy seed: the sidecar reflects revisions proposed and
+            # approved over the wire since that file was written.
+            if policy is None:
+                from repro.core.policy import GovernedPolicy
+
+                policy = GovernedPolicy(engine)
+            policy_seq = _restore_policy_sidecar(journal_dir, policy)
+            if policy.fault_reason is not None:
+                print(
+                    f"damocles: policy FAULTED ({policy.fault_reason}); "
+                    "serving fail-closed until a valid revision activates"
+                )
 
         def checkpointer() -> bool:
             # Ordering is the whole game: capture the watermark, persist
@@ -280,6 +365,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
                         registry,
                         backend=getattr(args, "backend", None),
                     )
+                _write_policy_sidecar(
+                    Path(journal_path), seq, server.bus.policy
+                )
                 crash_point("mid-flush")
                 wal.checkpoint(seq)
             except Exception as exc:  # noqa: BLE001 — keep serving, keep journal
@@ -299,6 +387,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             busy_limit=getattr(args, "busy_limit", None),
             checkpoint_every=getattr(args, "checkpoint_every", None),
             checkpointer=checkpointer,
+            policy=policy,
         )
     else:
         # frames/auto: the asyncio server (multiplexed framing with a
@@ -314,16 +403,21 @@ def cmd_serve(args: argparse.Namespace) -> int:
             checkpoint_every=getattr(args, "checkpoint_every", None),
             checkpointer=checkpointer,
             transport=transport,
+            policy=policy,
         )
     if wal is not None:
         # Replay the tail the last process lost: entries past the
-        # database's durable watermark, through the same admission code
-        # the wire uses.  Runs before the port opens, so clients never
-        # observe half-recovered state.
-        replayed = 0
-        for entry in wal.entries_after(db.wal_seq):
-            server.bus.apply_journal_entry(entry)
-            replayed += 1
+        # database's durable watermark (data) and the policy sidecar's
+        # watermark (governance), through the same admission code the
+        # wire uses — deny tombstones feed back as forced denials, so
+        # governance replays to the exact live decision log.  Runs
+        # before the port opens, so clients never observe
+        # half-recovered state.
+        replayed = server.bus.recover(
+            wal.entries_after(min(db.wal_seq, policy_seq)),
+            db_watermark=db.wal_seq,
+            policy_watermark=policy_seq,
+        )
         if replayed or wal.recovered_torn_line:
             torn = " (repaired a torn tail line)" if wal.recovered_torn_line else ""
             print(
@@ -339,7 +433,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     print(
         "commands: postEvent | batch | query OID | stale | pending | "
-        "status | health | subscribe | ping | quit",
+        "status | health | policy ... | audit | subscribe | ping | quit",
         flush=True,
     )
     try:
@@ -394,6 +488,82 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if wal is not None:
         wal.close()
     return exit_code
+
+
+def _wire_client(args: argparse.Namespace):
+    from repro.network.client import BlueprintClient
+
+    return BlueprintClient(
+        host=args.host,
+        port=args.port,
+        transport=getattr(args, "transport", "lines") or "lines",
+    )
+
+
+def cmd_policy(args: argparse.Namespace) -> int:
+    """Governed policy control against a running project server.
+
+    ::
+
+        damocles policy status --port N
+        damocles policy propose CLASS OP ARGS... --port N
+        damocles policy approve VERSION --port N
+        damocles policy rollback --port N
+
+    ``propose`` ops: ``loosen VIEW[,VIEW...]`` | ``require TOOL COND
+    [VIEW]`` | ``drop TOOL COND [VIEW]``.  CLASS is the *declared*
+    change class (``additive`` or ``breaking``); the server classifies
+    the structural diff itself and refuses a mismatch.
+    """
+    from repro.network.client import ClientError
+
+    action = args.action
+    params = list(args.params)
+    try:
+        with _wire_client(args) as client:
+            if action == "status":
+                if params:
+                    print("damocles: policy status takes no arguments")
+                    return 2
+                for name, value in client.policy_status().items():
+                    print(f"{name} = {value}")
+            elif action == "propose":
+                if len(params) < 2:
+                    print(
+                        "damocles: policy propose needs CLASS OP [ARGS...]"
+                    )
+                    return 2
+                print(client.policy_propose(params[0], params[1], *params[2:]))
+            elif action == "approve":
+                if len(params) != 1:
+                    print("damocles: policy approve needs exactly VERSION")
+                    return 2
+                print(client.policy_approve(params[0]))
+            else:  # rollback
+                if params:
+                    print("damocles: policy rollback takes no arguments")
+                    return 2
+                print(client.policy_rollback())
+    except ClientError as exc:
+        print(f"damocles: {exc}")
+        return 1
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    """Print the server's policy decision log tail, oldest first."""
+    from repro.core.policy import AuditRecord
+    from repro.network.client import ClientError
+
+    try:
+        with _wire_client(args) as client:
+            records = client.audit(args.limit)
+    except ClientError as exc:
+        print(f"damocles: {exc}")
+        return 1
+    for payload in records:
+        print(AuditRecord.from_payload(payload).wire())
+    return 0
 
 
 def cmd_convert(args: argparse.Namespace) -> int:
@@ -571,7 +741,51 @@ def build_parser() -> argparse.ArgumentParser:
         "connection from its first byte, so both dialects share one "
         "port (default: lines)",
     )
+    serve.add_argument(
+        "--policy", default=None, metavar="FILE",
+        help="versioned policy document (JSON, see PolicyDocument) to "
+        "govern event admission and tool permission; unreadable or "
+        "corrupt documents serve FAIL-CLOSED (every write denied and "
+        "audited) rather than ungoverned.  A POLICY checkpoint sidecar "
+        "in --journal DIR supersedes this seed on restart.",
+    )
     serve.set_defaults(func=cmd_serve)
+
+    policy_cmd = subparsers.add_parser(
+        "policy",
+        help="governed policy control against a running server: "
+        "status | propose | approve | rollback",
+        description="Query and revise the running server's governed "
+        "policy.  propose CLASS OP ARGS... submits a revision (ops: "
+        "loosen VIEW[,VIEW...] | require TOOL COND [VIEW] | drop TOOL "
+        "COND [VIEW]); additive revisions auto-activate, breaking ones "
+        "wait for approve VERSION; rollback restores the previous "
+        "document's content as a new version.",
+    )
+    policy_cmd.add_argument(
+        "action", choices=("status", "propose", "approve", "rollback")
+    )
+    policy_cmd.add_argument("params", nargs="*")
+    policy_cmd.add_argument("--host", default="127.0.0.1")
+    policy_cmd.add_argument("--port", type=int, required=True)
+    policy_cmd.add_argument(
+        "--transport", choices=("lines", "frames"), default="lines"
+    )
+    policy_cmd.set_defaults(func=cmd_policy)
+
+    audit_cmd = subparsers.add_parser(
+        "audit",
+        help="tail of the running server's policy decision log",
+        description="Print the policy audit trail (event admissions, "
+        "tool checks, lifecycle transitions), oldest first.",
+    )
+    audit_cmd.add_argument("limit", nargs="?", type=int, default=None)
+    audit_cmd.add_argument("--host", default="127.0.0.1")
+    audit_cmd.add_argument("--port", type=int, required=True)
+    audit_cmd.add_argument(
+        "--transport", choices=("lines", "frames"), default="lines"
+    )
+    audit_cmd.set_defaults(func=cmd_audit)
 
     for database_command in (status, pending, query, find, dashboard, serve):
         _add_backend_option(database_command)
@@ -592,6 +806,12 @@ def main(argv: list[str] | None = None) -> int:
     except PersistenceError as exc:
         print(f"error: {exc}")
         return 1
+    except BrokenPipeError:
+        # output piped into head/less which closed early — not an error;
+        # detach stdout so the interpreter's flush-at-exit stays quiet
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

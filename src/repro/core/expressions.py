@@ -86,6 +86,15 @@ def truthy(value: Value | None) -> bool:
     return bool(value)
 
 
+#: Cheap pre-filter for numeric-looking strings: raising/catching
+#: ValueError on every non-numeric comparison operand costs more than
+#: the whole rest of ``_comparable``, and comparisons run once per rule
+#: per event on the policy admission path.  Must never reject a string
+#: ``float()`` would accept — after a strip, every such string starts
+#: with a sign, a (unicode) digit, ``.digit``, ``nan`` or ``inf``.
+_NUMERIC_RE = re.compile(r"[+-]?(\d|\.\d|nan|inf)", re.IGNORECASE)
+
+
 def _comparable(value: Value | None) -> tuple[int, object]:
     """Normalise a value for ordered comparison.
 
@@ -97,11 +106,26 @@ def _comparable(value: Value | None) -> tuple[int, object]:
     if isinstance(value, (int, float)):
         return (0, float(value))
     if isinstance(value, str):
-        try:
-            return (0, float(value))
-        except ValueError:
-            return (1, value)
+        cached = _COMPARABLE_MEMO.get(value)
+        if cached is None:
+            if _NUMERIC_RE.match(value.strip()):
+                try:
+                    cached = (0, float(value))
+                except ValueError:
+                    cached = (1, value)
+            else:
+                cached = (1, value)
+            # property values repeat heavily (state names, "true", OIDs)
+            # while arbitrary one-off $arg strings stay bounded by the cap
+            if len(_COMPARABLE_MEMO) < 4096:
+                _COMPARABLE_MEMO[value] = cached
+        return cached
     return (1, "" if value is None else str(value))
+
+
+#: value -> normalised form, for repeated string operands.  Reads and
+#: writes are GIL-atomic dict ops; a racing miss just recomputes.
+_COMPARABLE_MEMO: dict[str, tuple[int, object]] = {}
 
 
 def values_equal(left: Value | None, right: Value | None) -> bool:
@@ -267,6 +291,66 @@ class Not(Expression):
 
     def to_source(self) -> str:
         return f"not {_maybe_paren(self.item)}"
+
+
+# ---------------------------------------------------------------------------
+# closure compiler
+# ---------------------------------------------------------------------------
+
+
+def compile_expression(expr: Expression) -> Callable[[Environment], Value]:
+    """Compile *expr* into a closure tree that skips AST dispatch.
+
+    Hot paths — the policy admission gate evaluates its rule conditions
+    once per journaled write — pay a method dispatch plus dataclass
+    attribute lookups per AST node under ``Expression.evaluate``.  The
+    compiled form resolves operators, literals and child expressions
+    once, at compile time, and evaluates to *identical* values (the
+    equivalence suite in ``tests/core/test_expressions.py`` keeps the
+    two in lockstep).  Unknown node types fall back to the interpreter.
+    """
+    if type(expr) is Literal:
+        value = expr.value
+        if expr.quoted and isinstance(value, str) and "$" in value:
+            return lambda env: interpolate(value, env)
+        return lambda env: value
+    if type(expr) is VarRef:
+        name = expr.name
+
+        def var_ref(env: Environment) -> Value:
+            value = env.lookup(name)
+            return "" if value is None else value
+
+        return var_ref
+    if type(expr) is Compare:
+        left = compile_expression(expr.left)
+        right = compile_expression(expr.right)
+        if expr.op == "==":
+            return lambda env: _comparable(left(env)) == _comparable(right(env))
+        if expr.op == "!=":
+            return lambda env: _comparable(left(env)) != _comparable(right(env))
+        compare = _COMPARATORS[expr.op]
+
+        def ordered(env: Environment) -> Value:
+            lhs = _comparable(left(env))
+            rhs = _comparable(right(env))
+            if lhs[0] != rhs[0]:
+                # same rule as the interpreter: ordered comparison across
+                # number/text is false rather than an exception
+                return False
+            return compare(lhs, rhs)
+
+        return ordered
+    if type(expr) is And:
+        items = tuple(compile_expression(item) for item in expr.items)
+        return lambda env: all(truthy(item(env)) for item in items)
+    if type(expr) is Or:
+        items = tuple(compile_expression(item) for item in expr.items)
+        return lambda env: any(truthy(item(env)) for item in items)
+    if type(expr) is Not:
+        item = compile_expression(expr.item)
+        return lambda env: not truthy(item(env))
+    return expr.evaluate
 
 
 _BARE_WORD_RE = re.compile(r"^[A-Za-z_][\w\-.]*$")

@@ -18,6 +18,11 @@ Uses:
 Only *inputs* are journaled, never derived effects: rule-driven property
 writes, propagation and posts are recomputed at replay, which is the
 determinism property ``tests/core/test_journal.py`` pins down.
+
+:func:`replay_governed` extends plain replay to *governed* journals (the
+server WAL with policy-v2 entries): policy lifecycle commands and deny
+tombstones replay alongside the data, so a twin process reconstructs the
+exact allow/deny decision log as well as the database state.
 """
 
 from __future__ import annotations
@@ -37,6 +42,28 @@ from repro.metadb.oid import OID
 
 class JournalError(ValueError):
     """Malformed journal content."""
+
+
+def event_payload(event: EventMessage) -> dict:
+    """The JSON payload for one event (shared journal/WAL wire shape)."""
+    return {
+        "name": event.name,
+        "direction": event.direction.value,
+        "target": event.target.wire(),
+        "arg": event.arg,
+        "user": event.user,
+    }
+
+
+def payload_event(payload: dict) -> EventMessage:
+    """Rebuild an :class:`EventMessage` from :func:`event_payload` data."""
+    return EventMessage(
+        name=payload["name"],
+        direction=Direction(payload["direction"]),
+        target=OID.parse(payload["target"]),
+        arg=payload.get("arg", ""),
+        user=payload.get("user", ""),
+    )
 
 
 @dataclass(frozen=True)
@@ -103,16 +130,7 @@ class Journal:
         )
 
     def record_event(self, event: EventMessage) -> None:
-        self._append(
-            "event",
-            {
-                "name": event.name,
-                "direction": event.direction.value,
-                "target": event.target.wire(),
-                "arg": event.arg,
-                "user": event.user,
-            },
-        )
+        self._append("event", event_payload(event))
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -221,6 +239,116 @@ def replay(
             raise JournalError(f"unknown journal entry kind {entry.kind!r}")
     engine.run()
     return db, engine
+
+
+def replay_governed(
+    entries,
+    blueprint: Blueprint,
+    *,
+    db: MetaDatabase | None = None,
+    db_name: str = "replayed-governed",
+):
+    """Replay a *governed* journal: data, policy lifecycle, and audit.
+
+    Takes WAL-style :class:`JournalEntry` objects (kinds ``object`` /
+    ``link`` / ``event`` / ``batch`` / ``policy`` / ``audit``) and
+    reconstructs database state *and* governance state in one pass,
+    mirroring the network bus's apply semantics exactly:
+
+    * ``policy`` entries run through ``apply_lifecycle`` — refused ones
+      (race losers) audit a deny, exactly as they did live;
+    * ``audit`` entries are deny tombstones written by the live server;
+      they are pre-scanned, never re-appended.  An event whose seq
+      carries a tombstone is denied with the recorded reason even if
+      re-evaluation would allow it (that is how a live ``policy_fault``
+      deny — inherently non-deterministic — replays faithfully);
+    * everything else re-evaluates against the replayed policy, which is
+      deterministic, so rule-based denials re-derive bit-identically.
+
+    Returns ``(db, engine, policy)`` — ``policy.audit_tail()`` is the
+    reconstructed decision log.
+    """
+    from repro.core.policy import ALLOW, DENY, GovernedPolicy, PolicyError
+
+    entries = list(entries)
+    tombstones: dict[int, list[tuple[int, str]]] = {}
+    for entry in entries:
+        if entry.kind == "audit":
+            ref = int(entry.payload["ref"])
+            tombstones[ref] = [
+                (int(index), str(reason))
+                for index, reason in entry.payload.get("denied", [])
+            ]
+    if db is None:
+        db = MetaDatabase(name=db_name)
+    engine = BlueprintEngine(db, blueprint)
+    policy = GovernedPolicy(engine)
+
+    def decide(event: EventMessage, forced: dict[int, str], index: int):
+        if index in forced:
+            return DENY, forced[index]
+        return policy.evaluate(db, event)
+
+    for entry in entries:
+        if entry.kind == "object":
+            oid = OID.parse(entry.payload["oid"])
+            if db.find(oid) is None:
+                db.create_object(oid, entry.payload.get("properties") or None)
+        elif entry.kind == "link":
+            source = OID.parse(entry.payload["source"])
+            dest = OID.parse(entry.payload["dest"])
+            link_class = LinkClass(entry.payload["class"])
+            exists = any(
+                link.dest == dest and link.link_class is link_class
+                for link in db.outgoing(source)
+            )
+            if not exists and source in db and dest in db:
+                db.add_link(source, dest, link_class)
+        elif entry.kind in ("event", "batch"):
+            if entry.kind == "event":
+                events = [payload_event(entry.payload)]
+            else:
+                events = [
+                    payload_event(item) for item in entry.payload["events"]
+                ]
+            forced = dict(tombstones.get(entry.seq, ()))
+            verdicts = [
+                decide(event, forced, index)
+                for index, event in enumerate(events)
+            ]
+            denies = [
+                (index, reason)
+                for index, (verdict, reason) in enumerate(verdicts)
+                if verdict == DENY
+            ]
+            if denies:
+                for index, reason in denies:
+                    policy.audit_event(events[index], DENY, reason)
+                continue  # live semantics: any deny rejects the whole entry
+            for event in events:
+                policy.audit_event(event, ALLOW, "")
+            for event in events:
+                engine.post(
+                    event.name,
+                    event.target,
+                    event.direction,
+                    arg=event.arg,
+                    user=event.user,
+                )
+            engine.run()
+        elif entry.kind == "policy":
+            try:
+                policy.apply_lifecycle(
+                    entry.payload["action"], entry.payload.get("spec", {})
+                )
+            except PolicyError:
+                pass  # audited deny; the live server answered ERR
+        elif entry.kind == "audit":
+            continue  # consumed in the pre-scan
+        else:
+            raise JournalError(f"unknown journal entry kind {entry.kind!r}")
+    engine.run()
+    return db, engine, policy
 
 
 def state_fingerprint(db: MetaDatabase) -> dict[str, dict]:

@@ -138,8 +138,9 @@ class LinkDecl:
         parts = ["link_from", self.from_view]
         if self.move:
             parts.append("move")
-        parts.append("propagates")
-        parts.append(", ".join(self.propagates))
+        if self.propagates:
+            parts.append("propagates")
+            parts.append(", ".join(self.propagates))
         if self.link_type is not None:
             parts += ["type", self.link_type]
         return " ".join(parts)
@@ -156,8 +157,9 @@ class UseLinkDecl:
         parts = ["use_link"]
         if self.move:
             parts.append("move")
-        parts.append("propagates")
-        parts.append(", ".join(self.propagates))
+        if self.propagates:
+            parts.append("propagates")
+            parts.append(", ".join(self.propagates))
         return " ".join(parts)
 
 

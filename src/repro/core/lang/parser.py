@@ -203,8 +203,12 @@ class _Parser:
         if self.at_keyword("move"):
             self.advance()
             move = True
-        self.expect_keyword("propagates")
-        events = self.parse_event_list()
+        # A link may propagate nothing at all — a fully loosened phase
+        # trims every event — in which case the clause is simply absent.
+        events: tuple[str, ...] = ()
+        if self.at_keyword("propagates"):
+            self.advance()
+            events = self.parse_event_list()
         link_type: str | None = None
         if self.at_keyword("type"):
             self.advance()
@@ -222,8 +226,10 @@ class _Parser:
         if self.at_keyword("move"):
             self.advance()
             move = True
-        self.expect_keyword("propagates")
-        events = self.parse_event_list()
+        events: tuple[str, ...] = ()
+        if self.at_keyword("propagates"):
+            self.advance()
+            events = self.parse_event_list()
         if self.at_keyword("move"):
             self.advance()
             move = True

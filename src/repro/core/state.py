@@ -28,6 +28,21 @@ def design_state(db: MetaDatabase, oid: OID | str) -> dict[str, Value]:
     return db.get(oid).state_summary()
 
 
+def object_environment(obj: MetaObject) -> MappingEnvironment:
+    """The evaluation scope of one OID: its properties + identity builtins.
+
+    Building the scope copies the property dict, so callers evaluating
+    several expressions against the same object (the policy gate on the
+    admission hot path) should build it once and reuse it.
+    """
+    env = MappingEnvironment(obj.properties.as_dict())
+    env.values.setdefault("oid", obj.oid.dotted())
+    env.values.setdefault("block", obj.oid.block)
+    env.values.setdefault("view", obj.oid.view)
+    env.values.setdefault("version", obj.oid.version)
+    return env
+
+
 def evaluate_on(obj: MetaObject, expression: Expression | str) -> Value:
     """Evaluate an ad-hoc expression against one OID's properties.
 
@@ -37,12 +52,7 @@ def evaluate_on(obj: MetaObject, expression: Expression | str) -> Value:
     """
     if isinstance(expression, str):
         expression = Expression.parse(expression)
-    env = MappingEnvironment(obj.properties.as_dict())
-    env.values.setdefault("oid", obj.oid.dotted())
-    env.values.setdefault("block", obj.oid.block)
-    env.values.setdefault("view", obj.oid.view)
-    env.values.setdefault("version", obj.oid.version)
-    return expression.evaluate(env)
+    return expression.evaluate(object_environment(obj))
 
 
 def is_up_to_date(db: MetaDatabase, oid: OID | str) -> bool:

@@ -28,6 +28,10 @@ time in an executor thread and releases every parked response the
 barrier covered — a pipeline window of N posts costs one disk barrier,
 not N, which is where the journaled-throughput multiple comes from.
 
+Policy-v2 governance rides the same write path: ``policy propose`` /
+``approve`` / ``rollback`` are lock-exclusive journaled writes, and
+``policy status`` / ``audit`` answer inline from the governed policy.
+
 **Subscriber backpressure.**  The threaded server disconnects a
 subscriber whose bounded queue overflows.  Framed subscribers instead
 degrade: when a subscriber's send buffer crosses the high-water mark
@@ -172,6 +176,7 @@ class AsyncProjectServer:
         checkpoint_every: int | None = None,
         checkpointer: Callable[[], bool] | None = None,
         transport: str = "auto",
+        policy=None,
     ) -> None:
         if transport not in ("auto", "frames", "lines"):
             raise ValueError(f"unknown transport {transport!r}")
@@ -185,6 +190,7 @@ class AsyncProjectServer:
             busy_limit=busy_limit,
             checkpoint_every=checkpoint_every,
             checkpointer=checkpointer,
+            policy=policy,
         )
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None

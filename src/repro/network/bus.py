@@ -36,6 +36,22 @@ wave order identical to journal order.  A bounded writer queue
 retry hint instead of unbounded growth, and ``health`` reports the
 gauges (journal lag, queue depth, rejection counts) a load balancer or
 self-healing client needs.
+
+Governance (policy engine v2): every bus owns a
+:class:`~repro.core.policy.GovernedPolicy`.  Event writes are evaluated
+at *apply* time — under the seq-ordered gate, so decisions happen in
+journal order and replay re-derives them deterministically — and every
+deny is both audited and tombstoned into the WAL (an ``audit`` entry
+referencing the denied entry's seq, fsync'd before the ``ERR`` goes
+out), which is how a non-deterministic ``policy_fault`` denial survives
+replay.  Tombstone seqs are never waited on by any writer, so
+:meth:`done_turn` skips them via ``_skip_seqs``.  Policy lifecycle
+commands (``policy propose/approve/rollback``) ride the same
+admit/journal/apply pipeline as posts: validated at admission, journaled
+as ``policy`` entries, applied (and audited) in seq order —
+``crash_point("mid-policy-apply")`` sits between validation and the
+journal append, so a kill there loses the command while an earlier
+journaled propose survives as pending.
 """
 
 from __future__ import annotations
@@ -47,16 +63,20 @@ from typing import Callable
 from repro.core.engine import BlueprintEngine, EngineError
 from repro.core.events import EventMessage
 from repro.core.journal import JournalEntry, JournalError
+from repro.core.policy import ALLOW, DENY, GovernedPolicy, PolicyError
 from repro.metadb.errors import MetaDBError
 from repro.metadb.links import Direction
 from repro.metadb.oid import OID
 from repro.network.protocol import (
+    POLICY_WRITES,
     Command,
     ProtocolError,
     busy_response,
     err_response,
+    format_audit_response,
     format_notification,
     format_pending_response,
+    format_policy_status,
     format_query_response,
     format_stale_response,
     format_status_response,
@@ -93,9 +113,17 @@ class EventBus:
     #: Persists the database and truncates the journal; returns True on
     #: success.  Supplied by ``damocles serve`` (it owns paths/backends).
     checkpointer: Callable[[], bool] | None = None
+    #: The governed policy consulted on every write (created from the
+    #: engine when not supplied — every bus is governed).
+    policy: GovernedPolicy | None = None
 
     def __post_init__(self) -> None:
         self._events_since_checkpoint = 0
+        if self.policy is None:
+            self.policy = GovernedPolicy(self.engine)
+        # Journal seqs consumed by deny tombstones: appended mid-apply,
+        # so no writer ever waits on them — ``done_turn`` hops over.
+        self._skip_seqs: set[int] = set()
         # Apply gate for group commit: journaled writes may be admitted
         # (validated + fsync'd) by many threads at once, but their waves
         # must run in journal order or replay would reconstruct a
@@ -270,6 +298,17 @@ class EventBus:
             return self._handle_post(command.event)
         if command.kind == "batch":
             return self._handle_batch(command.events)
+        if command.kind in POLICY_WRITES:
+            return self._handle_write(
+                command.kind, (), spec=self._policy_spec(command)
+            )
+        if command.kind == "policy_status":
+            return format_policy_status(self.policy.status_fields())
+        if command.kind == "audit":
+            limit = int(command.args[0]) if command.args else None
+            return format_audit_response(
+                [record.to_payload() for record in self.policy.audit_tail(limit)]
+            )
         if command.kind == "query":
             assert command.oid is not None
             obj = self.engine.db.find(command.oid)
@@ -341,14 +380,32 @@ class EventBus:
     def _handle_batch(self, events: tuple[EventMessage, ...]) -> str:
         return self._handle_write("batch", events)
 
-    def _handle_write(self, kind: str, events: tuple[EventMessage, ...]) -> str:
+    @staticmethod
+    def _policy_spec(command: Command) -> dict:
+        """The journaled lifecycle spec for a policy write command."""
+        if command.kind == "policy_propose":
+            return {
+                "change_class": command.args[0],
+                "op": command.args[1],
+                "args": list(command.args[2:]),
+            }
+        if command.kind == "policy_approve":
+            return {"version": command.args[0]}
+        return {}
+
+    def _handle_write(
+        self,
+        kind: str,
+        events: tuple[EventMessage, ...],
+        spec: dict | None = None,
+    ) -> str:
         """Serialized write path (in-process bus, lazy databases)."""
-        admitted = self._admit_write(kind, events)
+        admitted = self._admit_write(kind, events, spec=spec)
         if isinstance(admitted, str):
             return admitted
         if admitted is None:  # no journal attached
             try:
-                return self._apply_write(kind, events)
+                return self._apply_write(kind, events, spec=spec)
             finally:
                 self._maybe_checkpoint()
         entry = admitted
@@ -369,14 +426,21 @@ class EventBus:
         before admission (busy, unknown OID, journal failure).
         """
         assert self.wal is not None
-        events = (command.event,) if command.kind == "post" else command.events
+        if command.kind in POLICY_WRITES:
+            events: tuple[EventMessage, ...] = ()
+            spec = self._policy_spec(command)
+        else:
+            events = (command.event,) if command.kind == "post" else command.events
+            spec = None
         # defer_sync: the wave may run before the disk barrier; the
         # server holds the client's response in :meth:`ensure_durable`
         # until the barrier lands, so an OK still implies on-disk.
         # Deferring lets the fsync overlap the wave AND collect the
         # entries of every other client that reached the same point —
         # the pile-up is what makes group commit amortise.
-        admitted = self._admit_write(command.kind, events, defer_sync=True)
+        admitted = self._admit_write(
+            command.kind, events, defer_sync=True, spec=spec
+        )
         if isinstance(admitted, str):
             return admitted
         assert admitted is not None
@@ -402,12 +466,41 @@ class EventBus:
         kind: str,
         events: tuple[EventMessage, ...],
         defer_sync: bool = False,
+        spec: dict | None = None,
     ) -> JournalEntry | str | None:
         """Backpressure + validation + durable journal append.
 
         Returns the journal entry (wal attached), ``None`` (no wal), or
         a rejection response string.
         """
+        if kind in POLICY_WRITES:
+            busy = self._busy()
+            if busy is not None:
+                return busy
+            # Admission-time validation: an obviously bad lifecycle
+            # command (unknown op, class mismatch, nothing pending) is
+            # refused before it ever reaches the journal.  Races that
+            # slip past (two proposes admitted concurrently) are
+            # re-checked at apply time, where the loser audits a deny.
+            try:
+                self.policy.validate(kind, spec or {})
+            except PolicyError as exc:
+                self._count("policy_rejected")
+                return err_response(f"policy: {exc}")
+            # A kill here loses the command entirely (it was never
+            # journaled): the server restarts on the OLD version, with
+            # any earlier journaled propose still pending — the
+            # fail-closed direction for change control.
+            crash_point("mid-policy-apply")
+            if self.wal is None:
+                return None
+            entry, failed = self._journal(
+                lambda: self.wal.append_policy(kind, spec or {}, sync=not defer_sync),
+                1,
+            )
+            if failed is not None:
+                return failed
+            return entry
         if kind == "batch" and not events:
             return err_response("batch of zero events")
         busy = self._busy()
@@ -458,11 +551,28 @@ class EventBus:
                 self._apply_cond.wait()
 
     def done_turn(self, seq: int) -> None:
-        """Advance the apply gate past *seq* (idempotent)."""
+        """Advance the apply gate past *seq* (idempotent).
+
+        Hops over deny-tombstone seqs: those entries are appended
+        *during* an apply, so no writer thread ever waits a turn for
+        them — leaving them in line would wedge the gate forever.
+        """
+        with self._apply_cond:
+            if self._next_apply == seq:
+                self._next_apply = seq + 1
+                while self._next_apply in self._skip_seqs:
+                    self._skip_seqs.discard(self._next_apply)
+                    self._next_apply += 1
+                self._apply_cond.notify_all()
+
+    def _skip_turn(self, seq: int) -> None:
+        """Mark *seq* (a tombstone entry) as never needing a turn."""
         with self._apply_cond:
             if self._next_apply == seq:
                 self._next_apply = seq + 1
                 self._apply_cond.notify_all()
+            else:
+                self._skip_seqs.add(seq)
 
     @property
     def applied_seq(self) -> int:
@@ -483,16 +593,101 @@ class EventBus:
         """Run the wave for an already-journaled write (turn held)."""
         try:
             try:
-                return self._apply_write(entry.kind, events)
+                if entry.kind == "policy":
+                    return self._apply_policy(
+                        entry.payload["action"], entry.payload.get("spec", {})
+                    )
+                return self._apply_write(
+                    entry.kind, events, entry_seq=entry.seq
+                )
             finally:
                 self.done_turn(entry.seq)
         finally:
             self._maybe_checkpoint()
 
-    def _apply_write(self, kind: str, events: tuple[EventMessage, ...]) -> str:
+    def _apply_write(
+        self,
+        kind: str,
+        events: tuple[EventMessage, ...],
+        spec: dict | None = None,
+        entry_seq: int = 0,
+        forced: dict[int, str] | None = None,
+    ) -> str:
+        if kind in POLICY_WRITES:
+            return self._apply_policy(kind, spec or {})
+        denied = self._gate(events, entry_seq=entry_seq, forced=forced)
+        if denied is not None:
+            return denied
         if kind in ("post", "event"):
             return self._admit_post(events[0])
         return self._admit_batch(events)
+
+    def _gate(
+        self,
+        events: tuple[EventMessage, ...],
+        *,
+        entry_seq: int = 0,
+        forced: dict[int, str] | None = None,
+    ) -> str | None:
+        """The fail-closed policy gate, run in seq order at apply time.
+
+        Returns ``None`` when every event is allowed (each audited
+        ``ALLOW``); otherwise audits the denies, tombstones them into
+        the WAL (live path only — *forced* denials come FROM tombstones
+        during recovery/replay and are never re-appended), and returns
+        the ``ERR`` response.  Any deny rejects the whole write, so an
+        ``ALLOW`` audit record always means the wave ran.
+        """
+        verdicts: list[tuple[str, str]] = []
+        for index, event in enumerate(events):
+            if forced is not None and index in forced:
+                verdicts.append((DENY, forced[index]))
+            else:
+                verdicts.append(self.policy.evaluate(self.engine.db, event))
+        denies = [
+            (index, reason)
+            for index, (verdict, reason) in enumerate(verdicts)
+            if verdict == DENY
+        ]
+        if not denies:
+            for event in events:
+                self.policy.audit_event(event, ALLOW, "")
+            return None
+        if entry_seq and self.wal is not None and forced is None:
+            # Durable before the ERR goes out: a replayer must never be
+            # able to resurrect (grant) a decision this process refused.
+            try:
+                tombstone = self.wal.append_audit(entry_seq, denies, sync=True)
+                self._skip_turn(tombstone.seq)
+            except (OSError, JournalError):
+                self._count("journal_errors")
+        for index, reason in denies:
+            self.policy.audit_event(events[index], DENY, reason)
+        self._count("policy_denials", len(denies))
+        first_reason = denies[0][1]
+        if len(events) == 1:
+            return err_response(f"policy: {first_reason}")
+        return err_response(
+            f"policy: {len(denies)} of {len(events)} events denied; "
+            f"nothing posted ({first_reason})"
+        )
+
+    def _apply_policy(self, action: str, spec: dict) -> str:
+        """Apply one (journaled) lifecycle command in seq order."""
+        try:
+            self.policy.apply_lifecycle(action, spec)
+        except PolicyError as exc:
+            # Race loser: admitted before the winner applied.  The deny
+            # is already audited; replay hits the same state in the same
+            # order and re-derives it.
+            self._count("policy_rejected")
+            return err_response(f"policy: {exc}")
+        self._count("policy_changes")
+        if action == "policy_propose" and self.policy.pending is not None:
+            return ok_response(
+                f"{self.policy.pending.document.version} pending"
+            )
+        return ok_response(f"{self.policy.version} active")
 
     def _admit_post(self, event: EventMessage) -> str:
         """Run one admitted event; shared by the wire path and recovery."""
@@ -522,22 +717,76 @@ class EventBus:
 
     # -- durability: recovery and checkpointing -------------------------------
 
-    def apply_journal_entry(self, entry: JournalEntry) -> str:
+    def apply_journal_entry(
+        self, entry: JournalEntry, forced: dict[int, str] | None = None
+    ) -> str:
         """Re-admit one recovered journal entry (startup replay).
 
         Runs the exact admission code the wire path runs — engine errors
-        reproduce deterministically as the same ``ERR`` the original
-        client saw — but skips validation, journaling and busy checks:
-        the entry was already admitted once.
+        and policy denials reproduce deterministically as the same
+        ``ERR`` the original client saw — but skips validation,
+        journaling and busy checks: the entry was already admitted once.
+        *forced* maps member index → deny reason from a tombstone, so a
+        live ``policy_fault`` denial (non-deterministic) replays as the
+        deny it was, never as a grant.
         """
         if entry.kind == "event":
-            return self._admit_post(payload_event(entry.payload))
+            return self._apply_write(
+                "event", (payload_event(entry.payload),), forced=forced
+            )
         if entry.kind == "batch":
             events = tuple(
                 payload_event(payload) for payload in entry.payload["events"]
             )
-            return self._admit_batch(events)
+            return self._apply_write("batch", events, forced=forced)
+        if entry.kind == "policy":
+            return self._apply_policy(
+                entry.payload["action"], entry.payload.get("spec", {})
+            )
+        if entry.kind == "audit":
+            return ok_response("audit tombstone")
         raise JournalError(f"unknown journal entry kind {entry.kind!r}")
+
+    def recover(
+        self,
+        entries,
+        *,
+        db_watermark: int = 0,
+        policy_watermark: int = 0,
+    ) -> int:
+        """Replay recovered WAL entries into engine AND governance state.
+
+        ``db_watermark`` (``db.wal_seq``) is the last event/batch already
+        inside the restored database; ``policy_watermark`` is the last
+        lifecycle entry already inside the restored policy sidecar.  The
+        two can differ by one checkpoint if the process died between the
+        database save and the sidecar write — replaying the gap is
+        idempotent for governance (specs re-derive the same versions)
+        and skipped for data.  Deny tombstones are pre-scanned and fed
+        back as forced denials; they are never re-appended (recovery
+        must not grow the journal it is reading).  Returns the number of
+        entries applied.
+        """
+        entries = list(entries)
+        tombstones: dict[int, dict[int, str]] = {}
+        for entry in entries:
+            if entry.kind == "audit":
+                tombstones[int(entry.payload["ref"])] = {
+                    int(index): str(reason)
+                    for index, reason in entry.payload.get("denied", [])
+                }
+        applied = 0
+        for entry in entries:
+            if entry.kind == "audit":
+                continue
+            if entry.kind == "policy":
+                if entry.seq <= policy_watermark:
+                    continue
+            elif entry.seq <= db_watermark:
+                continue
+            self.apply_journal_entry(entry, forced=tombstones.get(entry.seq))
+            applied += 1
+        return applied
 
     def _maybe_checkpoint(self) -> None:
         if (
@@ -578,6 +827,13 @@ class EventBus:
             "checkpoints": self.stats.get("checkpoints", 0),
             "checkpoint_failures": self.stats.get("checkpoint_failures", 0),
             "events_since_checkpoint": self._events_since_checkpoint,
+            # Governance gauges: plain int reads off the policy object,
+            # same lock-free discipline as everything above.
+            "policy_version": self.policy.version,
+            "policy_pending": self.policy.pending_count,
+            "audit_seq": self.policy.audit_seq,
+            "policy_faults": self.policy.policy_faults,
+            "policy_denials": self.stats.get("policy_denials", 0),
         }
         if self.wal is not None:
             counters["journal_seq"] = self.wal.last_seq

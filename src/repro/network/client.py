@@ -77,7 +77,9 @@ from repro.network.protocol import (
     OVERLOAD_LINE,
     ProtocolError,
     format_batch,
+    format_policy_propose,
     format_post_event,
+    parse_audit_response,
     parse_busy,
     parse_command,
     parse_notification,
@@ -989,6 +991,49 @@ class BlueprintClient:
             return parse_status_response(
                 self._ok_body("health", idempotent=True)
             )
+        except ProtocolError as exc:
+            raise ClientError(str(exc)) from exc
+
+    # -- policy governance ---------------------------------------------------
+
+    def policy_status(self) -> dict[str, str]:
+        """The active policy document: version, class, hash, gauges."""
+        try:
+            return parse_query_response(
+                self._ok_body("policy status", idempotent=True)
+            )
+        except ProtocolError as exc:
+            raise ClientError(str(exc)) from exc
+
+    def policy_propose(self, change_class: str, op: str, *args: str) -> str:
+        """Propose a policy revision (``loosen`` / ``require`` / ``drop``).
+
+        Additive proposals auto-activate; breaking ones park pending
+        until :meth:`policy_approve`.  Returns the server's OK body
+        (``<version> active`` or ``<version> pending``).  Not idempotent:
+        a retried propose can race its own first attempt, so transport
+        failures surface as :class:`TransportError` like posts do.
+        """
+        line = format_policy_propose(change_class, op, tuple(args))
+        return self._ok_body(line)
+
+    def policy_approve(self, version: int | str) -> str:
+        """Activate the pending breaking proposal (must name its version)."""
+        return self._ok_body(f"policy approve {version}")
+
+    def policy_rollback(self) -> str:
+        """Restore the previous document's content as a new version."""
+        return self._ok_body("policy rollback")
+
+    def audit(self, limit: int | None = None) -> list[dict]:
+        """The tail of the policy decision log, oldest first.
+
+        Each record is a payload dict (``seq``, ``kind``, ``subject``,
+        ``verdict``, ``reason``, ``version``).
+        """
+        line = "audit" if limit is None else f"audit {int(limit)}"
+        try:
+            return parse_audit_response(self._ok_body(line, idempotent=True))
         except ProtocolError as exc:
             raise ClientError(str(exc)) from exc
 

@@ -173,8 +173,22 @@ def payload_to_event(payload: dict) -> EventMessage:
 
 #: Framed commands with no arguments beyond the tag.
 _BARE_COMMANDS = frozenset(
-    {"stale", "pending", "status", "health", "subscribe", "ping", "quit"}
+    {
+        "stale",
+        "pending",
+        "status",
+        "health",
+        "subscribe",
+        "ping",
+        "quit",
+        "policy_status",
+        "policy_rollback",
+    }
 )
+
+#: Framed commands whose arguments are a flat list of string tokens
+#: (mirroring the line dialect's shlex-split tail).
+_ARGS_COMMANDS = frozenset({"policy_propose", "policy_approve", "audit"})
 
 #: Client→server credit verbs (flow control for the push stream).
 CREDIT_PAUSE = "PAUSE"
@@ -214,6 +228,21 @@ def request_to_command(payload: dict) -> Command:
             return Command(kind="query", oid=OID.parse(wire))
         except Exception as exc:
             raise FramingError(f"bad OID {wire!r}: {exc}") from exc
+    if cmd in _ARGS_COMMANDS:
+        args = payload.get("args", [])
+        if not isinstance(args, list) or not all(
+            isinstance(arg, str) for arg in args
+        ):
+            raise FramingError(f"{cmd} request needs an 'args' string list")
+        if cmd == "policy_propose" and len(args) < 2:
+            raise FramingError(
+                "policy_propose needs at least [change_class, op] args"
+            )
+        if cmd == "policy_approve" and len(args) != 1:
+            raise FramingError("policy_approve needs exactly one version arg")
+        if cmd == "audit" and len(args) > 1:
+            raise FramingError("audit takes at most one limit arg")
+        return Command(kind=cmd, args=tuple(args))
     if cmd in _BARE_COMMANDS:
         return Command(kind=cmd)
     raise FramingError(f"unknown framed command {cmd!r}")
@@ -237,6 +266,12 @@ def command_to_request(command: Command, request_id: int) -> dict:
     if command.kind == "query":
         assert command.oid is not None
         return {"id": request_id, "cmd": "query", "oid": command.oid.wire()}
+    if command.kind in _ARGS_COMMANDS:
+        return {
+            "id": request_id,
+            "cmd": command.kind,
+            "args": list(command.args),
+        }
     return {"id": request_id, "cmd": command.kind}
 
 

@@ -24,6 +24,18 @@ server speaks a line-oriented dialect around it:
   works even while the server is wedged under load
 * ``subscribe``  → ``OK subscribed``; the connection then receives
   ``STALE <oid>`` / ``FRESH <oid>`` push lines as waves re-bucket objects
+* ``policy status``  → ``OK <field>=<value> ...`` — governed-policy
+  snapshot (version, change class, content hash, pending proposal)
+* ``policy propose CLASS OP [ARGS...]``  → ``OK <version> <state>`` —
+  propose a revision (``loosen EVENTS`` | ``require TOOL COND [VIEW]``
+  | ``drop TOOL COND [VIEW]``); additive revisions auto-activate,
+  breaking ones park pending
+* ``policy approve VERSION``  → ``OK <version> active`` — activate the
+  pending breaking proposal
+* ``policy rollback``  → ``OK <version> active`` — restore the previous
+  version's content as a new version
+* ``audit [N]``  → ``OK <record> ...`` — the allow/deny audit tail
+  (each record one shlex-quoted JSON token)
 * ``ping``  → ``PONG``
 * ``quit``  → closes the connection
 
@@ -42,6 +54,7 @@ all (so they complete even while a wave is running).
 
 from __future__ import annotations
 
+import json
 import re
 import shlex
 from dataclasses import dataclass
@@ -65,6 +78,8 @@ STATUS = "status"
 HEALTH = "health"
 SUBSCRIBE = "subscribe"
 BATCH = "batch"
+POLICY = "policy"
+AUDIT = "audit"
 
 #: Notification verbs pushed to subscribed connections.
 NOTIFY_STALE = "STALE"
@@ -76,9 +91,14 @@ NOTIFY_FRESH = "FRESH"
 #: drops slow subscribers; it coalesces instead.)
 OVERLOAD_LINE = "ERR overloaded"
 
+#: Policy lifecycle commands: journaled writes, serialized with posts
+#: through the same writer lock / group-commit path so a propose and an
+#: approve racing each other resolve in journal order.
+POLICY_WRITES = frozenset({"policy_propose", "policy_approve", "policy_rollback"})
+
 #: Command kinds that mutate engine state: the server runs them under
 #: the exclusive writer lock, so posts from many clients enqueue FIFO.
-LOCK_EXCLUSIVE = frozenset({"post", "batch"})
+LOCK_EXCLUSIVE = frozenset({"post", "batch"}) | POLICY_WRITES
 
 #: Command kinds that scan the database (lineage walks, expression
 #: evaluation): the server runs them under the shared reader lock.
@@ -181,10 +201,44 @@ def parse_batch(line: str) -> tuple[EventMessage, ...]:
 class Command:
     """One parsed server command."""
 
-    kind: str  # post | batch | query | stale | pending | status | subscribe | ping | quit
+    kind: str  # post | batch | query | stale | pending | status | subscribe | policy_* | audit | ping | quit
     event: EventMessage | None = None
     oid: OID | None = None
     events: tuple[EventMessage, ...] = ()
+    args: tuple[str, ...] = ()
+
+
+def _parse_policy(stripped: str) -> Command:
+    """Parse a ``policy`` line into its lifecycle sub-command."""
+    try:
+        parts = shlex.split(stripped)
+    except ValueError as exc:
+        raise ProtocolError(f"bad quoting: {exc}") from exc
+    usage = "usage: policy status|propose CLASS OP [ARGS...]|approve VERSION|rollback"
+    if len(parts) < 2:
+        raise ProtocolError(usage)
+    sub = parts[1]
+    rest = parts[2:]
+    if sub == "status":
+        if rest:
+            raise ProtocolError("'policy status' takes no arguments")
+        return Command(kind="policy_status")
+    if sub == "propose":
+        if len(rest) < 2:
+            raise ProtocolError(
+                "usage: policy propose additive|breaking "
+                "loosen|require|drop [ARGS...]"
+            )
+        return Command(kind="policy_propose", args=tuple(rest))
+    if sub == "approve":
+        if len(rest) != 1:
+            raise ProtocolError("usage: policy approve VERSION")
+        return Command(kind="policy_approve", args=(rest[0],))
+    if sub == "rollback":
+        if rest:
+            raise ProtocolError("'policy rollback' takes no arguments")
+        return Command(kind="policy_rollback")
+    raise ProtocolError(usage)
 
 
 def parse_command(line: str) -> Command:
@@ -205,6 +259,17 @@ def parse_command(line: str) -> Command:
             return Command(kind="query", oid=OID.parse(parts[1]))
         except Exception as exc:
             raise ProtocolError(f"bad OID {parts[1]!r}: {exc}") from exc
+    if head == POLICY:
+        return _parse_policy(stripped)
+    if head == AUDIT:
+        parts = stripped.split()
+        if len(parts) > 2:
+            raise ProtocolError("usage: audit [N]")
+        if len(parts) == 2:
+            if not parts[1].isdigit():
+                raise ProtocolError(f"bad audit limit {parts[1]!r}")
+            return Command(kind="audit", args=(parts[1],))
+        return Command(kind="audit")
     if head in (STALE, PENDING, STATUS, HEALTH, SUBSCRIBE, PING, QUIT):
         if stripped != head:
             raise ProtocolError(f"'{head}' takes no arguments")
@@ -354,6 +419,57 @@ def parse_status_response(body: str) -> dict[str, int]:
             except ValueError as exc:
                 raise ProtocolError(f"bad counter {chunk!r}") from exc
     return counters
+
+
+def format_policy_propose(
+    change_class: str, op: str, args: tuple[str, ...] | list[str]
+) -> str:
+    """Render a ``policy propose`` line, each argument shlex-quoted
+    (permission conditions contain spaces and ``$`` sigils)."""
+    tokens = [POLICY, "propose", _wire_token(change_class), _wire_token(op)]
+    tokens.extend(_wire_token(str(arg)) for arg in args)
+    return " ".join(tokens)
+
+
+def format_policy_status(fields: list[tuple[str, str]]) -> str:
+    """Render the governed-policy snapshot as quoted ``name=value``
+    tokens (same discipline as ``query``; clients re-parse with
+    :func:`parse_query_response`)."""
+    rendered = " ".join(
+        _wire_token(f"{name}={value}") for name, value in fields
+    )
+    return ok_response(rendered)
+
+
+def format_audit_response(records: list[dict]) -> str:
+    """Render audit records, one shlex-quoted JSON object per token.
+
+    Takes plain payload dicts (see ``AuditRecord.to_payload``) so the
+    protocol layer stays ignorant of the policy layer's types.
+    """
+    rendered = " ".join(
+        _wire_token(json.dumps(record, sort_keys=True, separators=(",", ":")))
+        for record in records
+    )
+    return ok_response(rendered)
+
+
+def parse_audit_response(body: str) -> list[dict]:
+    """Parse an ``audit`` response body back into record payloads."""
+    try:
+        chunks = shlex.split(body)
+    except ValueError as exc:
+        raise ProtocolError(f"bad quoting in audit response: {exc}") from exc
+    records: list[dict] = []
+    for chunk in chunks:
+        try:
+            payload = json.loads(chunk)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"bad audit record {chunk!r}: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ProtocolError(f"bad audit record {chunk!r}: not an object")
+        records.append(payload)
+    return records
 
 
 def format_notification(oid: OID, is_stale: bool) -> str:

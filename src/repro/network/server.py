@@ -16,6 +16,12 @@ discipline per command kind:
   and take **no lock at all** — a designer's query completes even while
   a long wave is still running.
 
+Policy-v2 governance commands ride the same discipline: ``policy
+propose`` / ``policy approve`` / ``policy rollback`` are lock-exclusive
+writes (they flow through the group-commit path and are journaled like
+events), while ``policy status`` and ``audit`` answer lock-free from the
+bus's governed policy.
+
 ``subscribe`` flips a connection into push mode: the bus's stale-set
 listener writes ``STALE <oid>`` / ``FRESH <oid>`` lines straight to the
 subscribed socket the moment a wave re-buckets an object.  Notifications
@@ -44,6 +50,7 @@ from repro.network.protocol import (
 )
 
 if TYPE_CHECKING:
+    from repro.core.policy import GovernedPolicy
     from repro.network.wal import WriteAheadLog
 
 
@@ -378,6 +385,9 @@ class ProjectServer:
     busy_limit: int | None = None
     checkpoint_every: int | None = None
     checkpointer: "Callable[[], bool] | None" = None
+    #: Pre-built governed policy (e.g. loaded from ``--policy FILE`` or
+    #: restored from a checkpoint sidecar); None builds a fresh one.
+    policy: "GovernedPolicy | None" = None
 
     def __post_init__(self) -> None:
         self._server: _TCPServer | None = None
@@ -388,6 +398,7 @@ class ProjectServer:
             busy_limit=self.busy_limit,
             checkpoint_every=self.checkpoint_every,
             checkpointer=self.checkpointer,
+            policy=self.policy,
         )
 
     @property

@@ -48,10 +48,20 @@ from pathlib import Path
 from typing import Iterable, Iterator
 
 from repro.core.events import EventMessage
-from repro.core.journal import JournalEntry, JournalError
-from repro.metadb.links import Direction
-from repro.metadb.oid import OID
+from repro.core.journal import (
+    JournalEntry,
+    JournalError,
+    event_payload,
+    payload_event,
+)
 from repro.testing.faults import crash_point
+
+__all__ = [
+    "WalError",
+    "WriteAheadLog",
+    "event_payload",
+    "payload_event",
+]
 
 CHECKPOINT_NAME = "CHECKPOINT"
 SEGMENT_PREFIX = "wal-"
@@ -97,35 +107,17 @@ def _fsync_dir(path: Path) -> None:
         os.close(fd)
 
 
-def event_payload(event: EventMessage) -> dict:
-    """The JSON payload for one event (core journal wire shape)."""
-    return {
-        "name": event.name,
-        "direction": event.direction.value,
-        "target": event.target.wire(),
-        "arg": event.arg,
-        "user": event.user,
-    }
-
-
-def payload_event(payload: dict) -> EventMessage:
-    """Rebuild an :class:`EventMessage` from :func:`event_payload` data."""
-    return EventMessage(
-        name=payload["name"],
-        direction=Direction(payload["direction"]),
-        target=OID.parse(payload["target"]),
-        arg=payload.get("arg", ""),
-        user=payload.get("user", ""),
-    )
-
-
 class WriteAheadLog:
-    """Segmented, fsync'd, checkpointable journal of admitted events.
+    """Segmented, fsync'd, checkpointable journal of admitted commands.
 
-    Entry kinds: ``event`` (one ``postEvent``) and ``batch`` (one
-    atomic ``batch`` command, kept as a single entry so replay
-    reproduces batch semantics — including the all-or-nothing error
-    path — exactly).
+    Entry kinds: ``event`` (one ``postEvent``), ``batch`` (one atomic
+    ``batch`` command, kept as a single entry so replay reproduces batch
+    semantics — including the all-or-nothing error path — exactly),
+    ``policy`` (a governed-policy lifecycle command: propose / approve /
+    rollback specs, journaled so crash recovery reconstructs governance
+    state), and ``audit`` (a deny tombstone referencing an earlier
+    entry's seq — how a non-deterministic ``policy_fault`` denial
+    replays faithfully).
     """
 
     def __init__(
@@ -289,6 +281,33 @@ class WriteAheadLog:
         """Record one admitted ``batch`` as a single entry."""
         payload = {"events": [event_payload(event) for event in events]}
         return self._append("batch", payload, sync=sync)
+
+    def append_policy(
+        self, action: str, spec: dict, *, sync: bool = True
+    ) -> JournalEntry:
+        """Record one admitted policy lifecycle command (its spec, not
+        its outcome — replay re-derives the outcome deterministically)."""
+        return self._append("policy", {"action": action, "spec": spec}, sync=sync)
+
+    def append_audit(
+        self,
+        ref: int,
+        denied: list[tuple[int, str]],
+        *,
+        sync: bool = True,
+    ) -> JournalEntry:
+        """Record a deny tombstone for entry *ref*.
+
+        ``denied`` lists ``(member index, reason)`` pairs — index 0 for a
+        plain ``postEvent``.  The tombstone is fsync'd before the DENY
+        response goes out, so a replayer can never resurrect (grant) a
+        decision the live server refused.
+        """
+        payload = {
+            "ref": ref,
+            "denied": [[index, reason] for index, reason in denied],
+        }
+        return self._append("audit", payload, sync=sync)
 
     def _append(self, kind: str, payload: dict, *, sync: bool = True) -> JournalEntry:
         with self._lock:

@@ -8,8 +8,10 @@ points*: zero-cost markers compiled into the durability-critical paths
 (``crash_point("mid-journal-append")`` between the two halves of a
 journal write, ``crash_point("mid-wave")`` between the durable append
 and the engine wave, ``crash_point("mid-flush")`` between the database
-checkpoint and the journal truncation).  A production process never
-arms them; a test arms them either
+checkpoint and the journal truncation, ``crash_point("mid-policy-apply")``
+between a policy lifecycle command's validation and its journal entry,
+``crash_point("mid-audit-append")`` inside the governed policy's audit
+append).  A production process never arms them; a test arms them either
 
 * in process — :func:`install_crash_point` makes the Nth hit raise
   :class:`InjectedCrash` (a ``BaseException``, so no ``except
@@ -19,6 +21,15 @@ arms them; a test arms them either
   is parsed at import, and an armed hit calls ``os._exit(137)``: no
   atexit handlers, no buffer flushing, no save-back — the closest a
   test can get to SIGKILL while choosing the instruction it lands on.
+
+Crash points model a process dying; *fault points* model a component
+failing while the process lives on.  :func:`fault_point` markers sit in
+code that promises fail-closed behaviour (``fault_point("policy-eval")``
+inside the governed policy's rule evaluation); arming one with
+:func:`install_fault_point` makes the next N hits raise
+:class:`InjectedFault` — a plain ``Exception`` on purpose, because the
+assertion under test is precisely that the surrounding code converts an
+unexpected evaluation error into an audited deny rather than a grant.
 
 The rest of the module wraps the two I/O dependencies the server has:
 
@@ -139,6 +150,60 @@ def load_crash_points_from_env(value: str | None = None) -> int:
 # Arm from the environment at import: the serve subprocess a crash test
 # launches picks its kill schedule up without any code path changes.
 load_crash_points_from_env()
+
+
+# ---------------------------------------------------------------------------
+# named fault points (recoverable failures, not process deaths)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _FaultPoint:
+    name: str
+    remaining: int  # -1 = fire on every hit
+    hits: int = 0
+
+
+#: Armed fault points by name; same empty-dict fast path as crash points.
+_fault_points: dict[str, _FaultPoint] = {}
+
+
+def fault_point(name: str) -> None:
+    """Marker in fail-closed code paths; raises when armed.
+
+    Unlike :func:`crash_point`, the injected error is a regular
+    :class:`InjectedFault` (``Exception``) — the point is to prove the
+    caller's ``except Exception`` path degrades safely (audited deny,
+    error response) instead of granting or crashing.
+    """
+    point = _fault_points.get(name)
+    if point is None:
+        return
+    point.hits += 1
+    if point.remaining == 0:
+        return
+    if point.remaining > 0:
+        point.remaining -= 1
+        if point.remaining == 0:
+            del _fault_points[name]
+    raise InjectedFault(f"fault point {name!r} (hit {point.hits})")
+
+
+def install_fault_point(name: str, *, times: int = 1) -> None:
+    """Arm *name* to raise on its next *times* hits (-1 = every hit)."""
+    if times == 0 or times < -1:
+        raise ValueError(f"times must be positive or -1, got {times}")
+    _fault_points[name] = _FaultPoint(name=name, remaining=times)
+
+
+def clear_fault_points() -> None:
+    """Disarm every fault point (test teardown)."""
+    _fault_points.clear()
+
+
+def armed_fault_points() -> dict[str, int]:
+    """Remaining-raise counts by name (diagnostics)."""
+    return {name: point.remaining for name, point in _fault_points.items()}
 
 
 # ---------------------------------------------------------------------------

@@ -1,11 +1,13 @@
 """The continuous-assignment expression language."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core.expressions import (
     Expression,
     ExpressionError,
     MappingEnvironment,
+    compile_expression,
     interpolate,
     truthy,
     values_equal,
@@ -160,3 +162,75 @@ class TestParsing:
     def test_string_escapes(self):
         expr = Expression.parse('"say \\"hi\\""')
         assert expr.evaluate(MappingEnvironment()) == 'say "hi"'
+
+
+class TestCompiledEquivalence:
+    """compile_expression must match Expression.evaluate exactly."""
+
+    ENVS = [
+        {},
+        {"a": "good", "b": 2, "c": False},
+        {"a": "", "b": "2", "c": "true", "who": "marc"},
+        {"a": None, "b": -1.5, "c": "anything"},
+        {"uptodate": True, "last": "none", "state": "is_equiv"},
+    ]
+
+    EXPRESSIONS = [
+        "true",
+        "$a",
+        "$a == good",
+        "$b != 2",
+        "$b < 3",
+        "$b >= 2",
+        "$a < $b",
+        "($a == good) and not ($b != 2) or $c",
+        "not $c",
+        '"$who did it"',
+        '"just text"',
+        "($uptodate == true) and ($state == is_equiv)",
+        "$last == $last",
+        "4 == 4.0",
+        "$missing == \"\"",
+    ]
+
+    @pytest.mark.parametrize("source", EXPRESSIONS)
+    def test_exemplars_agree(self, source):
+        expr = Expression.parse(source)
+        compiled = compile_expression(expr)
+        for values in self.ENVS:
+            env = MappingEnvironment(values)
+            assert compiled(env) == expr.evaluate(env), (source, values)
+
+    @given(
+        st.recursive(
+            st.one_of(
+                st.sampled_from(
+                    ["$a", "$b", "$c", "good", "true", "false", "2", "-1.5"]
+                ),
+                st.text(
+                    alphabet="abc $=<>!", min_size=0, max_size=6
+                ).map(lambda s: f'"{s}"'),
+            ),
+            lambda inner: st.one_of(
+                st.tuples(
+                    inner,
+                    st.sampled_from(["==", "!=", "<", "<=", ">", ">="]),
+                    inner,
+                ).map(lambda t: f"({t[0]} {t[1]} {t[2]})"),
+                st.tuples(inner, st.sampled_from(["and", "or"]), inner).map(
+                    lambda t: f"({t[0]} {t[1]} {t[2]})"
+                ),
+                inner.map(lambda s: f"(not {s})"),
+            ),
+            max_leaves=12,
+        ),
+        st.sampled_from(ENVS),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_random_trees_agree(self, source, values):
+        try:
+            expr = Expression.parse(source)
+        except ExpressionError:
+            return  # generator can spell malformed quoted atoms; skip
+        env = MappingEnvironment(values)
+        assert compile_expression(expr)(env) == expr.evaluate(env)

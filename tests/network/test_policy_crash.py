@@ -1,0 +1,359 @@
+"""Crash recovery for the governance layer: policy state must fail closed.
+
+The policy path has two crash points of its own on top of the PR-6
+durability markers:
+
+* ``mid-policy-apply`` — between a lifecycle command's admission
+  validation and its journal append.  A kill there loses the command
+  entirely; the restarted server must come back on the OLD active
+  version, with any earlier journaled propose still parked pending.
+* ``mid-audit-append`` — inside the audit ring append.  The decision was
+  already durable (journaled) when the crash hits, so recovery must
+  replay it, audit record included.
+
+Also here: injected evaluation faults over a real wire connection
+(``fault_point("policy-eval")``) proving a broken evaluator produces
+audited DENYs and never a silent grant, and the acceptance hammer — six
+concurrent clients against a journaled governed server, then
+``replay_governed`` into a twin that must reproduce the exact
+allow/deny sequence of the live audit trail.
+"""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.core.journal import replay_governed, state_fingerprint
+from repro.metadb.database import MetaDatabase
+from repro.metadb.oid import OID
+from repro.metadb.persistence import save_database
+from repro.network.bus import EventBus
+from repro.network.client import BlueprintClient, ClientError
+from repro.network.server import ProjectServer, wait_for_port
+from repro.network.wal import WriteAheadLog
+from repro.testing.faults import (
+    InjectedCrash,
+    clear_crash_points,
+    clear_fault_points,
+    install_crash_point,
+    install_fault_point,
+)
+
+SRC_DIR = Path(__file__).resolve().parents[2] / "src"
+
+SOURCE = """\
+blueprint polcrash
+view v
+  property uptodate default true
+  when ckin do uptodate = true done
+  when outofdate do uptodate = false done
+  when drc do uptodate = uptodate done
+endview
+endblueprint
+"""
+
+GATE_ARGS = ("additive", "require", "event:drc", "$uptodate == true")
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    clear_crash_points()
+    clear_fault_points()
+    yield
+    clear_crash_points()
+    clear_fault_points()
+
+
+@pytest.fixture
+def project_dir(tmp_path):
+    flow = tmp_path / "flow.bp"
+    flow.write_text(SOURCE)
+    db = MetaDatabase(name="polcrash")
+    db.create_object(OID("a", "v", 1))
+    db.create_object(OID("b", "v", 1))
+    save_database(db, tmp_path / "db.json")
+    return tmp_path
+
+
+def free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def serve_subprocess(
+    project_dir: Path,
+    port: int,
+    *,
+    crash_points: str = "",
+    checkpoint_every: int = 1000,
+) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR)
+    if crash_points:
+        env["DAMOCLES_CRASH_POINTS"] = crash_points
+    else:
+        env.pop("DAMOCLES_CRASH_POINTS", None)
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-u",
+            "-m",
+            "repro.cli",
+            "serve",
+            str(project_dir / "db.json"),
+            str(project_dir / "flow.bp"),
+            "--port",
+            str(port),
+            "--journal",
+            str(project_dir / "journal"),
+            "--checkpoint-every",
+            str(checkpoint_every),
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def wait_exit(proc: subprocess.Popen, timeout: float = 10.0) -> int:
+    try:
+        return proc.wait(timeout)
+    except subprocess.TimeoutExpired:  # pragma: no cover - diagnostics
+        proc.kill()
+        pytest.fail("server subprocess did not exit after the crash point")
+
+
+@pytest.mark.slow
+class TestSubprocessGovernanceCrashes:
+    """Real process kills on the policy lifecycle path."""
+
+    def test_mid_policy_apply_kill_restarts_on_old_version(self, project_dir):
+        port = free_port()
+        # hits 1 and 2 are the journaled propose commands; hit 3 is the
+        # approve, killed after validation but before its journal append
+        proc = serve_subprocess(
+            project_dir, port, crash_points="mid-policy-apply:3"
+        )
+        try:
+            assert wait_for_port("127.0.0.1", port)
+            client = BlueprintClient(port=port)
+            assert client.policy_propose(
+                "additive", "require", "drc", "true"
+            ) == "2 active"
+            assert client.policy_propose(
+                "breaking", "drop", "drc", "true"
+            ) == "3 pending"
+            with pytest.raises(ClientError):  # killed before the journal
+                client.policy_approve(3)
+            assert wait_exit(proc) == 137
+        finally:
+            proc.kill()
+        restarted = serve_subprocess(project_dir, port)
+        try:
+            assert wait_for_port("127.0.0.1", port, timeout=10)
+            client = BlueprintClient(port=port)
+            status = client.policy_status()
+            # the approve was never durable: the OLD version is active
+            # and the journaled propose is still parked pending
+            assert status["version"] == "2"
+            assert status["pending"].startswith("v3")
+            # change control resumes exactly where it stopped
+            assert client.policy_approve(3) == "3 active"
+            assert client.policy_status()["version"] == "3"
+        finally:
+            restarted.kill()
+
+    def test_checkpointed_governance_survives_sigkill(self, project_dir):
+        port = free_port()
+        proc = serve_subprocess(project_dir, port, checkpoint_every=2)
+        try:
+            assert wait_for_port("127.0.0.1", port)
+            client = BlueprintClient(port=port)
+            assert client.policy_propose(*GATE_ARGS) == "2 active"
+            client.post_event("ckin", "a,v,1", "up")  # seq 2: checkpoint
+            client.post_event("outofdate", "a,v,1", "up")  # journal tail
+            proc.send_signal(signal.SIGKILL)
+            wait_exit(proc)
+        finally:
+            proc.kill()
+        # the POLICY sidecar was written by the checkpoint; the tail
+        # event replays on top of the restored governance state
+        assert (project_dir / "journal" / "POLICY").exists()
+        restarted = serve_subprocess(project_dir, port)
+        try:
+            assert wait_for_port("127.0.0.1", port, timeout=10)
+            client = BlueprintClient(port=port)
+            assert client.policy_status()["version"] == "2"
+            # the restored rule still gates: a is stale after the
+            # replayed outofdate, so drc on it must be denied
+            with pytest.raises(ClientError, match="policy:"):
+                client.post_event("drc", "a,v,1", "up")
+            client.post_event("ckin", "a,v,1", "up")
+            client.post_event("drc", "a,v,1", "up")  # fresh again: allowed
+        finally:
+            restarted.kill()
+
+
+def build_stack(tmp_path, *, wal=None):
+    db = MetaDatabase(name="polcrash")
+    db.create_object(OID("a", "v", 1))
+    db.create_object(OID("b", "v", 1))
+    engine = BlueprintEngine(db, Blueprint.from_source(SOURCE))
+    return db, EventBus(engine, wal=wal)
+
+
+class TestInProcessGovernanceCrashes:
+    def test_mid_audit_append_crash_keeps_the_durable_decision(self, tmp_path):
+        db, bus = build_stack(tmp_path, wal=WriteAheadLog(tmp_path / "journal"))
+        assert bus.handle_line("postEvent ckin up a,v,1").startswith("OK")
+        install_crash_point("mid-audit-append")
+        with pytest.raises(InjectedCrash):
+            # journaled and admitted; the crash hits inside the audit
+            # ring append, after durability but before the ack
+            bus.handle_line("postEvent outofdate up a,v,1")
+        recovered, bus2 = build_stack(tmp_path)
+        with WriteAheadLog(tmp_path / "journal") as wal:
+            bus2.wal = wal
+            replayed = bus2.recover(wal.entries_after(0))
+        assert replayed == 2
+        # the event was applied AND its audit record reconstructed
+        assert recovered.get(OID("a", "v", 1)).get("uptodate") is False
+        log = [record.wire() for record in bus2.policy.audit_tail()]
+        assert len(log) == 2
+        assert all(" ALLOW " in line for line in log)
+
+    def test_injected_eval_fault_over_wire_is_an_audited_deny(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "journal")
+        db, bus = build_stack(tmp_path)
+        server = ProjectServer(bus.engine, wal=wal).start()
+        assert wait_for_port(server.host, server.port)
+        try:
+            client = BlueprintClient(port=server.port)
+            client.post_event("ckin", "a,v,1", "up")
+            install_fault_point("policy-eval")
+            with pytest.raises(ClientError, match="policy_fault"):
+                client.post_event("outofdate", "a,v,1", "up")
+            # fail closed, not fail silent: the event did NOT apply...
+            assert db.get(OID("a", "v", 1)).get("uptodate") is True
+            # ...the fault was counted and the deny audited
+            assert client.health()["policy_faults"] == 1
+            records = client.audit()
+            assert records[-1]["verdict"] == "DENY"
+            assert "policy_fault" in records[-1]["reason"]
+            # the fault budget is spent: the next post flows normally
+            client.post_event("outofdate", "a,v,1", "up")
+            live_log = [
+                record.wire() for record in server.bus.policy.audit_tail()
+            ]
+        finally:
+            server.stop()
+            wal.close()
+        # a policy_fault deny is non-deterministic — replay must take it
+        # from the WAL tombstone, not from re-evaluation
+        twin = MetaDatabase(name="polcrash")
+        twin.create_object(OID("a", "v", 1))
+        twin.create_object(OID("b", "v", 1))
+        with WriteAheadLog(tmp_path / "journal") as replay_wal:
+            _db, _engine, twin_policy = replay_governed(
+                replay_wal.entries_after(0),
+                Blueprint.from_source(SOURCE),
+                db=twin,
+            )
+        twin_log = [record.wire() for record in twin_policy.audit_tail()]
+        assert twin_log == live_log
+        assert twin.get(OID("a", "v", 1)).get("uptodate") is False
+
+    def test_persistent_eval_fault_never_grants(self, tmp_path):
+        db, bus = build_stack(tmp_path)
+        install_fault_point("policy-eval", times=-1)
+        for _ in range(5):
+            response = bus.handle_line("postEvent outofdate up a,v,1")
+            assert response.startswith("ERR policy: policy_fault")
+        # no event ever applied: the stale flip never reached the object
+        assert db.get(OID("a", "v", 1)).get("uptodate") is not False
+        assert all(
+            record.verdict == "DENY" for record in bus.policy.audit_tail()
+        )
+
+
+@pytest.mark.slow
+class TestHammerReplayEquivalence:
+    """The acceptance bar: six clients, mixed allow/deny traffic, then a
+    twin replay that must reproduce the live decision log exactly."""
+
+    def test_six_client_hammer_replays_exact_decision_log(self, tmp_path):
+        db, bus = build_stack(tmp_path)
+        wal = WriteAheadLog(tmp_path / "journal")
+        server = ProjectServer(bus.engine, wal=wal).start()
+        assert wait_for_port(server.host, server.port)
+        setup = BlueprintClient(port=server.port)
+        assert setup.policy_propose(*GATE_ARGS) == "2 active"
+        outcomes = {"ok": 0, "denied": 0}
+        failures = []
+        lock = threading.Lock()
+
+        def hammer(name, target):
+            try:
+                client = BlueprintClient(port=server.port, persistent=True)
+                for n in range(12):
+                    event = ("ckin", "outofdate", "drc")[n % 3]
+                    try:
+                        client.post_event(event, target, "up")
+                        with lock:
+                            outcomes["ok"] += 1
+                    except ClientError as exc:
+                        if "policy:" not in str(exc):
+                            raise
+                        with lock:
+                            outcomes["denied"] += 1
+                client.close()
+            except Exception as exc:  # pragma: no cover - diagnostics
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(f"c{i}", f"{'ab'[i % 2]},v,1"))
+            for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        server.stop()
+        assert not failures, failures[:2]
+        # the server wraps the engine in its own bus: ITS policy is the
+        # governor that saw the traffic
+        live_log = [record.wire() for record in server.bus.policy.audit_tail()]
+        live_state = state_fingerprint(db)
+        wal.close()
+
+        # every decision the clients observed is in the audit trail: no
+        # grant (and no deny) without a matching audit record
+        event_records = [line for line in live_log if " event " in line]
+        assert len(event_records) == outcomes["ok"] + outcomes["denied"]
+        assert sum(1 for line in live_log if " DENY " in line) == (
+            outcomes["denied"]
+        )
+        assert outcomes["denied"] > 0, "the hammer must exercise denials"
+
+        twin = MetaDatabase(name="polcrash")
+        twin.create_object(OID("a", "v", 1))
+        twin.create_object(OID("b", "v", 1))
+        with WriteAheadLog(tmp_path / "journal") as replay_wal:
+            twin, _engine, twin_policy = replay_governed(
+                replay_wal.entries_after(0),
+                Blueprint.from_source(SOURCE),
+                db=twin,
+            )
+        twin_log = [record.wire() for record in twin_policy.audit_tail()]
+        assert twin_log == live_log
+        assert state_fingerprint(twin) == live_state

@@ -1,0 +1,233 @@
+"""Policy governance over the wire: both transports, gauges, races.
+
+The governance lifecycle (`policy propose/approve/rollback`, `policy
+status`, `audit`) must behave identically over the threaded line server
+and the asyncio framed server, report its gauges through `health`, and
+survive concurrent propose/approve storms without ever activating two
+revisions for one version number.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.blueprint import Blueprint
+from repro.core.engine import BlueprintEngine
+from repro.metadb.database import MetaDatabase
+from repro.metadb.oid import OID
+from repro.network.async_server import AsyncProjectServer
+from repro.network.client import BlueprintClient, ClientError
+from repro.network.server import ProjectServer, wait_for_port
+from repro.network.wal import WriteAheadLog
+
+SOURCE = """\
+blueprint govwire
+view v
+  property uptodate default true
+  when ckin do uptodate = true done
+  when outofdate do uptodate = false done
+  when drc do uptodate = uptodate done
+endview
+endblueprint
+"""
+
+
+def make_engine():
+    db = MetaDatabase()
+    engine = BlueprintEngine(db, Blueprint.from_source(SOURCE))
+    db.create_object(OID("a", "v", 1))
+    return db, engine
+
+
+@pytest.fixture(params=["lines", "frames"])
+def stack(request, tmp_path):
+    db, engine = make_engine()
+    wal = WriteAheadLog(tmp_path / "wal")
+    if request.param == "lines":
+        server = ProjectServer(engine, wal=wal).start()
+        assert wait_for_port(server.host, server.port)
+    else:
+        server = AsyncProjectServer(engine, wal=wal, transport="frames").start()
+    client = BlueprintClient(
+        host=server.host, port=server.port, transport=request.param
+    )
+    try:
+        yield db, server, client
+    finally:
+        client.close()
+        server.stop()
+        wal.close()
+
+
+class TestPolicyCommands:
+    def test_status_fields(self, stack):
+        _db, _server, client = stack
+        status = client.policy_status()
+        assert status["version"] == "1"
+        assert status["change_class"] == "additive"
+        assert status["pending"] == "none"
+        assert len(status["hash"]) == 12
+
+    def test_additive_propose_auto_activates(self, stack):
+        _db, _server, client = stack
+        body = client.policy_propose(
+            "additive", "require", "event:drc", "$uptodate == true"
+        )
+        assert body == "2 active"
+        assert client.policy_status()["version"] == "2"
+
+    def test_breaking_propose_parks_pending_then_approves(self, stack):
+        _db, _server, client = stack
+        client.policy_propose("additive", "require", "drc", "true")
+        body = client.policy_propose("breaking", "drop", "drc", "true")
+        assert body == "3 pending"
+        assert client.policy_status()["version"] == "2"
+        assert client.policy_approve(3) == "3 active"
+        assert client.policy_status()["version"] == "3"
+
+    def test_declared_class_mismatch_is_err(self, stack):
+        _db, _server, client = stack
+        with pytest.raises(ClientError, match="declared change class"):
+            client.policy_propose("breaking", "require", "drc", "true")
+
+    def test_rollback(self, stack):
+        _db, _server, client = stack
+        client.policy_propose("additive", "require", "drc", "true")
+        assert client.policy_rollback() == "3 active"
+        status = client.policy_status()
+        assert status["version"] == "3"
+        assert status["rules"] == "0"
+
+    def test_denied_event_is_err_and_not_applied(self, stack):
+        db, _server, client = stack
+        client.policy_propose(
+            "additive", "require", "event:drc", "$uptodate == true"
+        )
+        client.post_event("outofdate", "a,v,1", "up")
+        with pytest.raises(ClientError, match="policy:"):
+            client.post_event("drc", "a,v,1", "up")
+        # ... and a clean event still flows afterwards
+        client.post_event("ckin", "a,v,1", "up")
+        assert db.get(OID("a", "v", 1)).get("uptodate") is True
+
+    def test_denied_batch_posts_nothing(self, stack):
+        db, _server, client = stack
+        client.policy_propose(
+            "additive", "require", "event:drc", "$uptodate == true"
+        )
+        client.post_event("outofdate", "a,v,1", "up")
+        with pytest.raises(ClientError, match="nothing posted"):
+            client.post_batch(
+                [("ckin", "a,v,1", "up"), ("drc", "a,v,1", "up")]
+            )
+        # the allowed member must NOT have been applied
+        assert db.get(OID("a", "v", 1)).get("uptodate") is False
+
+    def test_audit_query_returns_decision_log(self, stack):
+        _db, _server, client = stack
+        client.post_event("ckin", "a,v,1", "up")
+        client.policy_propose(
+            "additive", "require", "event:drc", "$uptodate == true"
+        )
+        client.post_event("outofdate", "a,v,1", "up")
+        with pytest.raises(ClientError):
+            client.post_event("drc", "a,v,1", "up")
+        records = client.audit()
+        assert [r["verdict"] for r in records] == [
+            "ALLOW", "ALLOW", "ALLOW", "DENY",
+        ]
+        assert records[-1]["kind"] == "event"
+        assert "fails" in records[-1]["reason"]
+        assert client.audit(limit=2) == records[-2:]
+
+    def test_health_gauges(self, stack):
+        _db, _server, client = stack
+        client.post_event("ckin", "a,v,1", "up")
+        client.policy_propose("additive", "require", "drc", "true")
+        client.policy_propose("breaking", "drop", "drc", "true")
+        health = client.health()
+        assert health["policy_version"] == 2
+        assert health["policy_pending"] == 1
+        assert health["audit_seq"] == 3
+        assert health["policy_faults"] == 0
+
+    def test_usage_errors(self, stack):
+        _db, _server, client = stack
+        with pytest.raises(ClientError):
+            client.policy_approve("not-a-number")
+        with pytest.raises(ClientError, match="no proposal is pending"):
+            client.policy_approve(2)
+        with pytest.raises(ClientError, match="no previous policy"):
+            client.policy_rollback()
+
+
+class TestConcurrentGovernance:
+    def test_propose_race_yields_one_winner(self, stack):
+        _db, server, client = stack
+        client.policy_propose("additive", "require", "drc", "true")
+        results = []
+        lock = threading.Lock()
+
+        def racer():
+            with BlueprintClient(
+                host=server.host, port=server.port, transport=client.transport
+            ) as mine:
+                try:
+                    body = mine.policy_propose("breaking", "drop", "drc", "true")
+                    outcome = ("ok", body)
+                except ClientError as exc:
+                    outcome = ("err", str(exc))
+                with lock:
+                    results.append(outcome)
+
+        threads = [threading.Thread(target=racer) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        wins = [body for kind, body in results if kind == "ok"]
+        errs = [body for kind, body in results if kind == "err"]
+        assert wins == ["3 pending"]
+        assert len(errs) == 5
+        assert all("pending" in err for err in errs)
+
+    def test_propose_approve_race_converges(self, stack):
+        _db, server, client = stack
+        client.policy_propose("additive", "require", "drc", "true")
+        client.policy_propose("breaking", "drop", "drc", "true")
+
+        outcomes = []
+        lock = threading.Lock()
+
+        def approver():
+            with BlueprintClient(
+                host=server.host, port=server.port, transport=client.transport
+            ) as mine:
+                try:
+                    outcomes.append(("ok", mine.policy_approve(3)))
+                except ClientError as exc:
+                    with lock:
+                        outcomes.append(("err", str(exc)))
+
+        threads = [threading.Thread(target=approver) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        wins = [body for kind, body in outcomes if kind == "ok"]
+        errs = [body for kind, body in outcomes if kind == "err"]
+        assert wins == ["3 active"]
+        assert len(errs) == 3
+        assert client.policy_status()["version"] == "3"
+        # exactly one approval reached the audit trail; losers were
+        # refused at admission (before journaling) and never audited
+        # as activations
+        approvals = [
+            r for r in client.audit()
+            if r["kind"] == "policy"
+            and r["verdict"] == "ALLOW"
+            and r["subject"].startswith("approve")
+        ]
+        assert len(approvals) == 1

@@ -10,12 +10,17 @@ from repro.testing.faults import (
     FaultyConnection,
     FlakySocket,
     InjectedCrash,
+    InjectedFault,
     SocketFaultPlan,
     SqliteFaultPlan,
     armed_crash_points,
+    armed_fault_points,
     clear_crash_points,
+    clear_fault_points,
     crash_point,
+    fault_point,
     install_crash_point,
+    install_fault_point,
     load_crash_points_from_env,
 )
 
@@ -23,8 +28,47 @@ from repro.testing.faults import (
 @pytest.fixture(autouse=True)
 def _disarm():
     clear_crash_points()
+    clear_fault_points()
     yield
     clear_crash_points()
+    clear_fault_points()
+
+
+class TestFaultPoints:
+    def test_unarmed_is_noop(self):
+        fault_point("never-armed")  # must not raise
+
+    def test_armed_raises_injected_fault(self):
+        install_fault_point("flaky")
+        with pytest.raises(InjectedFault):
+            fault_point("flaky")
+
+    def test_spent_after_times_hits(self):
+        install_fault_point("flaky", times=2)
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                fault_point("flaky")
+        fault_point("flaky")  # budget spent: no-op
+        assert armed_fault_points() == {}
+
+    def test_every_hit_with_minus_one(self):
+        install_fault_point("flaky", times=-1)
+        for _ in range(5):
+            with pytest.raises(InjectedFault):
+                fault_point("flaky")
+        assert armed_fault_points() == {"flaky": -1}
+
+    def test_injected_fault_is_a_plain_exception(self):
+        # The inverse of InjectedCrash: fail-closed `except Exception`
+        # handlers MUST catch it — that is what the fault proves.
+        assert issubclass(InjectedFault, Exception)
+        assert not issubclass(InjectedCrash, Exception)
+
+    def test_bad_times_rejected(self):
+        with pytest.raises(ValueError):
+            install_fault_point("flaky", times=0)
+        with pytest.raises(ValueError):
+            install_fault_point("flaky", times=-2)
 
 
 class TestCrashPoints:
